@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks: simulator throughput per design point.
+//!
+//! Each benchmark runs a short two-thread pipeline to completion and
+//! reports wall-clock time per simulated run — useful for tracking
+//! simulator performance regressions across the design-point backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfs_core::kernel::KernelPair;
+use hfs_core::{DesignPoint, Machine, MachineConfig};
+
+const ITERATIONS: u64 = 200;
+
+fn run_design(design: DesignPoint) -> u64 {
+    let pair = KernelPair::simple("bench", 4, ITERATIONS);
+    let cfg = MachineConfig::itanium2_cmp(design);
+    Machine::new_pipeline(&cfg, &pair)
+        .unwrap()
+        .run(50_000_000)
+        .unwrap()
+        .cycles
+}
+
+fn design_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_points");
+    group.sample_size(10);
+    for (name, design) in [
+        ("existing", DesignPoint::existing()),
+        ("memopti", DesignPoint::memopti()),
+        ("syncopti", DesignPoint::syncopti()),
+        ("syncopti_sc_q64", DesignPoint::syncopti_sc_q64()),
+        ("heavywt", DesignPoint::heavywt()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &design, |b, &d| {
+            b.iter(|| run_design(d));
+        });
+    }
+    group.finish();
+}
+
+fn single_threaded(c: &mut Criterion) {
+    c.bench_function("single_threaded_fused", |b| {
+        let pair = KernelPair::simple("bench", 4, ITERATIONS);
+        let cfg = MachineConfig::itanium2_single();
+        b.iter(|| {
+            Machine::new_single(&cfg, &pair)
+                .unwrap()
+                .run(50_000_000)
+                .unwrap()
+                .cycles
+        });
+    });
+}
+
+criterion_group!(benches, design_points, single_threaded);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Regenerates every table and figure in one run.
+//!
+//! Set `HFS_OUT_DIR=<dir>` to additionally write each artifact as a
+//! `.txt` file and each underlying table as a `.csv`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hfs_bench::experiments as ex;
+use hfs_bench::table::TextTable;
+
+struct Sink {
+    dir: Option<PathBuf>,
+}
+
+impl Sink {
+    fn new() -> Self {
+        let dir = std::env::var_os("HFS_OUT_DIR").map(PathBuf::from);
+        if let Some(d) = &dir {
+            fs::create_dir_all(d).expect("create HFS_OUT_DIR");
+        }
+        Sink { dir }
+    }
+
+    fn text(&self, name: &str, body: &str) {
+        print!("{body}");
+        println!();
+        if let Some(d) = &self.dir {
+            fs::write(d.join(format!("{name}.txt")), body).expect("write artifact");
+        }
+    }
+
+    fn csv(&self, name: &str, table: &TextTable) {
+        if let Some(d) = &self.dir {
+            fs::write(d.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
+        }
+    }
+}
+
+fn main() {
+    let sink = Sink::new();
+
+    let t1 = ex::table1::run();
+    sink.csv("table1", &t1);
+    sink.text("table1", &t1.render());
+
+    sink.text("table2", &ex::table2::run());
+
+    sink.text("fig3", &ex::fig3::run().render());
+
+    let f6 = ex::fig6::run();
+    sink.csv("fig6", &f6.table());
+    sink.text("fig6", &f6.render());
+
+    let f7 = ex::fig7::run();
+    sink.csv("fig7_producer", &f7.producer_table("Figure 7"));
+    sink.csv("fig7_consumer", &f7.consumer_table("Figure 7"));
+    sink.text("fig7", &f7.render("Figure 7: design points, baseline bus"));
+
+    let f8 = ex::fig8::run();
+    sink.csv("fig8", &f8.table());
+    sink.text("fig8", &f8.render());
+
+    let f9 = ex::fig9::run();
+    sink.csv("fig9", &f9.table());
+    sink.text("fig9", &f9.render());
+
+    let f10 = ex::fig10::run();
+    sink.csv("fig10_producer", &f10.producer_table("Figure 10"));
+    sink.csv("fig10_consumer", &f10.consumer_table("Figure 10"));
+    sink.text("fig10", &f10.render("Figure 10: 4-cycle bus"));
+
+    let f11 = ex::fig11::run();
+    sink.csv("fig11_producer", &f11.producer_table("Figure 11"));
+    sink.csv("fig11_consumer", &f11.consumer_table("Figure 11"));
+    sink.text("fig11", &f11.render("Figure 11: 4-cycle, 128-byte bus"));
+
+    let f12 = ex::fig12::run();
+    sink.csv("fig12_producer", &f12.producer_table());
+    sink.csv("fig12_consumer", &f12.consumer_table());
+    sink.text("fig12", &f12.render());
+
+    sink.text("ablation", &ex::ablation::run_all());
+}

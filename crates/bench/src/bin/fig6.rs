@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (transit-delay sensitivity).
+fn main() {
+    print!("{}", hfs_bench::experiments::fig6::run().render());
+}

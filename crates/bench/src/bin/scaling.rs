@@ -1,0 +1,4 @@
+//! CMP scaling sweep: 1-4 concurrent pipelines per design point.
+fn main() {
+    print!("{}", hfs_bench::experiments::scaling::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1.
+fn main() {
+    print!("{}", hfs_bench::experiments::table1::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2.
+fn main() {
+    print!("{}", hfs_bench::experiments::table2::run());
+}

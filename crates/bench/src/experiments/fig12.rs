@@ -1,0 +1,91 @@
+//! Figure 12: the §5 SYNCOPTI optimizations — stream cache (SC) and
+//! 64-entry/QLU-16 queues (Q64) — against HEAVYWT.
+//!
+//! Paper finding: SC+Q64 reaches ~98% of HEAVYWT (a 2x speedup over
+//! EXISTING/MEMOPTI) using ~1% of the dedicated storage.
+
+use hfs_core::{DesignPoint, RunResult};
+use hfs_workloads::all_benchmarks;
+
+use crate::experiments::{breakdown_table, column_geomean};
+use crate::runner::run_design;
+use crate::table::f2;
+
+/// The variant order: HEAVYWT, SC+Q64, SC, Q64, plain SYNCOPTI
+/// (matching the paper's bar order 1..5).
+pub fn variants() -> [DesignPoint; 5] {
+    [
+        DesignPoint::heavywt(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::syncopti_sc(),
+        DesignPoint::syncopti_q64(),
+        DesignPoint::syncopti(),
+    ]
+}
+
+/// Figure 12 results.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Variant labels in column order.
+    pub designs: Vec<String>,
+    /// Per-benchmark runs, one per variant.
+    pub rows: Vec<(String, Vec<RunResult>)>,
+}
+
+/// Runs the five variants over every benchmark.
+pub fn run() -> Fig12 {
+    let vs = variants();
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let results: Vec<RunResult> = vs.iter().map(|d| run_design(&b, *d)).collect();
+        rows.push((b.name.to_string(), results));
+    }
+    Fig12 {
+        designs: vs.iter().map(|d| d.label()).collect(),
+        rows,
+    }
+}
+
+impl Fig12 {
+    /// Geomean execution time of variant `col` normalized to HEAVYWT.
+    pub fn geomean(&self, col: usize) -> f64 {
+        column_geomean(&self.rows, col)
+    }
+
+    /// The producer-side breakdown table.
+    pub fn producer_table(&self) -> crate::table::TextTable {
+        breakdown_table(
+            "Figure 12: SYNCOPTI optimizations (producer core)",
+            &self.designs,
+            &self.rows,
+            false,
+        )
+    }
+
+    /// The consumer-side breakdown table.
+    pub fn consumer_table(&self) -> crate::table::TextTable {
+        breakdown_table(
+            "Figure 12: SYNCOPTI optimizations (consumer core)",
+            &self.designs,
+            &self.rows,
+            true,
+        )
+    }
+
+    /// Renders producer and consumer breakdown tables plus the headline
+    /// SC+Q64-vs-HEAVYWT gap.
+    pub fn render(&self) -> String {
+        let mut s = self.producer_table().render();
+        s.push('\n');
+        s.push_str(&self.consumer_table().render());
+        s.push_str("GeoMean normalized to HEAVYWT:");
+        for (i, d) in self.designs.iter().enumerate() {
+            s.push_str(&format!("  {d}={}", f2(self.geomean(i))));
+        }
+        let gap = (self.geomean(1) - 1.0) * 100.0;
+        s.push_str(&format!(
+            "\nSC+Q64 is within {gap:.1}% of HEAVYWT (paper: ~2%)\n"
+        ));
+        s
+    }
+}

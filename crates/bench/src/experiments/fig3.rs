@@ -1,0 +1,81 @@
+//! Figure 3: the analytic effect of buffering and COMM-OP delay.
+
+use hfs_core::analytic::{iterations_in, steady_throughput, AnalyticParams};
+
+use crate::table::{f2, TextTable};
+
+/// Figure 3 results.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Iterations completed in the 150-cycle window for (a), (b), (c).
+    pub iterations: [u64; 3],
+    /// Steady-state throughput (iterations/cycle) for (a), (b), (c).
+    pub throughput: [f64; 3],
+}
+
+/// Runs the three Figure 3 scenarios.
+pub fn run() -> Fig3 {
+    let ps = [
+        AnalyticParams::fig3a(),
+        AnalyticParams::fig3b(),
+        AnalyticParams::fig3c(),
+    ];
+    Fig3 {
+        iterations: [
+            iterations_in(ps[0], 150),
+            iterations_in(ps[1], 150),
+            iterations_in(ps[2], 150),
+        ],
+        throughput: [
+            steady_throughput(ps[0]),
+            steady_throughput(ps[1]),
+            steady_throughput(ps[2]),
+        ],
+    }
+}
+
+impl Fig3 {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Figure 3: transit vs COMM-OP delay (analytic model)",
+            &[
+                "scenario",
+                "buffers",
+                "COMM-OP",
+                "iters in 150cy",
+                "steady iters/cycle",
+            ],
+        );
+        let meta = [("(a) single buffer", 1, 20), ("(b) queue", 4, 20), ("(c) queue, COMM-OP/2", 6, 10)];
+        for (i, (name, bufs, comm)) in meta.iter().enumerate() {
+            t.row(vec![
+                name.to_string(),
+                bufs.to_string(),
+                comm.to_string(),
+                self.iterations[i].to_string(),
+                f2(self.throughput[i] * 1000.0) + "e-3",
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&format!(
+            "queue-over-single speedup: {:.2}x; halved COMM-OP speedup: {:.2}x\n",
+            self.throughput[1] / self.throughput[0],
+            self.throughput[2] / self.throughput[1],
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_paper_counts() {
+        let f = super::run();
+        assert_eq!(f.iterations[1], 7, "Figure 3b: 7 iterations in 150 cycles");
+        assert_eq!(f.iterations[2], 14, "Figure 3c: 14 iterations in 150 cycles");
+        assert!(f.throughput[1] > 2.5 * f.throughput[0]);
+        assert!(f.throughput[2] > 1.8 * f.throughput[1]);
+        assert!(f.render().contains("Figure 3"));
+    }
+}

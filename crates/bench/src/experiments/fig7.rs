@@ -1,0 +1,103 @@
+//! Figure 7: normalized execution times and stall breakdowns for the four
+//! design points on the baseline machine.
+
+use hfs_core::{DesignPoint, MachineConfig, RunResult};
+use hfs_workloads::all_benchmarks;
+
+use crate::experiments::{breakdown_table, column_geomean};
+use crate::runner::run_with_config;
+use crate::table::f2;
+
+/// The design order used by Figures 7/10/11: HEAVYWT, SYNCOPTI,
+/// EXISTING, MEMOPTI (execution times are normalized to HEAVYWT).
+pub fn designs() -> [DesignPoint; 4] {
+    [
+        DesignPoint::heavywt(),
+        DesignPoint::syncopti(),
+        DesignPoint::existing(),
+        DesignPoint::memopti(),
+    ]
+}
+
+/// Figure 7-family results (also used by Figures 10/11 with modified
+/// machine configurations).
+#[derive(Debug, Clone)]
+pub struct DesignSweep {
+    /// Design labels in column order.
+    pub designs: Vec<String>,
+    /// Per-benchmark runs, one per design.
+    pub rows: Vec<(String, Vec<RunResult>)>,
+}
+
+/// Runs the four designs over every benchmark with a configuration
+/// derived from the baseline by `tweak`.
+pub fn run_with(tweak: impl Fn(MachineConfig) -> MachineConfig) -> DesignSweep {
+    let ds = designs();
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let mut results = Vec::new();
+        for d in ds {
+            let cfg = tweak(MachineConfig::itanium2_cmp(d));
+            results.push(run_with_config(&b, &cfg));
+        }
+        rows.push((b.name.to_string(), results));
+    }
+    DesignSweep {
+        designs: ds.iter().map(|d| d.label()).collect(),
+        rows,
+    }
+}
+
+/// Runs Figure 7 on the baseline machine.
+pub fn run() -> DesignSweep {
+    run_with(|c| c)
+}
+
+impl DesignSweep {
+    /// Geomean normalized execution time of design column `col` relative
+    /// to the first column (HEAVYWT).
+    pub fn geomean(&self, col: usize) -> f64 {
+        column_geomean(&self.rows, col)
+    }
+
+    /// The run for `(bench, design-column)`.
+    pub fn result(&self, bench: &str, col: usize) -> Option<&RunResult> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == bench)
+            .map(|(_, rs)| &rs[col])
+    }
+
+    /// The producer-side breakdown table.
+    pub fn producer_table(&self, title: &str) -> crate::table::TextTable {
+        breakdown_table(
+            &format!("{title} (producer core)"),
+            &self.designs,
+            &self.rows,
+            false,
+        )
+    }
+
+    /// The consumer-side breakdown table.
+    pub fn consumer_table(&self, title: &str) -> crate::table::TextTable {
+        breakdown_table(
+            &format!("{title} (consumer core)"),
+            &self.designs,
+            &self.rows,
+            true,
+        )
+    }
+
+    /// Renders producer-side and consumer-side breakdown tables.
+    pub fn render(&self, title: &str) -> String {
+        let mut s = self.producer_table(title).render();
+        s.push('\n');
+        s.push_str(&self.consumer_table(title).render());
+        s.push_str("GeoMean normalized execution time:");
+        for (i, d) in self.designs.iter().enumerate() {
+            s.push_str(&format!("  {d}={}", f2(self.geomean(i))));
+        }
+        s.push('\n');
+        s
+    }
+}

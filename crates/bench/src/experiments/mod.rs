@@ -1,0 +1,129 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+
+use hfs_core::RunResult;
+use hfs_cpu::CoreStats;
+use hfs_sim::stats::StallComponent;
+
+use crate::table::{f2, TextTable};
+
+/// Builds a Figure 7-style table: per benchmark and design, execution
+/// time normalized to the first design, plus the six stall components of
+/// the chosen core as fractions of its own total.
+pub(crate) fn breakdown_table(
+    title: &str,
+    designs: &[String],
+    rows: &[(String, Vec<RunResult>)],
+    consumer_side: bool,
+) -> TextTable {
+    let mut headers: Vec<String> = vec!["bench".to_string()];
+    for d in designs {
+        headers.push(format!("{d} (norm)"));
+    }
+    headers.push("components of last design: PreL2/L2/BUS/L3/MEM/PostL2".to_string());
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(title, &hdr_refs);
+    for (bench, results) in rows {
+        let base = results[0].cycles as f64;
+        let mut cells = vec![bench.clone()];
+        for r in results {
+            cells.push(f2(r.cycles as f64 / base));
+        }
+        let last = results.last().expect("at least one design");
+        let stats = side(last, consumer_side);
+        let comps: Vec<String> = StallComponent::ALL
+            .iter()
+            .map(|&c| f2(stats.breakdown.fraction(c)))
+            .collect();
+        cells.push(comps.join("/"));
+        t.row(cells);
+    }
+    t
+}
+
+pub(crate) fn side(r: &RunResult, consumer: bool) -> &CoreStats {
+    if consumer {
+        r.consumer().unwrap_or_else(|| r.producer())
+    } else {
+        r.producer()
+    }
+}
+
+/// Geometric mean over one design column of `rows`, normalized to the
+/// first design.
+pub(crate) fn column_geomean(rows: &[(String, Vec<RunResult>)], col: usize) -> f64 {
+    hfs_sim::stats::geomean(
+        rows.iter()
+            .map(|(_, rs)| rs[col].cycles as f64 / rs[0].cycles as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_cpu::CoreStats;
+    use hfs_mem::MemStats;
+    use hfs_sim::stats::Breakdown;
+
+    fn fake_result(cycles: u64) -> RunResult {
+        let mut stats = CoreStats::default();
+        stats.cycles = cycles;
+        let mut b = Breakdown::new();
+        b.charge_busy(cycles / 2);
+        b.charge(StallComponent::Bus, cycles - cycles / 2);
+        stats.breakdown = b;
+        RunResult {
+            design: "X".into(),
+            cycles,
+            cores: vec![stats, stats],
+            iterations: 10,
+            mem: MemStats::default(),
+            stream_cache: None,
+        }
+    }
+
+    #[test]
+    fn column_geomean_normalizes_to_first_column() {
+        let rows = vec![
+            ("a".to_string(), vec![fake_result(100), fake_result(200)]),
+            ("b".to_string(), vec![fake_result(50), fake_result(200)]),
+        ];
+        // Ratios: 2.0 and 4.0 -> geomean sqrt(8) ~= 2.828.
+        let g = column_geomean(&rows, 1);
+        assert!((g - (8.0f64).sqrt()).abs() < 1e-9);
+        assert!((column_geomean(&rows, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_table_shapes_rows() {
+        let rows = vec![("wc".to_string(), vec![fake_result(100), fake_result(150)])];
+        let designs = vec!["HW".to_string(), "SW".to_string()];
+        let t = breakdown_table("demo", &designs, &rows, false);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("wc"));
+        assert!(s.contains("1.50"), "normalized column present:\n{s}");
+        // Six component fractions joined with '/'.
+        assert!(s.matches('/').count() >= 5);
+    }
+
+    #[test]
+    fn side_selects_consumer_when_asked() {
+        let mut r = fake_result(10);
+        r.cores[1].cycles = 99;
+        assert_eq!(side(&r, false).cycles, 10);
+        assert_eq!(side(&r, true).cycles, 99);
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 1: benchmark loop information.
+
+use hfs_workloads::all_benchmarks;
+
+use crate::table::TextTable;
+
+/// Renders Table 1 (benchmark, function, % exec time, suite, plus the
+/// synthetic-kernel communication counts documenting the substitution).
+pub fn run() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1: Benchmark Loop Information",
+        &[
+            "Benchmark",
+            "Function",
+            "% Exec. Time",
+            "Suite",
+            "comm ops/iter (P)",
+            "iterations",
+        ],
+    );
+    for b in all_benchmarks() {
+        t.row(vec![
+            b.name.to_string(),
+            b.function.to_string(),
+            b.exec_time_pct
+                .map(|p| format!("{p}%"))
+                .unwrap_or_else(|| "-".to_string()),
+            b.suite.label().to_string(),
+            b.pair.producer.comm_ops_per_iteration().to_string(),
+            b.pair.iterations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_has_nine_rows_with_paper_values() {
+        let t = super::run();
+        assert_eq!(t.len(), 9);
+        let s = t.render();
+        assert!(s.contains("refresh_potential"));
+        assert!(s.contains("100%"));
+        assert!(s.contains("getAndMoveToFrontDecode"));
+    }
+}

@@ -1,0 +1,28 @@
+//! Table 2: the baseline simulator configuration.
+
+use hfs_core::{DesignPoint, MachineConfig};
+
+/// Renders the Table 2 machine description for the EXISTING baseline.
+pub fn run() -> String {
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
+    format!("== Table 2: Baseline Simulator ==\n{}\n", cfg.describe())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mentions_table2_parameters() {
+        let s = super::run();
+        for needle in [
+            "6-issue",
+            "16 KB",
+            "256 KB",
+            "1536 KB",
+            "141 cycles",
+            "16-byte",
+            "snoop-based",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

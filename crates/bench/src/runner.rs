@@ -1,0 +1,77 @@
+//! Shared run helpers for the experiments.
+
+use hfs_core::{DesignPoint, Machine, MachineConfig, RunResult};
+use hfs_workloads::Benchmark;
+
+/// Upper bound on simulated cycles per run; hitting it is a harness bug.
+pub const MAX_CYCLES: u64 = 500_000_000;
+
+/// Iteration cap applied when `HFS_QUICK=1` is set, trading steady-state
+/// fidelity for speed.
+pub const QUICK_ITERATIONS: u64 = 300;
+
+/// Returns the benchmark with quick-mode iteration capping applied.
+pub fn scaled(bench: &Benchmark) -> Benchmark {
+    if std::env::var_os("HFS_QUICK").is_some() {
+        bench.with_iterations(bench.pair.iterations.min(QUICK_ITERATIONS))
+    } else {
+        bench.clone()
+    }
+}
+
+/// Runs `bench` as a two-thread pipeline under `design` on the baseline
+/// machine.
+///
+/// # Panics
+///
+/// Panics on simulation errors (deadlock/verification), which indicate a
+/// harness or model bug, with the failing benchmark named.
+pub fn run_design(bench: &Benchmark, design: DesignPoint) -> RunResult {
+    run_with_config(bench, &MachineConfig::itanium2_cmp(design))
+}
+
+/// Runs `bench` under an explicit machine configuration.
+///
+/// # Panics
+///
+/// See [`run_design`].
+pub fn run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> RunResult {
+    let b = scaled(bench);
+    Machine::new_pipeline(cfg, &b.pair)
+        .and_then(|mut m| m.run(MAX_CYCLES))
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", b.name, cfg.design))
+}
+
+/// Runs the fused single-threaded version of `bench` (Figure 9 baseline).
+///
+/// # Panics
+///
+/// See [`run_design`].
+pub fn run_single(bench: &Benchmark) -> RunResult {
+    let b = scaled(bench);
+    let cfg = MachineConfig::itanium2_single();
+    Machine::new_single(&cfg, &b.pair)
+        .and_then(|mut m| m.run(MAX_CYCLES))
+        .unwrap_or_else(|e| panic!("{} single-threaded: {e}", b.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_workloads::benchmark;
+
+    #[test]
+    fn run_design_completes_quickly_scaled() {
+        let b = benchmark("fir").unwrap().with_iterations(50);
+        let r = run_design(&b, DesignPoint::heavywt());
+        assert_eq!(r.iterations, 50);
+    }
+
+    #[test]
+    fn run_single_completes() {
+        let b = benchmark("wc").unwrap().with_iterations(50);
+        let r = run_single(&b);
+        assert_eq!(r.iterations, 50);
+        assert_eq!(r.cores.len(), 1);
+    }
+}

@@ -1,0 +1,959 @@
+//! Design-point backends: the streaming hardware behind the cores.
+//!
+//! * [`SoftwareBackend`] — EXISTING/MEMOPTI: communication is ordinary
+//!   loads/stores; the backend only implements MEMOPTI's write-forward
+//!   trigger (push a queue line once all its slots' flags are set).
+//! * [`SyncOptiBackend`] — §4.2: stream address generation, distributed
+//!   occupancy counters, dormant OzQ waiting, line forwarding, bulk ACKs
+//!   on the shared bus, the consume timeout flush, and optionally the
+//!   1 KB stream cache.
+//! * [`HeavyWtBackend`] — §4.1: the synchronization array and its
+//!   dedicated pipelined interconnect.
+
+use std::collections::{HashMap, VecDeque};
+
+use hfs_cpu::{StreamCompletion, StreamPort, StreamSubmit, StreamToken};
+use hfs_isa::{Addr, CoreId, QueueId};
+use hfs_mem::{Completion, CtlPayload, MemEvent, MemOp, MemSystem, MemToken, Submit};
+use hfs_sim::stats::StallComponent;
+use hfs_sim::Cycle;
+
+use crate::design::{DesignPoint, HeavyWtConfig, SyncOptiConfig};
+
+use crate::lower::{queue_mem_info, QueueMemInfo, LINE_BYTES, QUEUE_BASE, QUEUE_SPAN};
+use crate::queues::QueueCheck;
+use crate::stream_cache::StreamCache;
+use crate::sync_array::{SyncArray, SyncArrayConfig};
+
+/// Control-message kind: bulk consumption ACK (consumer -> producer).
+const CTL_BULK_ACK: u16 = 1;
+
+/// Maps an address into (queue, byte offset) if it lies in the queue
+/// backing store.
+fn queue_of_addr(addr: Addr, queues: &[QueueId]) -> Option<(QueueId, u64)> {
+    let a = addr.as_u64();
+    if a < QUEUE_BASE {
+        return None;
+    }
+    let qi = (a - QUEUE_BASE) / QUEUE_SPAN;
+    let off = (a - QUEUE_BASE) % QUEUE_SPAN;
+    let q = QueueId(u16::try_from(qi).ok()?);
+    queues.contains(&q).then_some((q, off))
+}
+
+/// The design-point dispatch enum owned by the machine.
+#[derive(Debug)]
+pub(crate) enum Backend {
+    /// EXISTING / MEMOPTI.
+    Software(SoftwareBackend),
+    /// SYNCOPTI and its SC / Q64 variants.
+    SyncOpti(SyncOptiBackend),
+    /// HEAVYWT.
+    HeavyWt(HeavyWtBackend),
+}
+
+impl Backend {
+    pub(crate) fn new(
+        design: &DesignPoint,
+        queues: &[QueueId],
+        producer: CoreId,
+        consumer: CoreId,
+    ) -> Result<Self, hfs_sim::ConfigError> {
+        design.validate()?;
+        Ok(match design {
+            DesignPoint::Existing(c) => Backend::Software(SoftwareBackend::new(
+                queues, producer, consumer, false, c.qlu,
+            )),
+            DesignPoint::MemOpti(c) => Backend::Software(SoftwareBackend::new(
+                queues, producer, consumer, true, c.qlu,
+            )),
+            DesignPoint::SyncOpti(c) => Backend::SyncOpti(SyncOptiBackend::new(
+                *c, design, queues, producer, consumer,
+            )),
+            DesignPoint::HeavyWt(c) => {
+                Backend::HeavyWt(HeavyWtBackend::new(*c, producer, consumer)?)
+            }
+            DesignPoint::RegMapped(c) => Backend::HeavyWt(HeavyWtBackend::new(
+                HeavyWtConfig {
+                    queue_depth: c.queue_depth,
+                    transit: c.transit,
+                    sa_ops_per_cycle: c.sa_ops_per_cycle,
+                    sa_latency: 1,
+                },
+                producer,
+                consumer,
+            )?),
+        })
+    }
+
+    /// Processes one cycle. `events` is the memory-event stream drained
+    /// once per cycle by the machine and shared by every backend (each
+    /// filters to its own queues), so multiple pipelines can coexist on
+    /// one CMP.
+    pub(crate) fn process(&mut self, mem: &mut MemSystem, events: &[MemEvent], now: Cycle) {
+        match self {
+            Backend::Software(b) => b.process(mem, events, now),
+            Backend::SyncOpti(b) => b.process(mem, events, now),
+            Backend::HeavyWt(b) => b.process(now),
+        }
+    }
+
+    pub(crate) fn quiescent(&self) -> bool {
+        match self {
+            Backend::Software(b) => b.pending_forwards.is_empty(),
+            Backend::SyncOpti(b) => b.quiescent(),
+            Backend::HeavyWt(b) => b.sa.is_empty() && b.waiting.values().all(VecDeque::is_empty),
+        }
+    }
+
+    pub(crate) fn check(&self) -> &QueueCheck {
+        match self {
+            Backend::Software(b) => &b.check,
+            Backend::SyncOpti(b) => &b.check,
+            Backend::HeavyWt(b) => &b.check,
+        }
+    }
+
+    /// Stream-cache statistics, when the design has one.
+    pub(crate) fn stream_cache(&self) -> Option<&StreamCache> {
+        match self {
+            Backend::SyncOpti(b) => b.sc.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+impl StreamPort for Backend {
+    fn try_produce(
+        &mut self,
+        mem: &mut MemSystem,
+        core: CoreId,
+        q: QueueId,
+        value: u64,
+        now: Cycle,
+    ) -> StreamSubmit {
+        match self {
+            Backend::Software(_) => {
+                panic!("software-queue programs must not contain produce instructions")
+            }
+            Backend::SyncOpti(b) => b.try_produce(mem, core, q, value, now),
+            Backend::HeavyWt(b) => b.try_produce(core, q, value, now),
+        }
+    }
+
+    fn try_consume(
+        &mut self,
+        mem: &mut MemSystem,
+        core: CoreId,
+        q: QueueId,
+        now: Cycle,
+    ) -> StreamSubmit {
+        match self {
+            Backend::Software(_) => {
+                panic!("software-queue programs must not contain consume instructions")
+            }
+            Backend::SyncOpti(b) => b.try_consume(mem, core, q, now),
+            Backend::HeavyWt(b) => b.try_consume(core, q, now),
+        }
+    }
+
+    fn poll(&mut self, core: CoreId, now: Cycle) -> Vec<StreamCompletion> {
+        match self {
+            Backend::Software(_) => Vec::new(),
+            Backend::SyncOpti(b) => b.poll(core, now),
+            Backend::HeavyWt(b) => b.poll(core, now),
+        }
+    }
+
+    fn location(&self, token: StreamToken) -> StallComponent {
+        match self {
+            Backend::Software(_) => StallComponent::PreL2,
+            Backend::SyncOpti(b) => b.location(token),
+            Backend::HeavyWt(_) => StallComponent::PreL2,
+        }
+    }
+
+    fn on_mem_completion(&mut self, completion: Completion) {
+        if let Backend::SyncOpti(b) = self {
+            b.on_mem_completion(completion);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Software queues (EXISTING / MEMOPTI)
+// ---------------------------------------------------------------------
+
+/// Backend for software-queue designs. With `forward` set (MEMOPTI), the
+/// producer's L2 pushes a queue line to the consumer once every slot on it
+/// has been produced (its flag set), per §3.5.1's locality-preserving
+/// write-forward policy (N = QLU).
+#[derive(Debug)]
+pub(crate) struct SoftwareBackend {
+    queues: Vec<QueueId>,
+    producer: CoreId,
+    consumer: CoreId,
+    forward: bool,
+    /// Per line number: flag-set stores performed since last forward.
+    line_sets: HashMap<u64, u32>,
+    pending_forwards: VecDeque<Addr>,
+    check: QueueCheck,
+    /// Queue layout unit (slots per line, Figure 5).
+    qlu: u32,
+    /// Byte distance between slots (128 / qlu, at least 16).
+    stride: u64,
+}
+
+impl SoftwareBackend {
+    fn new(
+        queues: &[QueueId],
+        producer: CoreId,
+        consumer: CoreId,
+        forward: bool,
+        qlu: u32,
+    ) -> Self {
+        SoftwareBackend {
+            queues: queues.to_vec(),
+            producer,
+            consumer,
+            forward,
+            line_sets: HashMap::new(),
+            pending_forwards: VecDeque::new(),
+            check: QueueCheck::new(),
+            qlu,
+            stride: (LINE_BYTES / u64::from(qlu)).max(16),
+        }
+    }
+
+    fn process(&mut self, mem: &mut MemSystem, events: &[MemEvent], now: Cycle) {
+        for ev in events {
+            if let MemEvent::StorePerformed { core, addr, value } = *ev {
+                let Some((q, off)) = queue_of_addr(addr, &self.queues) else {
+                    continue;
+                };
+                let is_flag = off % self.stride == 8;
+                if core == self.producer && !is_flag {
+                    // A data store: verify it lands on the right slot
+                    // (data stores may perform out of program order; the
+                    // release flag store enforces publication order).
+                    let slot = off / self.stride;
+                    self.check.on_produce_slot(q, slot, value, 32);
+                } else if core == self.consumer && is_flag && value == 0 {
+                    // Flag cleared: one slot consumed. The consumed value
+                    // itself flows through a load the backend cannot see;
+                    // conservation is still checked via counts.
+                    let seen = self.check.consumed(q);
+                    self.check.on_consume(q, seen, seen);
+                } else if core == self.producer && is_flag && value != 0 && self.forward {
+                    let line = addr.as_u64() / LINE_BYTES;
+                    let n = self.line_sets.entry(line).or_insert(0);
+                    *n += 1;
+                    if *n >= self.qlu {
+                        *n = 0;
+                        self.pending_forwards
+                            .push_back(addr.line_base(LINE_BYTES));
+                    }
+                }
+            }
+        }
+        // Issue queued forwards; OzQ-full keeps them pending (the §4.4
+        // back-pressure that fills MEMOPTI's OzQ).
+        while let Some(line_addr) = self.pending_forwards.front().copied() {
+            if mem.forward_line(self.producer, self.consumer, line_addr, now) {
+                self.pending_forwards.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SYNCOPTI
+// ---------------------------------------------------------------------
+
+/// Cycles without a new produce on a queue before waiting consumes are
+/// released to pull partially-filled lines through ordinary coherence
+/// (the §4.2 flush for lines that stop filling: stream tails and
+/// low-rate queues). While a line is actively filling, consumes wait for
+/// its single bulk write-forward instead of stealing it item by item.
+const IDLE_FLUSH: u64 = 30;
+
+#[derive(Debug)]
+struct SoQueue {
+    info: QueueMemInfo,
+    /// Cycle of the most recent performed produce store on this queue.
+    last_perform: Cycle,
+    // Producer side.
+    prod_next: u64,
+    prod_released: u64,
+    acked: u64,
+    waiting_produces: VecDeque<MemToken>,
+    // Consumer side.
+    cons_next: u64,
+    /// Low-water mark: every slot below this has been consumed (used to
+    /// avoid stream-cache fills of already-read slots).
+    cons_next_completed: u64,
+    forwarded: u64,
+    performed: u64,
+    line_fill: HashMap<u64, u32>,
+    pending_forwards: VecDeque<Addr>,
+}
+
+#[derive(Debug)]
+struct WaitingConsume {
+    q: QueueId,
+    slot: u64,
+    mem_token: MemToken,
+    stream_token: StreamToken,
+    released: bool,
+    /// Released before the slot's line was write-forwarded: the gated
+    /// load pulls the data through ordinary coherence instead.
+    early_released: bool,
+}
+
+/// Backend for SYNCOPTI and its optimized variants.
+#[derive(Debug)]
+pub(crate) struct SyncOptiBackend {
+    producer: CoreId,
+    consumer: CoreId,
+    queues: Vec<QueueId>,
+    state: HashMap<QueueId, SoQueue>,
+    waiting_consumes: VecDeque<WaitingConsume>,
+    completions: Vec<StreamCompletion>,
+    pending_acks: Vec<(QueueId, u64)>,
+    locations: HashMap<StreamToken, StallComponent>,
+    next_token: u64,
+    sc: Option<StreamCache>,
+    check: QueueCheck,
+}
+
+impl SyncOptiBackend {
+    fn new(
+        cfg: SyncOptiConfig,
+        design: &DesignPoint,
+        queues: &[QueueId],
+        producer: CoreId,
+        consumer: CoreId,
+    ) -> Self {
+        let state = queues
+            .iter()
+            .map(|&q| {
+                let info = queue_mem_info(design, q).expect("SYNCOPTI uses memory backing");
+                (
+                    q,
+                    SoQueue {
+                        info,
+                        last_perform: Cycle::ZERO,
+                        prod_next: 0,
+                        prod_released: 0,
+                        acked: 0,
+                        waiting_produces: VecDeque::new(),
+                        cons_next: 0,
+                        cons_next_completed: 0,
+                        forwarded: 0,
+                        performed: 0,
+                        line_fill: HashMap::new(),
+                        pending_forwards: VecDeque::new(),
+                    },
+                )
+            })
+            .collect();
+        SyncOptiBackend {
+            sc: cfg.stream_cache.then(StreamCache::paper_1kb),
+            producer,
+            consumer,
+            queues: queues.to_vec(),
+            state,
+            waiting_consumes: VecDeque::new(),
+            completions: Vec::new(),
+            pending_acks: Vec::new(),
+            locations: HashMap::new(),
+            next_token: 0,
+            check: QueueCheck::new(),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.waiting_consumes.is_empty()
+            && self.completions.is_empty()
+            && self.pending_acks.is_empty()
+            && self
+                .state
+                .values()
+                .all(|s| s.waiting_produces.is_empty() && s.pending_forwards.is_empty())
+    }
+
+    fn fresh_token(&mut self) -> StreamToken {
+        let t = StreamToken(self.next_token);
+        self.next_token += 1;
+        t
+    }
+
+    fn try_produce(
+        &mut self,
+        mem: &mut MemSystem,
+        core: CoreId,
+        q: QueueId,
+        value: u64,
+        now: Cycle,
+    ) -> StreamSubmit {
+        assert_eq!(core, self.producer, "{q} is produced by {}", self.producer);
+        let s = self.state.get_mut(&q).expect("queue planned");
+        // Stream address generation (renaming) assigns the next slot; its
+        // 2-cycle latency is overlapped with the L1 access (§4.2).
+        let addr = s.info.slot_addr(s.prod_next);
+        // The gated store sits dormant in its OzQ slot until the
+        // occupancy counter admits it; a full OzQ back-pressures the
+        // pipeline (PreL2).
+        match mem.submit(core, MemOp::store(addr, value).gated(), now) {
+            Submit::Accepted(tok) => {
+                s.prod_next += 1;
+                s.waiting_produces.push_back(tok);
+                self.check.on_produce(q, value);
+                StreamSubmit::Done {
+                    at: now + 1,
+                    value: None,
+                }
+            }
+            Submit::Rejected(_) => StreamSubmit::Blocked,
+            Submit::L1Hit { .. } => unreachable!("gated ops bypass the L1"),
+        }
+    }
+
+    fn try_consume(
+        &mut self,
+        mem: &mut MemSystem,
+        core: CoreId,
+        q: QueueId,
+        now: Cycle,
+    ) -> StreamSubmit {
+        assert_eq!(core, self.consumer, "{q} is consumed by {}", self.consumer);
+        let s = self.state.get_mut(&q).expect("queue planned");
+        let slot = s.cons_next;
+        let addr = s.info.slot_addr(slot);
+        // Stream-cache hit: 1-cycle consume-to-use. The consume still
+        // sends a background shadow access to the L2 so the occupancy
+        // counters are updated (§5).
+        if let Some(sc) = self.sc.as_mut() {
+            if let Some(v) = sc.take(q, slot) {
+                s.cons_next += 1;
+                if let Submit::Accepted(tok) =
+                    mem.submit(core, MemOp::load(addr).gated().background(), now)
+                {
+                    mem.release(tok, now);
+                }
+                self.check.on_consume(q, slot, v);
+                // The shadow access keeps the L2 occupancy counters
+                // updated (§5), so line-completing consumes still emit
+                // their bulk ACK to the producer.
+                let done = slot + 1;
+                if done % u64::from(s.info.qlu) == 0 {
+                    self.pending_acks.push((q, done));
+                }
+                return StreamSubmit::Done {
+                    at: now + 1,
+                    value: Some(v),
+                };
+            }
+        }
+        // Ordinary path: a gated background load; released once the
+        // consumer-side counter shows forwarded data (or by timeout).
+        match mem.submit(core, MemOp::load(addr).gated().background(), now) {
+            Submit::Accepted(tok) => {
+                s.cons_next += 1;
+                let stok = self.fresh_token();
+                self.waiting_consumes.push_back(WaitingConsume {
+                    q,
+                    slot,
+                    mem_token: tok,
+                    stream_token: stok,
+                    released: false,
+                    early_released: false,
+                });
+                StreamSubmit::Pending(stok)
+            }
+            Submit::Rejected(_) => StreamSubmit::Blocked,
+            Submit::L1Hit { .. } => unreachable!("gated ops bypass the L1"),
+        }
+    }
+
+    fn poll(&mut self, core: CoreId, _now: Cycle) -> Vec<StreamCompletion> {
+        if core != self.consumer {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    fn location(&self, token: StreamToken) -> StallComponent {
+        self.locations
+            .get(&token)
+            .copied()
+            .unwrap_or(StallComponent::PreL2)
+    }
+
+    fn on_mem_completion(&mut self, c: Completion) {
+        if let Some(pos) = self
+            .waiting_consumes
+            .iter()
+            .position(|w| w.mem_token == c.token)
+        {
+            let w = self.waiting_consumes.remove(pos).expect("position valid");
+            let value = c.value.expect("consume completions carry values");
+            self.check.on_consume(w.q, w.slot, value);
+            self.locations.remove(&w.stream_token);
+            self.completions.push(StreamCompletion {
+                token: w.stream_token,
+                value: Some(value),
+                at: c.at,
+            });
+            let s = self.state.get_mut(&w.q).expect("queue planned");
+            s.cons_next_completed = s.cons_next_completed.max(w.slot + 1);
+            let done = w.slot + 1;
+            // Bulk ACK when the last item of a line is consumed; timeout
+            // path ACKs eagerly to keep the tail moving.
+            if done % u64::from(s.info.qlu) == 0 || w.early_released {
+                self.pending_acks.push((w.q, done));
+            }
+        }
+    }
+
+    fn process(&mut self, mem: &mut MemSystem, events: &[MemEvent], now: Cycle) {
+        // 1. Memory events: performed produces, forward completions, ACKs.
+        for ev in events {
+            match *ev {
+                MemEvent::StorePerformed { core, addr, .. } if core == self.producer => {
+                    let Some((q, _)) = queue_of_addr(addr, &self.queues) else {
+                        continue;
+                    };
+                    let s = self.state.get_mut(&q).expect("queue planned");
+                    s.performed += 1;
+                    s.last_perform = now;
+                    let line = addr.as_u64() / LINE_BYTES;
+                    let n = s.line_fill.entry(line).or_insert(0);
+                    *n += 1;
+                    if *n >= s.info.qlu {
+                        *n = 0;
+                        s.pending_forwards.push_back(addr.line_base(LINE_BYTES));
+                    }
+                }
+                MemEvent::ForwardDone { to, line_addr, .. } if to == self.consumer => {
+                    let Some((q, _)) = queue_of_addr(line_addr, &self.queues) else {
+                        continue;
+                    };
+                    let s = self.state.get_mut(&q).expect("queue planned");
+                    let first = s.forwarded;
+                    s.forwarded += u64::from(s.info.qlu);
+                    if let Some(sc) = self.sc.as_mut() {
+                        // Reverse-map the line to queue addresses and fill
+                        // the stream cache with the items it carries,
+                        // skipping slots the consumer already read via the
+                        // early coherence path (stale entries would pin
+                        // the cache full forever).
+                        for slot in first.max(s.cons_next_completed)..s.forwarded {
+                            let v = mem.func_mem().read(s.info.slot_addr(slot));
+                            let _ = sc.fill(q, slot, v);
+                        }
+                    }
+                }
+                MemEvent::CtlDelivered { to, payload, .. }
+                    if to == self.producer && payload.kind == CTL_BULK_ACK =>
+                {
+                    let q = QueueId(payload.a as u16);
+                    if let Some(s) = self.state.get_mut(&q) {
+                        s.acked = s.acked.max(payload.b);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Send pending ACKs over the shared bus.
+        for (q, watermark) in self.pending_acks.drain(..) {
+            mem.send_ctl(
+                self.consumer,
+                self.producer,
+                CtlPayload {
+                    kind: CTL_BULK_ACK,
+                    a: u32::from(q.0),
+                    b: watermark,
+                },
+            );
+        }
+
+        // 3. Release produces admitted by the occupancy counter.
+        for q in &self.queues {
+            let s = self.state.get_mut(q).expect("queue planned");
+            while let Some(&tok) = s.waiting_produces.front() {
+                if s.prod_released - s.acked >= u64::from(s.info.depth) {
+                    break; // queue full (or wrap-around not yet consumed)
+                }
+                mem.release(tok, now);
+                s.prod_released += 1;
+                s.waiting_produces.pop_front();
+            }
+        }
+
+        // 4. Release consumes. The fast path waits for the slot's line
+        // to be write-forwarded into the consumer's L2 (the consume then
+        // hits locally). If the producer has gone idle on the queue while
+        // produced-but-unforwarded data exists — a partially filled tail
+        // line or a low-rate stream — the consume is released anyway and
+        // pulls the line through ordinary coherence.
+        for w in self.waiting_consumes.iter_mut() {
+            if w.released {
+                continue;
+            }
+            let s = &self.state[&w.q];
+            if w.slot < s.forwarded {
+                w.released = true;
+                mem.release(w.mem_token, now);
+            } else if w.slot < s.performed
+                && now.saturating_since(s.last_perform) > IDLE_FLUSH
+            {
+                w.released = true;
+                w.early_released = true;
+                mem.release(w.mem_token, now);
+            }
+        }
+
+        // 5. Issue queued line forwards.
+        for q in &self.queues {
+            let s = self.state.get_mut(q).expect("queue planned");
+            while let Some(line_addr) = s.pending_forwards.front().copied() {
+                if mem.forward_line(self.producer, self.consumer, line_addr, now) {
+                    s.pending_forwards.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 6. Refresh stall-attribution locations.
+        for w in &self.waiting_consumes {
+            let comp = mem
+                .location(w.mem_token)
+                .map(|l| l.component())
+                .unwrap_or(StallComponent::PostL2);
+            self.locations.insert(w.stream_token, comp);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HEAVYWT
+// ---------------------------------------------------------------------
+
+/// Backend for the synchronization-array design.
+#[derive(Debug)]
+pub(crate) struct HeavyWtBackend {
+    producer: CoreId,
+    consumer: CoreId,
+    sa: SyncArray,
+    waiting: HashMap<QueueId, VecDeque<StreamToken>>,
+    completions: Vec<StreamCompletion>,
+    next_token: u64,
+    check: QueueCheck,
+    /// Per-queue produced count (producer-side occupancy numerator).
+    injected: HashMap<QueueId, u64>,
+    /// Per-queue consumption ACKs received back at the producer.
+    acked: HashMap<QueueId, u64>,
+    /// ACKs in flight on the dedicated interconnect (one per consume,
+    /// arriving `transit` cycles later): the §4.4 synchronization
+    /// acknowledgment delay that makes full queues transit-sensitive.
+    acks_in_flight: hfs_sim::TimedQueue<QueueId>,
+    depth: u64,
+    transit: u64,
+    sa_latency: u64,
+}
+
+impl HeavyWtBackend {
+    fn new(
+        cfg: HeavyWtConfig,
+        producer: CoreId,
+        consumer: CoreId,
+    ) -> Result<Self, hfs_sim::ConfigError> {
+        Ok(HeavyWtBackend {
+            producer,
+            consumer,
+            sa: SyncArray::new(SyncArrayConfig {
+                depth: cfg.queue_depth,
+                transit: cfg.transit,
+                ops_per_cycle: cfg.sa_ops_per_cycle,
+                stage_capacity: cfg.sa_ops_per_cycle,
+            })?,
+            waiting: HashMap::new(),
+            completions: Vec::new(),
+            next_token: 0,
+            check: QueueCheck::new(),
+            injected: HashMap::new(),
+            acked: HashMap::new(),
+            acks_in_flight: hfs_sim::TimedQueue::new(),
+            depth: u64::from(cfg.queue_depth),
+            transit: cfg.transit,
+            sa_latency: cfg.sa_latency,
+        })
+    }
+
+    fn process(&mut self, now: Cycle) {
+        while let Some(q) = self.acks_in_flight.pop_ready(now) {
+            *self.acked.entry(q).or_insert(0) += 1;
+        }
+        self.sa.begin_cycle();
+        // Wake consumes that were waiting for data, in FIFO order per
+        // queue, while array ports remain.
+        let queues: Vec<QueueId> = self
+            .waiting
+            .iter()
+            .filter(|(_, w)| !w.is_empty())
+            .map(|(q, _)| *q)
+            .collect();
+        for q in queues {
+            loop {
+                let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) else {
+                    break;
+                };
+                let Some(v) = self.sa.try_consume(q) else {
+                    break;
+                };
+                self.waiting.get_mut(&q).expect("queue known").pop_front();
+                let slot = self.check.consumed(q);
+                self.check.on_consume(q, slot, v);
+                self.acks_in_flight.push(now + self.transit, q);
+                self.completions.push(StreamCompletion {
+                    token: tok,
+                    value: Some(v),
+                    at: now + self.sa_latency,
+                });
+            }
+        }
+    }
+
+    fn try_produce(&mut self, core: CoreId, q: QueueId, value: u64, now: Cycle) -> StreamSubmit {
+        assert_eq!(core, self.producer, "{q} is produced by {}", self.producer);
+        // Occupancy counter check (queue-full): produced minus ACKed
+        // consumptions. ACKs take a transit delay back, so a longer
+        // interconnect shrinks the usable queue for codes that keep it
+        // full (§4.4's bzip2 effect; a deeper queue restores the slack).
+        let occ = self.injected.get(&q).copied().unwrap_or(0)
+            - self.acked.get(&q).copied().unwrap_or(0);
+        if occ >= self.depth {
+            return StreamSubmit::Blocked;
+        }
+        if self.sa.try_inject(q, value) {
+            *self.injected.entry(q).or_insert(0) += 1;
+            self.check.on_produce(q, value);
+            StreamSubmit::Done {
+                at: now + 1,
+                value: None,
+            }
+        } else {
+            StreamSubmit::Blocked
+        }
+    }
+
+    fn try_consume(&mut self, core: CoreId, q: QueueId, now: Cycle) -> StreamSubmit {
+        assert_eq!(core, self.consumer, "{q} is consumed by {}", self.consumer);
+        let no_earlier_waiter = self.waiting.get(&q).is_none_or(VecDeque::is_empty);
+        if no_earlier_waiter {
+            if let Some(v) = self.sa.try_consume(q) {
+                let slot = self.check.consumed(q);
+                self.check.on_consume(q, slot, v);
+                self.acks_in_flight.push(now + self.transit, q);
+                // Consume-to-use = the backing store's access latency:
+                // 1 cycle for the distributed store (the §4.4 HEAVYWT
+                // advantage), more for a centralized one (§3.5.2).
+                return StreamSubmit::Done {
+                    at: now + self.sa_latency,
+                    value: Some(v),
+                };
+            }
+        }
+        let tok = StreamToken(self.next_token);
+        self.next_token += 1;
+        self.waiting.entry(q).or_default().push_back(tok);
+        StreamSubmit::Pending(tok)
+    }
+
+    fn poll(&mut self, core: CoreId, _now: Cycle) -> Vec<StreamCompletion> {
+        if core != self.consumer {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_mem::MemConfig;
+
+    fn mem() -> MemSystem {
+        MemSystem::new(MemConfig::itanium2_cmp()).unwrap()
+    }
+
+    fn hw_backend(transit: u64, depth: u32) -> HeavyWtBackend {
+        HeavyWtBackend::new(
+            HeavyWtConfig {
+                queue_depth: depth,
+                transit,
+                sa_ops_per_cycle: 4,
+                sa_latency: 1,
+            },
+            CoreId(0),
+            CoreId(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heavywt_produce_then_consume_roundtrip() {
+        let mut b = hw_backend(1, 32);
+        let q = QueueId(0);
+        let now = Cycle::new(0);
+        match b.try_produce(CoreId(0), q, 0, now) {
+            StreamSubmit::Done { .. } => {}
+            other => panic!("expected immediate produce, got {other:?}"),
+        }
+        // Data needs one network cycle to reach the array.
+        b.process(Cycle::new(1));
+        match b.try_consume(CoreId(1), q, Cycle::new(1)) {
+            StreamSubmit::Done { value: Some(0), at } => assert_eq!(at, Cycle::new(2)),
+            other => panic!("expected consume hit, got {other:?}"),
+        }
+        assert!(b.check.finish().is_ok());
+    }
+
+    #[test]
+    fn heavywt_consume_before_data_pends_then_completes() {
+        let mut b = hw_backend(2, 32);
+        let q = QueueId(3);
+        let tok = match b.try_consume(CoreId(1), q, Cycle::new(0)) {
+            StreamSubmit::Pending(t) => t,
+            other => panic!("expected pending, got {other:?}"),
+        };
+        assert!(b.poll(CoreId(1), Cycle::new(0)).is_empty());
+        let _ = b.try_produce(CoreId(0), q, 0, Cycle::new(1));
+        // Two network cycles later the waiting consume completes.
+        b.process(Cycle::new(2));
+        b.process(Cycle::new(3));
+        let done = b.poll(CoreId(1), Cycle::new(3));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, tok);
+        assert_eq!(done[0].value, Some(0));
+    }
+
+    #[test]
+    fn heavywt_occupancy_blocks_until_ack_returns() {
+        let mut b = hw_backend(4, 4);
+        let q = QueueId(0);
+        let mut t = 0u64;
+        // Fill the queue (4 entries) plus whatever the network holds.
+        let mut sent = 0u64;
+        for _ in 0..200 {
+            b.process(Cycle::new(t));
+            while let StreamSubmit::Done { .. } = b.try_produce(CoreId(0), q, sent, Cycle::new(t))
+            {
+                sent += 1;
+            }
+            t += 1;
+            if sent >= 4 {
+                break;
+            }
+        }
+        assert_eq!(sent, 4, "occupancy counter must cap at the queue depth");
+        assert!(matches!(
+            b.try_produce(CoreId(0), q, sent, Cycle::new(t)),
+            StreamSubmit::Blocked
+        ));
+        // One consume; its completion sends the ACK, which takes
+        // `transit` cycles to free a producer credit.
+        let tok = match b.try_consume(CoreId(1), q, Cycle::new(t)) {
+            StreamSubmit::Pending(tk) => Some(tk),
+            StreamSubmit::Done { .. } => None,
+            StreamSubmit::Blocked => panic!("consume cannot block"),
+        };
+        let mut consumed_at = if tok.is_none() { Some(t) } else { None };
+        let mut unblocked_at = None;
+        for _ in 0..40 {
+            t += 1;
+            b.process(Cycle::new(t));
+            if consumed_at.is_none() && !b.poll(CoreId(1), Cycle::new(t)).is_empty() {
+                consumed_at = Some(t);
+            }
+            if consumed_at.is_some() {
+                if let StreamSubmit::Done { .. } =
+                    b.try_produce(CoreId(0), q, sent, Cycle::new(t))
+                {
+                    unblocked_at = Some(t);
+                    break;
+                }
+            }
+        }
+        let consumed = consumed_at.expect("consume must complete");
+        let unblocked = unblocked_at.expect("producer must eventually unblock");
+        assert!(
+            unblocked >= consumed + 4,
+            "credit must take >= transit cycles to return ({consumed} -> {unblocked})"
+        );
+    }
+
+    #[test]
+    fn syncopti_assigns_consecutive_stream_addresses() {
+        let design = DesignPoint::syncopti();
+        let mut b = match Backend::new(&design, &[QueueId(0)], CoreId(0), CoreId(1)).unwrap() {
+            Backend::SyncOpti(b) => b,
+            _ => unreachable!(),
+        };
+        let mut m = mem();
+        let now = Cycle::new(0);
+        for i in 0..3 {
+            match b.try_produce(&mut m, CoreId(0), QueueId(0), i, now) {
+                StreamSubmit::Done { .. } => {}
+                other => panic!("produce {i}: {other:?}"),
+            }
+        }
+        let s = &b.state[&QueueId(0)];
+        assert_eq!(s.prod_next, 3);
+        assert_eq!(s.waiting_produces.len(), 3);
+        // Slot addresses stride by line/QLU = 16 bytes.
+        assert_eq!(
+            s.info.slot_addr(1).as_u64() - s.info.slot_addr(0).as_u64(),
+            16
+        );
+    }
+
+    #[test]
+    fn syncopti_consume_waits_for_forward_watermark() {
+        let design = DesignPoint::syncopti();
+        let mut b = match Backend::new(&design, &[QueueId(0)], CoreId(0), CoreId(1)).unwrap() {
+            Backend::SyncOpti(b) => b,
+            _ => unreachable!(),
+        };
+        let mut m = mem();
+        let tok = match b.try_consume(&mut m, CoreId(1), QueueId(0), Cycle::new(0)) {
+            StreamSubmit::Pending(t) => t,
+            other => panic!("{other:?}"),
+        };
+        // Nothing produced, nothing forwarded: stays pending.
+        b.process(&mut m, &[], Cycle::new(1));
+        assert!(b.poll(CoreId(1), Cycle::new(1)).is_empty());
+        assert_eq!(b.location(tok), hfs_sim::stats::StallComponent::PreL2);
+    }
+
+    #[test]
+    fn queue_of_addr_maps_ranges() {
+        let queues = [QueueId(0), QueueId(2)];
+        let base = crate::lower::queue_base(QueueId(0));
+        assert_eq!(queue_of_addr(base, &queues), Some((QueueId(0), 0)));
+        assert_eq!(
+            queue_of_addr(base + 24, &queues),
+            Some((QueueId(0), 24))
+        );
+        // Queue 1 is not in the set.
+        let q1 = crate::lower::queue_base(QueueId(1));
+        assert_eq!(queue_of_addr(q1, &queues), None);
+        // Below the queue region entirely.
+        assert_eq!(queue_of_addr(hfs_isa::Addr::new(0x1000), &queues), None);
+    }
+}

@@ -1,0 +1,432 @@
+//! The design space of §3–§4: four streaming-support design points.
+
+use std::fmt;
+
+use hfs_sim::ConfigError;
+
+/// Software-queue parameters (EXISTING/MEMOPTI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareConfig {
+    /// Queue layout unit: slots per 128-byte cache line (Figure 5).
+    /// 8 co-locates eight 8-byte datum + 8-byte flag pairs per line
+    /// (dense, subject to false sharing); 1 pads each slot to a full
+    /// line (no false sharing, wasted cache). The paper evaluated both
+    /// and found QLU 8 uniformly better (§4.3).
+    pub qlu: u32,
+}
+
+impl Default for SoftwareConfig {
+    fn default() -> Self {
+        SoftwareConfig { qlu: 8 }
+    }
+}
+
+/// Register-mapped queue parameters (§3.1.3, iWarp/Raw style).
+///
+/// Communication rides existing instructions (a reserved register range
+/// addresses the queues), so produce/consume cost no issue slots or
+/// memory ports — but the split register space raises pressure, adding
+/// spill/fill code for loops with many live values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegMappedConfig {
+    /// Queue depth in entries.
+    pub queue_depth: u32,
+    /// Dedicated-interconnect transit in cycles.
+    pub transit: u64,
+    /// Backing-store operations per cycle.
+    pub sa_ops_per_cycle: u32,
+    /// Spill/fill pairs added per loop iteration by the reduced
+    /// architectural register space (0 = enough registers remain).
+    pub spill_ops: u32,
+}
+
+impl Default for RegMappedConfig {
+    fn default() -> Self {
+        RegMappedConfig {
+            queue_depth: 32,
+            transit: 1,
+            sa_ops_per_cycle: 4,
+            spill_ops: 0,
+        }
+    }
+}
+
+/// SYNCOPTI parameters (§4.2 and the §5 optimizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOptiConfig {
+    /// Queue depth in entries (32 baseline; 64 for the Q64 optimization).
+    pub queue_depth: u32,
+    /// Queue layout unit: entries per 128-byte cache line (8 baseline;
+    /// 16 for Q64's denser packing of 8-byte items).
+    pub qlu: u32,
+    /// Whether the 1 KB fully-associative stream cache is present (SC).
+    pub stream_cache: bool,
+}
+
+impl Default for SyncOptiConfig {
+    fn default() -> Self {
+        SyncOptiConfig {
+            queue_depth: 32,
+            qlu: 8,
+            stream_cache: false,
+        }
+    }
+}
+
+/// HEAVYWT parameters (§4.1): the synchronization-array design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavyWtConfig {
+    /// Queue depth in entries (32 baseline; 64 in Figure 6's third bar).
+    pub queue_depth: u32,
+    /// End-to-end latency of the dedicated pipelined interconnect in
+    /// cycles (1 baseline; 10 in Figure 6; 4 in Figure 10).
+    pub transit: u64,
+    /// Synchronization-array operations serviced per cycle (4 in §4.3).
+    pub sa_ops_per_cycle: u32,
+    /// Consume-to-use latency of the backing store in cycles: 1 for the
+    /// distributed store at the consumer core; larger for a centralized
+    /// store physically farther from the cores (§3.5.2).
+    pub sa_latency: u64,
+}
+
+impl Default for HeavyWtConfig {
+    fn default() -> Self {
+        HeavyWtConfig {
+            queue_depth: 32,
+            transit: 1,
+            sa_ops_per_cycle: 4,
+            sa_latency: 1,
+        }
+    }
+}
+
+/// One point in the streaming-support design space.
+///
+/// # Example
+///
+/// ```
+/// use hfs_core::DesignPoint;
+///
+/// let d = DesignPoint::syncopti_sc_q64();
+/// assert_eq!(d.label(), "SYNCOPTI+SC+Q64");
+/// assert_eq!(d.queue_depth(), 64);
+/// assert!(!d.is_software());
+/// assert!(d.write_forwards());
+/// assert!(d.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignPoint {
+    /// Conventional shared-memory software queues (baseline commercial
+    /// CMP).
+    Existing(SoftwareConfig),
+    /// Software queues plus L2 write-forwarding.
+    MemOpti(SoftwareConfig),
+    /// Produce/consume instructions with occupancy-counter
+    /// synchronization over the existing memory system.
+    SyncOpti(SyncOptiConfig),
+    /// Dedicated synchronization-array backing store and interconnect.
+    HeavyWt(HeavyWtConfig),
+    /// Register-mapped queues over dedicated hardware (§3.1.3).
+    RegMapped(RegMappedConfig),
+}
+
+impl DesignPoint {
+    /// The EXISTING baseline (QLU 8).
+    pub fn existing() -> Self {
+        DesignPoint::Existing(SoftwareConfig::default())
+    }
+
+    /// EXISTING with an explicit queue layout unit (Figure 5 sweep).
+    pub fn existing_with_qlu(qlu: u32) -> Self {
+        DesignPoint::Existing(SoftwareConfig { qlu })
+    }
+
+    /// The MEMOPTI write-forwarding variant (QLU 8).
+    pub fn memopti() -> Self {
+        DesignPoint::MemOpti(SoftwareConfig::default())
+    }
+
+    /// MEMOPTI with an explicit queue layout unit.
+    pub fn memopti_with_qlu(qlu: u32) -> Self {
+        DesignPoint::MemOpti(SoftwareConfig { qlu })
+    }
+
+    /// Register-mapped queues with a given spill/fill burden.
+    pub fn regmapped(spill_ops: u32) -> Self {
+        DesignPoint::RegMapped(RegMappedConfig {
+            spill_ops,
+            ..RegMappedConfig::default()
+        })
+    }
+
+    /// HEAVYWT with a *centralized* dedicated store: same hardware, but
+    /// the single shared structure sits farther from the cores, raising
+    /// the consume-to-use latency (§3.5.2).
+    pub fn heavywt_centralized(sa_latency: u64) -> Self {
+        DesignPoint::HeavyWt(HeavyWtConfig {
+            sa_latency,
+            ..HeavyWtConfig::default()
+        })
+    }
+
+    /// Baseline SYNCOPTI (32-entry queues, QLU 8, no stream cache).
+    pub fn syncopti() -> Self {
+        DesignPoint::SyncOpti(SyncOptiConfig::default())
+    }
+
+    /// SYNCOPTI with 64-entry queues and QLU 16 (the Q64 optimization).
+    pub fn syncopti_q64() -> Self {
+        DesignPoint::SyncOpti(SyncOptiConfig {
+            queue_depth: 64,
+            qlu: 16,
+            ..SyncOptiConfig::default()
+        })
+    }
+
+    /// SYNCOPTI with the 1 KB stream cache (SC).
+    pub fn syncopti_sc() -> Self {
+        DesignPoint::SyncOpti(SyncOptiConfig {
+            stream_cache: true,
+            ..SyncOptiConfig::default()
+        })
+    }
+
+    /// SYNCOPTI with both optimizations (SC+Q64) — the paper's proposed
+    /// design, within 2% of HEAVYWT.
+    pub fn syncopti_sc_q64() -> Self {
+        DesignPoint::SyncOpti(SyncOptiConfig {
+            queue_depth: 64,
+            qlu: 16,
+            stream_cache: true,
+            ..SyncOptiConfig::default()
+        })
+    }
+
+    /// Baseline HEAVYWT (1-cycle dedicated interconnect, 32 entries).
+    pub fn heavywt() -> Self {
+        DesignPoint::HeavyWt(HeavyWtConfig::default())
+    }
+
+    /// HEAVYWT with a given interconnect transit delay (Figure 6).
+    pub fn heavywt_with_transit(transit: u64) -> Self {
+        DesignPoint::HeavyWt(HeavyWtConfig {
+            transit,
+            ..HeavyWtConfig::default()
+        })
+    }
+
+    /// HEAVYWT with a given transit delay and queue depth (Figure 6's
+    /// rightmost bars use 10 cycles / 64 entries).
+    pub fn heavywt_with(transit: u64, queue_depth: u32) -> Self {
+        DesignPoint::HeavyWt(HeavyWtConfig {
+            transit,
+            queue_depth,
+            ..HeavyWtConfig::default()
+        })
+    }
+
+    /// Queue depth in entries for this design.
+    pub fn queue_depth(&self) -> u32 {
+        match self {
+            DesignPoint::Existing(_) | DesignPoint::MemOpti(_) => 32,
+            DesignPoint::SyncOpti(c) => c.queue_depth,
+            DesignPoint::HeavyWt(c) => c.queue_depth,
+            DesignPoint::RegMapped(c) => c.queue_depth,
+        }
+    }
+
+    /// Whether communication lowers to software spin sequences (shared
+    /// memory queues) rather than produce/consume instructions.
+    pub fn is_software(&self) -> bool {
+        matches!(self, DesignPoint::Existing(_) | DesignPoint::MemOpti(_))
+    }
+
+    /// Whether produce/consume ride existing instructions for free
+    /// (register-mapped queues).
+    pub fn is_register_mapped(&self) -> bool {
+        matches!(self, DesignPoint::RegMapped(_))
+    }
+
+    /// Whether the design write-forwards filled streaming lines.
+    pub fn write_forwards(&self) -> bool {
+        matches!(self, DesignPoint::MemOpti(_) | DesignPoint::SyncOpti(_))
+    }
+
+    /// Spill/fill pairs the design's register pressure adds per loop
+    /// iteration (non-zero only for register-mapped queues).
+    pub fn spill_ops(&self) -> u32 {
+        match self {
+            DesignPoint::RegMapped(c) => c.spill_ops,
+            _ => 0,
+        }
+    }
+
+    /// Short display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            DesignPoint::Existing(c) if c.qlu == 8 => "EXISTING".to_string(),
+            DesignPoint::Existing(c) => format!("EXISTING(QLU{})", c.qlu),
+            DesignPoint::MemOpti(c) if c.qlu == 8 => "MEMOPTI".to_string(),
+            DesignPoint::MemOpti(c) => format!("MEMOPTI(QLU{})", c.qlu),
+            DesignPoint::RegMapped(c) if c.spill_ops == 0 => "REGMAPPED".to_string(),
+            DesignPoint::RegMapped(c) => format!("REGMAPPED(spill{})", c.spill_ops),
+            DesignPoint::SyncOpti(c) => {
+                let mut s = "SYNCOPTI".to_string();
+                if c.stream_cache {
+                    s.push_str("+SC");
+                }
+                if c.queue_depth != 32 {
+                    s.push_str(&format!("+Q{}", c.queue_depth));
+                }
+                s
+            }
+            DesignPoint::HeavyWt(c) => {
+                if c.transit == 1 && c.queue_depth == 32 && c.sa_latency == 1 {
+                    "HEAVYWT".to_string()
+                } else if c.sa_latency != 1 {
+                    format!("HEAVYWT(central,l={})", c.sa_latency)
+                } else {
+                    format!("HEAVYWT(t={},d={})", c.transit, c.queue_depth)
+                }
+            }
+        }
+    }
+
+    /// Validates the design parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero depths, QLUs that do not divide the queue depth or
+    /// exceed a 128-byte line of 8-byte entries, and zero-rate hardware.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            DesignPoint::Existing(c) | DesignPoint::MemOpti(c) => {
+                if ![1, 2, 4, 8].contains(&c.qlu) {
+                    return Err(ConfigError::new(
+                        "software QLU must be 1, 2, 4 or 8 (16-byte data+flag slots                          on 128-byte lines)",
+                    ));
+                }
+                Ok(())
+            }
+            DesignPoint::SyncOpti(c) => {
+                if c.queue_depth == 0 {
+                    return Err(ConfigError::new("queue depth must be non-zero"));
+                }
+                if c.qlu == 0 || c.qlu > 16 {
+                    return Err(ConfigError::new(
+                        "QLU must be between 1 and 16 (8-byte entries on 128-byte lines)",
+                    ));
+                }
+                if c.queue_depth % c.qlu != 0 {
+                    return Err(ConfigError::new("QLU must divide the queue depth"));
+                }
+                Ok(())
+            }
+            DesignPoint::HeavyWt(c) => {
+                if c.queue_depth == 0 {
+                    return Err(ConfigError::new("queue depth must be non-zero"));
+                }
+                if c.transit == 0 {
+                    return Err(ConfigError::new("transit delay must be at least 1 cycle"));
+                }
+                if c.sa_ops_per_cycle == 0 {
+                    return Err(ConfigError::new(
+                        "the synchronization array needs at least one port",
+                    ));
+                }
+                if c.sa_latency == 0 {
+                    return Err(ConfigError::new(
+                        "the backing store needs at least 1 cycle of access latency",
+                    ));
+                }
+                Ok(())
+            }
+            DesignPoint::RegMapped(c) => {
+                if c.queue_depth == 0 || c.transit == 0 || c.sa_ops_per_cycle == 0 {
+                    return Err(ConfigError::new(
+                        "register-mapped queue hardware dimensions must be non-zero",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DesignPoint::existing().label(), "EXISTING");
+        assert_eq!(DesignPoint::memopti().label(), "MEMOPTI");
+        assert_eq!(DesignPoint::syncopti().label(), "SYNCOPTI");
+        assert_eq!(DesignPoint::syncopti_sc().label(), "SYNCOPTI+SC");
+        assert_eq!(DesignPoint::syncopti_q64().label(), "SYNCOPTI+Q64");
+        assert_eq!(DesignPoint::syncopti_sc_q64().label(), "SYNCOPTI+SC+Q64");
+        assert_eq!(DesignPoint::heavywt().label(), "HEAVYWT");
+        assert_eq!(
+            DesignPoint::heavywt_with(10, 64).label(),
+            "HEAVYWT(t=10,d=64)"
+        );
+    }
+
+    #[test]
+    fn defaults_validate() {
+        for d in [
+            DesignPoint::existing(),
+            DesignPoint::memopti(),
+            DesignPoint::syncopti(),
+            DesignPoint::syncopti_sc_q64(),
+            DesignPoint::heavywt(),
+            DesignPoint::heavywt_with_transit(10),
+        ] {
+            assert!(d.validate().is_ok(), "{d} should validate");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let d = DesignPoint::SyncOpti(SyncOptiConfig {
+            qlu: 3,
+            ..Default::default()
+        });
+        assert!(d.validate().is_err(), "qlu 3 does not divide 32");
+        let d = DesignPoint::SyncOpti(SyncOptiConfig {
+            qlu: 0,
+            ..Default::default()
+        });
+        assert!(d.validate().is_err());
+        let d = DesignPoint::HeavyWt(HeavyWtConfig {
+            transit: 0,
+            ..Default::default()
+        });
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(DesignPoint::existing().is_software());
+        assert!(DesignPoint::memopti().is_software());
+        assert!(!DesignPoint::syncopti().is_software());
+        assert!(!DesignPoint::heavywt().is_software());
+        assert!(!DesignPoint::existing().write_forwards());
+        assert!(DesignPoint::memopti().write_forwards());
+        assert!(DesignPoint::syncopti().write_forwards());
+        assert!(!DesignPoint::heavywt().write_forwards());
+    }
+
+    #[test]
+    fn queue_depths() {
+        assert_eq!(DesignPoint::existing().queue_depth(), 32);
+        assert_eq!(DesignPoint::syncopti_q64().queue_depth(), 64);
+        assert_eq!(DesignPoint::heavywt_with(10, 64).queue_depth(), 64);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for streaming hardware components and the
+//! analytic model.
+
+use hfs_core::analytic::{steady_throughput, AnalyticParams};
+use hfs_core::{StreamCache, SyncArray, SyncArrayConfig};
+use hfs_isa::QueueId;
+use proptest::prelude::*;
+
+proptest! {
+    /// The synchronization array conserves and orders items: everything
+    /// injected comes out exactly once, in FIFO order per queue.
+    #[test]
+    fn sync_array_conserves_fifo(
+        items in prop::collection::vec(0u16..3, 1..120),
+        transit in 1u64..12,
+    ) {
+        let mut sa = SyncArray::new(SyncArrayConfig::paper(transit, 32)).unwrap();
+        let mut sent: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut got: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        let mut pending: std::collections::VecDeque<(QueueId, u64)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (QueueId(q), i as u64))
+            .collect();
+        for _cycle in 0..10_000 {
+            sa.begin_cycle();
+            // Drain whatever is available.
+            for q in 0..3u16 {
+                while let Some(v) = sa.try_consume(QueueId(q)) {
+                    got[q as usize].push(v);
+                }
+            }
+            // Inject as the network allows.
+            while let Some(&(q, v)) = pending.front() {
+                if sa.try_inject(q, v) {
+                    sent[q.index()].push(v);
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if pending.is_empty() && sa.is_empty() {
+                break;
+            }
+        }
+        prop_assert!(pending.is_empty() && sa.is_empty(), "items stuck in the array");
+        prop_assert_eq!(got, sent);
+    }
+
+    /// The stream cache never yields a value it was not filled with, and
+    /// every hit invalidates.
+    #[test]
+    fn stream_cache_exact_once(slots in prop::collection::vec(0u64..200, 1..80)) {
+        let mut sc = StreamCache::with_capacity_bytes(256); // 32 entries
+        let mut resident = std::collections::HashMap::new();
+        for &s in &slots {
+            if sc.fill(QueueId(0), s, s * 3) {
+                resident.insert(s, s * 3);
+            }
+            prop_assert!(sc.len() <= sc.capacity());
+        }
+        for (&s, &v) in &resident {
+            prop_assert_eq!(sc.take(QueueId(0), s), Some(v));
+            prop_assert_eq!(sc.take(QueueId(0), s), None, "hit must invalidate");
+        }
+    }
+
+    /// Analytic model: more buffers never reduce throughput, and
+    /// throughput never exceeds the COMM-OP bound.
+    #[test]
+    fn analytic_monotone_in_buffers(
+        comm in 2u64..40,
+        transit in 1u64..30,
+        b1 in 1u32..6,
+        extra in 1u32..6,
+    ) {
+        let t = |buffers| steady_throughput(AnalyticParams {
+            comm_a: comm,
+            comm_b: comm,
+            transit,
+            buffers,
+            compute: 0,
+        });
+        let low = t(b1);
+        let high = t(b1 + extra);
+        prop_assert!(high >= low * 0.999, "buffers {b1}->{} reduced throughput", b1 + extra);
+        // Allow for the +/-1 iteration quantization at the window edges.
+        prop_assert!(high <= (1.0 / comm as f64) * 1.001 + 1e-4, "throughput beats COMM-OP bound");
+    }
+}

@@ -1,0 +1,844 @@
+//! The private L2 controller with its ordered transaction queue (OzQ).
+//!
+//! The Itanium 2's L2 controller holds outstanding transactions in an
+//! ordered queue whose entries double as MSHRs (the paper's footnote 1).
+//! Operations that cannot complete *recirculate*: they re-arbitrate for an
+//! L2 port every few cycles, consuming port bandwidth — the behavior that
+//! explains why MEMOPTI can lose to EXISTING (§4.4). Gated streaming
+//! operations (SYNCOPTI produce/consume) instead wait *dormant* in their
+//! slot, consuming no ports, until the occupancy logic releases them.
+
+use std::collections::HashMap;
+
+use hfs_isa::{Addr, CoreId};
+use hfs_sim::{ConfigError, Cycle};
+
+use crate::cache::{CacheArray, CacheGeometry, LineState};
+use crate::msg::OpLocation;
+
+/// What an OzQ entry is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Gated: waiting for a streaming-synchronization release.
+    Dormant,
+    /// Waiting to win an L2 port at or after `retry_at`.
+    WaitPort { retry_at: Cycle },
+    /// Accessing the L2 pipe; resolves at `done_at`.
+    InPipe { done_at: Cycle },
+    /// Waiting for a line fill / ownership grant for `line`.
+    WaitLine { line: u64 },
+    /// A forward entry waiting for its bus data transfer to finish.
+    ForwardInFlight,
+    /// Completed; slot reclaimed at end of tick.
+    Done,
+}
+
+/// The kind of work an entry carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EntryKind {
+    /// A demand load.
+    Load,
+    /// A store carrying its value. A `release` store may not begin its
+    /// L2 access until every earlier memory operation from this core has
+    /// performed (Itanium `st.rel` semantics).
+    Store { value: u64, release: bool },
+    /// A write-forward push of a full streaming line to another core.
+    Forward { to: CoreId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OzqEntry {
+    id: u64,
+    addr: Addr,
+    kind: EntryKind,
+    background: bool,
+    state: EntryState,
+}
+
+/// Where an outstanding line request currently is (updated by the system
+/// as bus/L3/DRAM stages progress); used for stall attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LineStage {
+    /// Needs (re-)issuing to the bus at or after the given cycle.
+    WantIssue { retry_at: Cycle, exclusive: bool },
+    /// Address phase issued / in flight on the bus.
+    OnBus,
+    /// Being serviced by the L3.
+    InL3,
+    /// Being serviced by DRAM.
+    InDram,
+    /// Data transfer on its way back.
+    Incoming,
+}
+
+/// Actions the L2 asks the system to carry out this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum L2Outcome {
+    /// A load hit; sample the functional value and schedule completion.
+    LoadHit {
+        /// Entry id.
+        id: u64,
+        /// Load address.
+        addr: Addr,
+        /// Background flag.
+        background: bool,
+    },
+    /// A store performed (line held in Modified).
+    StorePerform {
+        /// Entry id.
+        id: u64,
+        /// Store address.
+        addr: Addr,
+        /// Value to write to functional memory.
+        value: u64,
+        /// Background flag.
+        background: bool,
+    },
+    /// Issue a bus request for a line.
+    NeedLine {
+        /// Line number.
+        line: u64,
+        /// True for RdX/Upgr (ownership), false for Rd.
+        exclusive: bool,
+        /// True when we hold the line Shared (upgrade suffices).
+        have_shared: bool,
+    },
+    /// A forward entry read its line and wants the bus data channel.
+    ForwardReady {
+        /// Entry id.
+        id: u64,
+        /// Line to push.
+        line: u64,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// A forward entry found its line gone; it is abandoned.
+    ForwardAbort {
+        /// Entry id.
+        id: u64,
+    },
+}
+
+/// A line evicted by a fill, to be handled by the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct L2Victim {
+    pub line: u64,
+    pub dirty: bool,
+}
+
+/// An operation satisfied at fill time (MSHR refill semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ResolvedWaiter {
+    pub id: u64,
+    pub addr: Addr,
+    pub kind: EntryKind,
+    pub background: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct L2Ctl {
+    #[allow(dead_code)] // identity kept for diagnostics
+    core: CoreId,
+    array: CacheArray,
+    line_bytes: u64,
+    latency_min: u64,
+    ports: u32,
+    capacity: u32,
+    recirc: u64,
+    entries: Vec<OzqEntry>,
+    next_id: u64,
+    pending_lines: HashMap<u64, LineStage>,
+    // Statistics.
+    pipe_accesses: u64,
+    port_conflicts: u64,
+}
+
+impl L2Ctl {
+    pub(crate) fn new(
+        core: CoreId,
+        geom: CacheGeometry,
+        latency_min: u64,
+        ports: u32,
+        capacity: u32,
+        recirc: u64,
+    ) -> Result<Self, ConfigError> {
+        Ok(L2Ctl {
+            core,
+            line_bytes: geom.line_bytes,
+            array: CacheArray::new(geom)?,
+            latency_min,
+            ports,
+            capacity,
+            recirc,
+            entries: Vec::new(),
+            next_id: 0,
+            pending_lines: HashMap::new(),
+            pipe_accesses: 0,
+            port_conflicts: 0,
+        })
+    }
+
+    pub(crate) fn line_of(&self, addr: Addr) -> u64 {
+        addr.line(self.line_bytes)
+    }
+
+    /// Free OzQ slots.
+    pub(crate) fn free_slots(&self) -> u32 {
+        self.capacity - self.entries.len() as u32
+    }
+
+    /// Entries currently in flight (for fence draining).
+    pub(crate) fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Outstanding store entries (release-fence draining: `st.rel`
+    /// orders stores without waiting for in-flight loads).
+    pub(crate) fn pending_stores(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.kind, EntryKind::Store { .. }))
+            .count()
+    }
+
+    /// Allocates an entry. Caller must have checked [`L2Ctl::free_slots`].
+    pub(crate) fn allocate(
+        &mut self,
+        addr: Addr,
+        kind: EntryKind,
+        background: bool,
+        gated: bool,
+        now: Cycle,
+    ) -> u64 {
+        debug_assert!(self.free_slots() > 0, "OzQ overflow");
+        let id = self.next_id;
+        self.next_id += 1;
+        let state = if gated {
+            EntryState::Dormant
+        } else {
+            EntryState::WaitPort { retry_at: now }
+        };
+        self.entries.push(OzqEntry {
+            id,
+            addr,
+            kind,
+            background,
+            state,
+        });
+        id
+    }
+
+    /// Releases a gated (dormant) entry so it arbitrates for a port.
+    /// Returns false if the entry no longer exists.
+    pub(crate) fn release(&mut self, id: u64, now: Cycle) -> bool {
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) if e.state == EntryState::Dormant => {
+                e.state = EntryState::WaitPort { retry_at: now };
+                true
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Stall-attribution location of entry `id`.
+    pub(crate) fn location(&self, id: u64) -> Option<OpLocation> {
+        let e = self.entries.iter().find(|e| e.id == id)?;
+        Some(match e.state {
+            EntryState::Dormant => OpLocation::Dormant,
+            EntryState::WaitPort { .. } => OpLocation::WaitPort,
+            EntryState::InPipe { .. } => OpLocation::InL2,
+            EntryState::ForwardInFlight => OpLocation::OnBus,
+            EntryState::Done => OpLocation::Filling,
+            EntryState::WaitLine { line } => match self.pending_lines.get(&line) {
+                Some(LineStage::WantIssue { .. }) | Some(LineStage::OnBus) => OpLocation::OnBus,
+                Some(LineStage::InL3) => OpLocation::InL3,
+                Some(LineStage::InDram) => OpLocation::InDram,
+                Some(LineStage::Incoming) => OpLocation::OnBus,
+                None => OpLocation::WaitPort,
+            },
+        })
+    }
+
+    /// Advances one cycle: grants ports, resolves pipe accesses, and
+    /// re-issues NACKed line requests. Returns outcomes for the system.
+    pub(crate) fn tick(&mut self, now: Cycle) -> Vec<L2Outcome> {
+        let mut out = Vec::new();
+
+        // 1. Resolve pipe accesses that finish this cycle.
+        for i in 0..self.entries.len() {
+            let (id, addr, kind, background, state) = {
+                let e = &self.entries[i];
+                (e.id, e.addr, e.kind, e.background, e.state)
+            };
+            if let EntryState::InPipe { done_at } = state {
+                if done_at > now {
+                    continue;
+                }
+                let line = self.line_of(addr);
+                let present = self.array.access(line);
+                match kind {
+                    EntryKind::Forward { to } => match present {
+                        Some(LineState::Modified) => {
+                            self.entries[i].state = EntryState::ForwardInFlight;
+                            out.push(L2Outcome::ForwardReady { id, line, to });
+                        }
+                        _ => {
+                            self.entries[i].state = EntryState::Done;
+                            out.push(L2Outcome::ForwardAbort { id });
+                        }
+                    },
+                    EntryKind::Load => match present {
+                        Some(_) => {
+                            self.entries[i].state = EntryState::Done;
+                            out.push(L2Outcome::LoadHit {
+                                id,
+                                addr,
+                                background,
+                            });
+                        }
+                        None => {
+                            self.entries[i].state = EntryState::WaitLine { line };
+                            self.want_line(line, false, false, now, &mut out);
+                        }
+                    },
+                    EntryKind::Store { value, .. } => match present {
+                        Some(LineState::Modified) => {
+                            self.entries[i].state = EntryState::Done;
+                            out.push(L2Outcome::StorePerform {
+                                id,
+                                addr,
+                                value,
+                                background,
+                            });
+                        }
+                        Some(LineState::Shared) => {
+                            self.entries[i].state = EntryState::WaitLine { line };
+                            self.want_line(line, true, true, now, &mut out);
+                        }
+                        None => {
+                            self.entries[i].state = EntryState::WaitLine { line };
+                            self.want_line(line, true, false, now, &mut out);
+                        }
+                    },
+                }
+            }
+        }
+
+        // 2. Grant up to `ports` pipe starts to waiting entries in order.
+        // A release store is held back (without consuming ports) until it
+        // is the oldest memory operation remaining from this core.
+        let mut granted = 0u32;
+        for i in 0..self.entries.len() {
+            let state = self.entries[i].state;
+            let EntryState::WaitPort { retry_at } = state else {
+                continue;
+            };
+            if retry_at > now {
+                continue;
+            }
+            if matches!(
+                self.entries[i].kind,
+                EntryKind::Store { release: true, .. }
+            ) && self.entries[..i]
+                .iter()
+                .any(|p| !matches!(p.kind, EntryKind::Forward { .. }))
+            {
+                continue; // ordered behind earlier accesses
+            }
+            if granted >= self.ports {
+                // Beaten in arbitration: recirculate after the interval.
+                self.port_conflicts += 1;
+                self.entries[i].state = EntryState::WaitPort {
+                    retry_at: now + self.recirc,
+                };
+                continue;
+            }
+            let line = self.entries[i].addr.line(self.line_bytes);
+            let lat = self.latency_min + 2 * (line % 3);
+            self.entries[i].state = EntryState::InPipe { done_at: now + lat };
+            self.pipe_accesses += 1;
+            granted += 1;
+        }
+
+        // 3. Re-issue line requests whose NACK backoff expired.
+        let mut reissue = Vec::new();
+        for (&line, stage) in &self.pending_lines {
+            if let LineStage::WantIssue { retry_at, exclusive } = *stage {
+                if retry_at <= now {
+                    reissue.push((line, exclusive));
+                }
+            }
+        }
+        for (line, exclusive) in reissue {
+            let have_shared = self.array.probe(line) == Some(LineState::Shared);
+            self.pending_lines.insert(line, LineStage::OnBus);
+            out.push(L2Outcome::NeedLine {
+                line,
+                exclusive,
+                have_shared,
+            });
+        }
+
+        // 4. Reclaim finished slots.
+        self.entries.retain(|e| e.state != EntryState::Done);
+        out
+    }
+
+    fn want_line(
+        &mut self,
+        line: u64,
+        exclusive: bool,
+        have_shared: bool,
+        _now: Cycle,
+        out: &mut Vec<L2Outcome>,
+    ) {
+        use std::collections::hash_map::Entry;
+        match self.pending_lines.entry(line) {
+            Entry::Occupied(mut o) => {
+                // Escalate a pending shared request to exclusive if a
+                // store arrived behind a load (handled at refetch: the
+                // store will re-discover state). Keep the stronger need.
+                if exclusive {
+                    if let LineStage::WantIssue {
+                        exclusive: ex @ false,
+                        ..
+                    } = o.get_mut()
+                    {
+                        *ex = true;
+                    }
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(LineStage::OnBus);
+                out.push(L2Outcome::NeedLine {
+                    line,
+                    exclusive,
+                    have_shared,
+                });
+            }
+        }
+    }
+
+    /// The bus NACKed our request for `line` (another transaction on the
+    /// line is in flight); back off and retry.
+    pub(crate) fn nack_line(&mut self, line: u64, retry_at: Cycle, exclusive: bool) {
+        self.pending_lines.insert(
+            line,
+            LineStage::WantIssue {
+                retry_at,
+                exclusive,
+            },
+        );
+    }
+
+    /// Progress notifications from the system for stall attribution.
+    pub(crate) fn line_stage(&mut self, line: u64, stage: LineStage) {
+        if self.pending_lines.contains_key(&line) {
+            self.pending_lines.insert(line, stage);
+        }
+    }
+
+    /// Installs a filled line. Returns the victim, if the fill evicted
+    /// one. Waiting entries are *not* woken here — call
+    /// [`L2Ctl::drain_line_waiters`] right after, so the fill satisfies
+    /// them atomically (MSHR semantics) before another core's snoop can
+    /// steal the line back; without this, two cores ping-ponging a line
+    /// can livelock, each stealing it before the other's waiting access
+    /// finishes its pipe pass.
+    pub(crate) fn fill(
+        &mut self,
+        line: u64,
+        state: LineState,
+        _now: Cycle,
+    ) -> Option<L2Victim> {
+        self.pending_lines.remove(&line);
+        self.array.install(line, state).map(|v| L2Victim {
+            line: v.line,
+            dirty: v.state == LineState::Modified,
+        })
+    }
+
+    /// Resolves entries waiting on `line` after a fill or upgrade grant:
+    /// loads always complete; stores complete only when the line is held
+    /// Modified (otherwise they re-arbitrate to request an upgrade).
+    /// Returns the resolved operations in OzQ (program) order.
+    pub(crate) fn drain_line_waiters(&mut self, line: u64, now: Cycle) -> Vec<ResolvedWaiter> {
+        let modified = self.array.probe(line) == Some(LineState::Modified);
+        let mut out = Vec::new();
+        for e in &mut self.entries {
+            if e.state != (EntryState::WaitLine { line }) {
+                continue;
+            }
+            let resolve = match e.kind {
+                EntryKind::Load => true,
+                EntryKind::Store { .. } => modified,
+                EntryKind::Forward { .. } => false,
+            };
+            if resolve {
+                e.state = EntryState::Done;
+                out.push(ResolvedWaiter {
+                    id: e.id,
+                    addr: e.addr,
+                    kind: e.kind,
+                    background: e.background,
+                });
+            } else {
+                // Re-arbitrate (e.g. a store that only got a Shared copy
+                // and must upgrade).
+                e.state = EntryState::WaitPort { retry_at: now };
+            }
+        }
+        self.entries.retain(|e| e.state != EntryState::Done);
+        out
+    }
+
+    /// Snoop for a read: if we own the line Modified we must supply it and
+    /// downgrade to Shared. Returns true when we supply.
+    pub(crate) fn snoop_rd(&mut self, line: u64) -> bool {
+        match self.array.probe(line) {
+            Some(LineState::Modified) => {
+                self.array.set_state(line, LineState::Shared);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Snoop for an exclusive read / upgrade: invalidate our copy.
+    /// Returns `(had_line, had_modified)`.
+    pub(crate) fn snoop_inv(&mut self, line: u64) -> (bool, bool) {
+        match self.array.invalidate(line) {
+            Some(LineState::Modified) => (true, true),
+            Some(LineState::Shared) => (true, false),
+            None => (false, false),
+        }
+    }
+
+    /// A forward data transfer finished: drop the line here (ownership
+    /// moved to the destination) and complete the forward entry.
+    pub(crate) fn forward_complete(&mut self, id: u64, line: u64) {
+        self.array.invalidate(line);
+        self.entries.retain(|e| e.id != id);
+    }
+
+    /// Direct state lookup (no LRU effect), for the system's decisions.
+    pub(crate) fn probe(&self, line: u64) -> Option<LineState> {
+        self.array.probe(line)
+    }
+
+    /// Promotes a resident Shared line to Modified after an upgrade
+    /// grant. Call [`L2Ctl::drain_line_waiters`] afterwards to resolve the
+    /// waiting stores atomically.
+    pub(crate) fn grant_upgrade(&mut self, line: u64, _now: Cycle) {
+        self.pending_lines.remove(&line);
+        self.array.set_state(line, LineState::Modified);
+    }
+
+    /// Whether a line request is pending (issued or awaiting reissue).
+    #[cfg(test)]
+    pub(crate) fn line_pending(&self, line: u64) -> bool {
+        self.pending_lines.contains_key(&line)
+    }
+
+
+    /// Renders entry states for deadlock diagnostics.
+    pub(crate) fn debug_entries(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&format!(
+                "[id={} addr={:#x} kind={:?} state={:?}] ",
+                e.id,
+                e.addr.as_u64(),
+                e.kind,
+                e.state
+            ));
+        }
+        s.push_str(&format!("pending_lines={:?}", self.pending_lines));
+        s
+    }
+
+    /// Total pipe accesses granted (port bandwidth consumed).
+    pub(crate) fn pipe_accesses(&self) -> u64 {
+        self.pipe_accesses
+    }
+
+    /// Times an entry lost port arbitration and recirculated.
+    pub(crate) fn port_conflicts(&self) -> u64 {
+        self.port_conflicts
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> L2Ctl {
+        L2Ctl::new(
+            CoreId(0),
+            CacheGeometry::new(256 * 1024, 8, 128),
+            5,
+            2,
+            16,
+            4,
+        )
+        .unwrap()
+    }
+
+    fn drive(c: &mut L2Ctl, from: u64, to: u64) -> Vec<(u64, L2Outcome)> {
+        let mut out = Vec::new();
+        for t in from..to {
+            for o in c.tick(Cycle::new(t)) {
+                out.push((t, o));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn load_miss_requests_line_then_hits_after_fill() {
+        let mut c = l2();
+        let addr = Addr::new(0x1000);
+        let line = c.line_of(addr);
+        c.allocate(addr, EntryKind::Load, false, false, Cycle::new(0));
+        let out = drive(&mut c, 0, 12);
+        assert!(out.iter().any(|(_, o)| matches!(
+            o,
+            L2Outcome::NeedLine {
+                exclusive: false,
+                ..
+            }
+        )));
+        assert!(c.line_pending(line));
+        // Fill arrives; MSHR semantics satisfy the waiting load at once.
+        assert!(c.fill(line, LineState::Shared, Cycle::new(20)).is_none());
+        assert!(!c.line_pending(line));
+        let waiters = c.drain_line_waiters(line, Cycle::new(20));
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters[0].kind, EntryKind::Load);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn store_to_shared_needs_upgrade() {
+        let mut c = l2();
+        let addr = Addr::new(0x2000);
+        let line = c.line_of(addr);
+        c.fill(line, LineState::Shared, Cycle::new(0));
+        c.allocate(
+            addr,
+            EntryKind::Store { value: 7, release: false },
+            false,
+            false,
+            Cycle::new(0),
+        );
+        let out = drive(&mut c, 0, 12);
+        assert!(out.iter().any(|(_, o)| matches!(
+            o,
+            L2Outcome::NeedLine {
+                exclusive: true,
+                have_shared: true,
+                ..
+            }
+        )));
+        c.grant_upgrade(line, Cycle::new(15));
+        let waiters = c.drain_line_waiters(line, Cycle::new(15));
+        assert_eq!(waiters.len(), 1);
+        assert!(matches!(waiters[0].kind, EntryKind::Store { value: 7, .. }));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn store_hit_modified_performs_in_bank_latency() {
+        let mut c = l2();
+        let addr = Addr::new(0x3000);
+        let line = c.line_of(addr);
+        c.fill(line, LineState::Modified, Cycle::new(0));
+        c.allocate(
+            addr,
+            EntryKind::Store { value: 1, release: false },
+            false,
+            false,
+            Cycle::new(0),
+        );
+        let out = drive(&mut c, 0, 12);
+        let (t, _) = out
+            .iter()
+            .find(|(_, o)| matches!(o, L2Outcome::StorePerform { .. }))
+            .expect("store performed");
+        // Bank latency is 5/7/9.
+        assert!(*t >= 5 && *t <= 9, "perform at {t}");
+    }
+
+    #[test]
+    fn ports_limit_pipe_starts() {
+        let mut c = l2();
+        let line = c.line_of(Addr::new(0));
+        c.fill(line, LineState::Shared, Cycle::new(0));
+        // Four loads to the same (present) line; only 2 ports.
+        for _ in 0..4 {
+            c.allocate(Addr::new(0), EntryKind::Load, false, false, Cycle::new(0));
+        }
+        c.tick(Cycle::new(0));
+        assert_eq!(c.pipe_accesses(), 2);
+        assert_eq!(c.port_conflicts(), 2);
+    }
+
+    #[test]
+    fn mshr_merges_requests_to_same_line() {
+        let mut c = l2();
+        for i in 0..2 {
+            c.allocate(
+                Addr::new(0x4000 + i * 8),
+                EntryKind::Load,
+                false,
+                false,
+                Cycle::new(0),
+            );
+        }
+        let out = drive(&mut c, 0, 12);
+        let needs = out
+            .iter()
+            .filter(|(_, o)| matches!(o, L2Outcome::NeedLine { .. }))
+            .count();
+        assert_eq!(needs, 1, "one bus request per line");
+        // Fill satisfies both merged loads.
+        let line = c.line_of(Addr::new(0x4000));
+        c.fill(line, LineState::Shared, Cycle::new(20));
+        let waiters = c.drain_line_waiters(line, Cycle::new(20));
+        assert_eq!(waiters.len(), 2);
+        assert!(waiters.iter().all(|w| w.kind == EntryKind::Load));
+    }
+
+    #[test]
+    fn dormant_entry_takes_no_ports_until_release() {
+        let mut c = l2();
+        let line = c.line_of(Addr::new(0));
+        c.fill(line, LineState::Modified, Cycle::new(0));
+        let id = c.allocate(
+            Addr::new(0),
+            EntryKind::Store { value: 9, release: false },
+            false,
+            true,
+            Cycle::new(0),
+        );
+        let out = drive(&mut c, 0, 10);
+        assert!(out.is_empty());
+        assert_eq!(c.pipe_accesses(), 0);
+        assert_eq!(c.location(id), Some(OpLocation::Dormant));
+        assert!(c.release(id, Cycle::new(10)));
+        let out = drive(&mut c, 10, 25);
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, L2Outcome::StorePerform { value: 9, .. })));
+    }
+
+    #[test]
+    fn snoop_rd_downgrades_modified() {
+        let mut c = l2();
+        c.fill(3, LineState::Modified, Cycle::new(0));
+        assert!(c.snoop_rd(3));
+        assert_eq!(c.probe(3), Some(LineState::Shared));
+        assert!(!c.snoop_rd(3)); // already shared: no supply
+    }
+
+    #[test]
+    fn snoop_inv_reports_states() {
+        let mut c = l2();
+        c.fill(5, LineState::Modified, Cycle::new(0));
+        assert_eq!(c.snoop_inv(5), (true, true));
+        assert_eq!(c.snoop_inv(5), (false, false));
+        c.fill(6, LineState::Shared, Cycle::new(0));
+        assert_eq!(c.snoop_inv(6), (true, false));
+    }
+
+    #[test]
+    fn forward_entry_pushes_modified_line() {
+        let mut c = l2();
+        let addr = Addr::new(0x5000);
+        let line = c.line_of(addr);
+        c.fill(line, LineState::Modified, Cycle::new(0));
+        let id = c.allocate(
+            addr,
+            EntryKind::Forward { to: CoreId(1) },
+            false,
+            false,
+            Cycle::new(0),
+        );
+        let out = drive(&mut c, 0, 12);
+        assert!(out.iter().any(|(_, o)| matches!(
+            o,
+            L2Outcome::ForwardReady { to: CoreId(1), .. }
+        )));
+        c.forward_complete(id, line);
+        assert_eq!(c.probe(line), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn forward_aborts_when_line_gone() {
+        let mut c = l2();
+        c.allocate(
+            Addr::new(0x6000),
+            EntryKind::Forward { to: CoreId(1) },
+            false,
+            false,
+            Cycle::new(0),
+        );
+        let out = drive(&mut c, 0, 12);
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, L2Outcome::ForwardAbort { .. })));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn nack_backs_off_and_reissues() {
+        let mut c = l2();
+        c.allocate(Addr::new(0x7000), EntryKind::Load, false, false, Cycle::new(0));
+        let out = drive(&mut c, 0, 12);
+        assert_eq!(
+            out.iter()
+                .filter(|(_, o)| matches!(o, L2Outcome::NeedLine { .. }))
+                .count(),
+            1
+        );
+        let line = c.line_of(Addr::new(0x7000));
+        c.nack_line(line, Cycle::new(30), false);
+        let out = drive(&mut c, 12, 40);
+        let reissues: Vec<u64> = out
+            .iter()
+            .filter(|(_, o)| matches!(o, L2Outcome::NeedLine { .. }))
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(reissues, vec![30]);
+    }
+
+    #[test]
+    fn fill_evicts_and_reports_dirty_victim() {
+        let mut c = L2Ctl::new(
+            CoreId(0),
+            CacheGeometry::new(256, 2, 128), // 1 set, 2 ways
+            5,
+            2,
+            16,
+            4,
+        )
+        .unwrap();
+        c.fill(1, LineState::Modified, Cycle::new(0));
+        c.fill(2, LineState::Shared, Cycle::new(0));
+        let v = c.fill(3, LineState::Shared, Cycle::new(0)).expect("victim");
+        assert_eq!(v.line, 1);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn free_slots_and_occupancy() {
+        let mut c = l2();
+        assert_eq!(c.free_slots(), 16);
+        c.allocate(Addr::new(0), EntryKind::Load, false, false, Cycle::new(0));
+        assert_eq!(c.free_slots(), 15);
+        assert_eq!(c.occupancy(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the memory substrate.
+
+use hfs_isa::{Addr, CoreId};
+use hfs_mem::{CacheArray, CacheGeometry, LineState, MemConfig, MemOp, MemSystem, Submit};
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never holds more lines than its capacity, and a line just
+    /// installed is always resident.
+    #[test]
+    fn cache_capacity_invariant(lines in prop::collection::vec(0u64..64, 1..200)) {
+        let geom = CacheGeometry::new(4096, 4, 64); // 16 sets x 4 ways
+        let mut c = CacheArray::new(geom).unwrap();
+        let capacity = (geom.sets() * u64::from(geom.ways)) as usize;
+        for &l in &lines {
+            c.install(l, LineState::Shared);
+            prop_assert!(c.probe(l).is_some(), "line {l} must be resident after install");
+            prop_assert!(c.resident() <= capacity);
+        }
+    }
+
+    /// Invalidation removes exactly the named line.
+    #[test]
+    fn invalidate_is_precise(a in 0u64..32, b in 0u64..32) {
+        prop_assume!(a != b);
+        let mut c = CacheArray::new(CacheGeometry::new(16 * 1024, 4, 64)).unwrap();
+        c.install(a, LineState::Modified);
+        c.install(b, LineState::Shared);
+        c.invalidate(a);
+        prop_assert!(c.probe(a).is_none());
+        prop_assert!(c.probe(b).is_some());
+    }
+
+    /// Single-core read-your-writes: any interleaving of stores and loads
+    /// through the full hierarchy returns the last written value per word.
+    #[test]
+    fn read_your_writes(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..25)) {
+        let mut m = MemSystem::new(MemConfig::itanium2_single()).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        let mut now = 0u64;
+        for (word, val) in ops {
+            let addr = Addr::new(0x10_0000 + word * 8);
+            // Store, then wait for it to perform.
+            let tok = match m.submit(CoreId(0), MemOp::store(addr, val), hfs_sim::Cycle::new(now)) {
+                Submit::Accepted(t) => t,
+                other => return Err(TestCaseError::fail(format!("store rejected: {other:?}"))),
+            };
+            let mut done = false;
+            for _ in 0..5000 {
+                now += 1;
+                let t = hfs_sim::Cycle::new(now);
+                m.tick(t);
+                if m.drain_completions(CoreId(0), t).iter().any(|c| c.token == tok) {
+                    done = true;
+                    break;
+                }
+            }
+            prop_assert!(done, "store never performed");
+            shadow.insert(word, val);
+            // Load back.
+            now += 1;
+            let v = match m.submit(CoreId(0), MemOp::load(addr), hfs_sim::Cycle::new(now)) {
+                Submit::L1Hit { value, .. } => Some(value),
+                Submit::Accepted(tok) => {
+                    let mut got = None;
+                    for _ in 0..5000 {
+                        now += 1;
+                        let t = hfs_sim::Cycle::new(now);
+                        m.tick(t);
+                        if let Some(c) = m
+                            .drain_completions(CoreId(0), t)
+                            .into_iter()
+                            .find(|c| c.token == tok)
+                        {
+                            got = c.value;
+                            break;
+                        }
+                    }
+                    got
+                }
+                Submit::Rejected(_) => None,
+            };
+            prop_assert_eq!(v, shadow.get(&word).copied());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid machine or component configuration.
+///
+/// Returned by constructors throughout the workspace when a caller supplies
+/// parameters that do not describe realizable hardware (zero-way caches,
+/// non-power-of-two line sizes, empty queues, and so on).
+///
+/// # Example
+///
+/// ```
+/// use hfs_sim::ConfigError;
+///
+/// let err = ConfigError::new("queue depth must be non-zero");
+/// assert_eq!(err.to_string(), "invalid configuration: queue depth must be non-zero");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation supplied at construction.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_message() {
+        let e = ConfigError::new("bad");
+        assert_eq!(e.message(), "bad");
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

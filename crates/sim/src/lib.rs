@@ -1,0 +1,36 @@
+//! Simulation kernel for the `hfs` cycle-level CMP simulator.
+//!
+//! This crate provides the time base and bookkeeping primitives shared by
+//! every other crate in the workspace:
+//!
+//! * [`Cycle`] — a newtype over `u64` representing simulated time,
+//! * [`TimedQueue`] and [`Pipe`] — latency-stamped message channels used to
+//!   connect hardware components without shared mutable aliasing,
+//! * [`stats`] — counters, histograms, and the per-component stall
+//!   [`stats::Breakdown`] that reproduces the paper's Figure 7 accounting
+//!   (`PreL2` / `L2` / `BUS` / `L3` / `MEM` / `PostL2`),
+//! * [`ConfigError`] — validation errors for machine configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use hfs_sim::{Cycle, Pipe};
+//!
+//! // A 3-cycle pipelined link: a message sent at cycle 10 pops at cycle 13.
+//! let mut link: Pipe<&'static str> = Pipe::new(3);
+//! link.push(Cycle::new(10), "hello");
+//! assert_eq!(link.pop_ready(Cycle::new(12)), None);
+//! assert_eq!(link.pop_ready(Cycle::new(13)), Some("hello"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cycle;
+mod error;
+mod queue;
+pub mod stats;
+
+pub use cycle::Cycle;
+pub use error::ConfigError;
+pub use queue::{Pipe, TimedQueue};

@@ -1,0 +1,230 @@
+//! Latency-stamped message channels.
+//!
+//! Hardware components in the simulator never call each other directly;
+//! they exchange messages through [`TimedQueue`]s (arbitrary per-message
+//! delivery times) or [`Pipe`]s (fixed-latency pipelined links). Both
+//! preserve FIFO order among messages that become ready on the same cycle,
+//! which keeps the simulation deterministic.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A FIFO of messages, each carrying the cycle at which it becomes visible
+/// to the receiver.
+///
+/// Messages must be pushed with monotonically non-decreasing ready times
+/// relative to the *front* of the queue only in the sense that a message
+/// can never be popped before an earlier-pushed message: `TimedQueue` is a
+/// strict FIFO whose head is additionally gated by its ready stamp. This
+/// models an ordered channel (a wire or queue) with per-message latency.
+///
+/// # Example
+///
+/// ```
+/// use hfs_sim::{Cycle, TimedQueue};
+///
+/// let mut q = TimedQueue::new();
+/// q.push(Cycle::new(5), 'a');
+/// q.push(Cycle::new(3), 'b'); // behind 'a' despite earlier stamp
+/// assert_eq!(q.pop_ready(Cycle::new(4)), None);
+/// assert_eq!(q.pop_ready(Cycle::new(5)), Some('a'));
+/// assert_eq!(q.pop_ready(Cycle::new(5)), Some('b'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedQueue<T> {
+    entries: VecDeque<(Cycle, T)>,
+}
+
+impl<T> TimedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TimedQueue {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Enqueues `value`, to become visible at `ready`.
+    pub fn push(&mut self, ready: Cycle, value: T) {
+        self.entries.push_back((ready, value));
+    }
+
+    /// Pops the head if its ready stamp is at or before `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        match self.entries.front() {
+            Some((ready, _)) if *ready <= now => self.entries.pop_front().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Peeks at the head message if it is ready at `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        match self.entries.front() {
+            Some((ready, v)) if *ready <= now => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of messages in flight (ready or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all in-flight messages in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Drains every message regardless of readiness (used by context-switch
+    /// and teardown paths that must collect in-flight state).
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.entries.drain(..).map(|(_, v)| v)
+    }
+}
+
+impl<T> Default for TimedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-latency, fully pipelined link: every message pushed at cycle `c`
+/// becomes visible at `c + latency`. One message may be accepted per push
+/// call; callers model initiation-interval limits themselves.
+///
+/// # Example
+///
+/// ```
+/// use hfs_sim::{Cycle, Pipe};
+///
+/// let mut p = Pipe::new(2);
+/// p.push(Cycle::new(0), 1u32);
+/// p.push(Cycle::new(1), 2u32);
+/// assert_eq!(p.pop_ready(Cycle::new(2)), Some(1));
+/// assert_eq!(p.pop_ready(Cycle::new(2)), None); // 2 arrives at cycle 3
+/// assert_eq!(p.pop_ready(Cycle::new(3)), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipe<T> {
+    latency: u64,
+    inner: TimedQueue<T>,
+}
+
+impl<T> Pipe<T> {
+    /// Creates a pipelined link with the given end-to-end latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        Pipe {
+            latency,
+            inner: TimedQueue::new(),
+        }
+    }
+
+    /// The end-to-end latency of this link.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Sends `value` at cycle `now`; it arrives at `now + latency`.
+    pub fn push(&mut self, now: Cycle, value: T) {
+        self.inner.push(now + self.latency, value);
+    }
+
+    /// Receives the head message if it has arrived by `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        self.inner.pop_ready(now)
+    }
+
+    /// Peeks at the head message if it has arrived by `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        self.inner.peek_ready(now)
+    }
+
+    /// Number of messages in flight.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the link is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drains every in-flight message regardless of arrival time.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.inner.drain_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_queue_fifo_gated_by_ready() {
+        let mut q = TimedQueue::new();
+        q.push(Cycle::new(10), "x");
+        q.push(Cycle::new(2), "y");
+        assert_eq!(q.len(), 2);
+        assert!(q.pop_ready(Cycle::new(9)).is_none());
+        assert_eq!(q.peek_ready(Cycle::new(10)), Some(&"x"));
+        assert_eq!(q.pop_ready(Cycle::new(10)), Some("x"));
+        // "y" was stamped earlier but is strictly behind "x".
+        assert_eq!(q.pop_ready(Cycle::new(10)), Some("y"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timed_queue_drain_ignores_readiness() {
+        let mut q = TimedQueue::new();
+        q.push(Cycle::new(100), 1);
+        q.push(Cycle::new(200), 2);
+        let all: Vec<_> = q.drain_all().collect();
+        assert_eq!(all, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pipe_applies_latency() {
+        let mut p = Pipe::new(5);
+        assert_eq!(p.latency(), 5);
+        p.push(Cycle::new(7), 42u8);
+        assert!(p.pop_ready(Cycle::new(11)).is_none());
+        assert_eq!(p.pop_ready(Cycle::new(12)), Some(42));
+    }
+
+    #[test]
+    fn pipe_zero_latency_is_same_cycle() {
+        let mut p = Pipe::new(0);
+        p.push(Cycle::new(3), ());
+        assert_eq!(p.pop_ready(Cycle::new(3)), Some(()));
+    }
+
+    #[test]
+    fn pipe_preserves_order_of_backtoback_messages() {
+        let mut p = Pipe::new(3);
+        for i in 0..4u32 {
+            p.push(Cycle::new(u64::from(i)), i);
+        }
+        let mut out = Vec::new();
+        for now in 0..10u64 {
+            while let Some(v) = p.pop_ready(Cycle::new(now)) {
+                out.push((now, v));
+            }
+        }
+        assert_eq!(out, vec![(3, 0), (4, 1), (5, 2), (6, 3)]);
+    }
+
+    #[test]
+    fn iter_visits_in_fifo_order() {
+        let mut q = TimedQueue::new();
+        q.push(Cycle::new(1), 'a');
+        q.push(Cycle::new(2), 'b');
+        let seen: Vec<_> = q.iter().copied().collect();
+        assert_eq!(seen, vec!['a', 'b']);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the simulation kernel primitives.
+
+use hfs_sim::stats::{geomean, Breakdown, StallComponent};
+use hfs_sim::{Cycle, Pipe, TimedQueue};
+use proptest::prelude::*;
+
+proptest! {
+    /// TimedQueue is a strict FIFO: pop order equals push order no matter
+    /// what ready stamps the messages carry.
+    #[test]
+    fn timed_queue_is_fifo(stamps in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut q = TimedQueue::new();
+        for (i, &s) in stamps.iter().enumerate() {
+            q.push(Cycle::new(s), i);
+        }
+        let mut out = Vec::new();
+        let horizon = stamps.iter().copied().max().unwrap_or(0) + 1;
+        for t in 0..=horizon {
+            while let Some(v) = q.pop_ready(Cycle::new(t)) {
+                out.push(v);
+            }
+        }
+        prop_assert_eq!(out, (0..stamps.len()).collect::<Vec<_>>());
+        prop_assert!(q.is_empty());
+    }
+
+    /// A message can never be popped before its ready stamp.
+    #[test]
+    fn timed_queue_respects_stamps(stamp in 1u64..10_000) {
+        let mut q = TimedQueue::new();
+        q.push(Cycle::new(stamp), ());
+        prop_assert!(q.pop_ready(Cycle::new(stamp - 1)).is_none());
+        prop_assert!(q.pop_ready(Cycle::new(stamp)).is_some());
+    }
+
+    /// Pipes deliver exactly `latency` cycles after the send.
+    #[test]
+    fn pipe_latency_exact(lat in 0u64..64, sent_at in 0u64..1000) {
+        let mut p = Pipe::new(lat);
+        p.push(Cycle::new(sent_at), 1u8);
+        if lat > 0 {
+            prop_assert!(p.pop_ready(Cycle::new(sent_at + lat - 1)).is_none());
+        }
+        prop_assert_eq!(p.pop_ready(Cycle::new(sent_at + lat)), Some(1));
+    }
+
+    /// Breakdown totals always equal the sum of parts.
+    #[test]
+    fn breakdown_conserves(charges in prop::collection::vec((0usize..6, 1u64..100), 0..40),
+                           busy in 0u64..1000) {
+        let mut b = Breakdown::new();
+        b.charge_busy(busy);
+        let mut sum = 0;
+        for (c, n) in &charges {
+            b.charge(StallComponent::ALL[*c], *n);
+            sum += n;
+        }
+        prop_assert_eq!(b.stall_total(), sum);
+        prop_assert_eq!(b.total(), sum + busy);
+        let fracs: f64 = StallComponent::ALL.iter().map(|&c| b.fraction(c)).sum();
+        if b.total() > 0 {
+            prop_assert!((fracs - (sum as f64 / b.total() as f64)).abs() < 1e-9);
+        }
+    }
+
+    /// Geomean lies between min and max of its inputs.
+    #[test]
+    fn geomean_bounded(vals in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geomean(vals.iter().copied());
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001, "{lo} <= {g} <= {hi}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark kernels for the `hfs` streaming simulator.
+//!
+//! The paper evaluates nine two-thread pipelines (Table 1): seven
+//! DSWP-parallelized loops from SPEC CPU2000, Mediabench, and the Unix
+//! `wc` utility, plus two hand-parallelized StreamIt kernels (`fir`,
+//! `fft2`). The original binaries and the OpenIMPACT DSWP compiler are
+//! not available, so each benchmark is modeled as a synthetic
+//! [`hfs_core::kernel::KernelPair`] calibrated to the paper's published
+//! characterization:
+//!
+//! * communication frequency — one queue operation every 5–20 dynamic
+//!   application instructions (Figure 8), with `wc` tightest (three
+//!   consumes per tiny iteration, §4.4),
+//! * loop character — tight ALU/DSP loops (`wc`, `adpcmdec`, `epicdec`),
+//!   FP pipelines (`art`, `fir`, `fft2`), memory-intensive loops with
+//!   working sets beyond the L3 (`mcf`, `equake`, §4.5),
+//! * decoupling structure — `bzip2` is a two-deep loop nest with both
+//!   inner- and outer-loop streams, whose poor outer-loop decoupling
+//!   explains its Figure 6 transit sensitivity,
+//! * balance — `art`, `equake`, and `fir` are consumer-bound, so their
+//!   producers frequently hit queue-full (why extra in-network storage
+//!   helps them in Figure 6).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod registry;
+
+pub use registry::{all_benchmarks, benchmark, paper_order, Benchmark, Suite};

@@ -1,0 +1,51 @@
+//! Design-space sweep: run one Table 1 benchmark across every design
+//! point and print the Figure 7-style stall breakdown.
+//!
+//! ```sh
+//! cargo run --release --example design_space -- wc
+//! ```
+
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+use hfs::sim::stats::StallComponent;
+use hfs::workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "wc".to_string());
+    let bench = benchmark(&name)
+        .ok_or_else(|| format!("unknown benchmark {name}; try wc, mcf, fir, …"))?;
+    println!(
+        "{} ({}, {} iterations)\n",
+        bench.name, bench.function, bench.pair.iterations
+    );
+    println!(
+        "{:<16} {:>9}  {:>5}  {}",
+        "design", "cycles", "norm", "producer stalls: PreL2/L2/BUS/L3/MEM/PostL2"
+    );
+
+    let designs = [
+        DesignPoint::heavywt(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::syncopti(),
+        DesignPoint::memopti(),
+        DesignPoint::existing(),
+    ];
+    let mut base = None;
+    for design in designs {
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let result = Machine::new_pipeline(&cfg, &bench.pair)?.run(500_000_000)?;
+        let base_cycles = *base.get_or_insert(result.cycles);
+        let p = result.producer();
+        let comps: Vec<String> = StallComponent::ALL
+            .iter()
+            .map(|&c| format!("{:.2}", p.breakdown.fraction(c)))
+            .collect();
+        println!(
+            "{:<16} {:>9}  {:>5.2}  {}",
+            result.design,
+            result.cycles,
+            result.cycles as f64 / base_cycles as f64,
+            comps.join("/"),
+        );
+    }
+    Ok(())
+}

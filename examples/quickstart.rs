@@ -1,0 +1,35 @@
+//! Quickstart: build a tiny producer/consumer pipeline, run it on two
+//! streaming-support designs, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hfs::core::kernel::KernelPair;
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A pipeline communicating every ~5 instructions — the paper's
+    // "high-frequency streaming" regime.
+    let pair = KernelPair::simple("quickstart", 4, 2_000);
+
+    for design in [
+        DesignPoint::existing(),
+        DesignPoint::syncopti(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+    ] {
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let mut machine = Machine::new_pipeline(&cfg, &pair)?;
+        let result = machine.run(100_000_000)?;
+        println!(
+            "{:<16} {:>9} cycles  ({:.1} cycles/iteration)  comm:app = {:.2}",
+            result.design,
+            result.cycles,
+            result.cycles_per_iteration(),
+            result.producer().comm_ratio(),
+        );
+    }
+    println!("\nLower is better; HEAVYWT is the dedicated-hardware bound.");
+    Ok(())
+}

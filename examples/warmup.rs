@@ -1,0 +1,59 @@
+//! Warm-up vs steady state: samples iteration throughput over time and
+//! prints a text sparkline per design. The software-queue design shows a
+//! long cold-coherence ramp; the dedicated-hardware design is at speed
+//! almost immediately.
+//!
+//! ```sh
+//! cargo run --release --example warmup
+//! ```
+
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+use hfs::workloads::benchmark;
+
+const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(values: &[f64]) -> String {
+    // Scale against a robust ceiling (1.2 x the 90th percentile) so a
+    // single end-of-run burst does not flatten the whole line.
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p90 = sorted[(sorted.len().saturating_sub(1)) * 9 / 10];
+    let ceiling = (p90 * 1.2).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let norm = (v / ceiling).min(1.0);
+            BARS[(norm * (BARS.len() - 1) as f64).round() as usize]
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = benchmark("wc").expect("wc registered").with_iterations(1_500);
+    println!("wc iteration throughput over time (each bucket = 500 cycles):\n");
+    for design in [
+        DesignPoint::heavywt(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::existing(),
+    ] {
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let mut machine = Machine::new_pipeline(&cfg, &bench.pair)?;
+        let (result, samples) = machine.run_sampled(100_000_000, Some(500))?;
+        // Convert cumulative iteration counts into per-window rates,
+        // dropping the final partial window (it catches the remainder
+        // between the last sample and completion).
+        let mut rates: Vec<f64> = samples
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) as f64)
+            .collect();
+        rates.pop();
+        println!(
+            "{:<16} {:>8} cycles  {}",
+            result.design,
+            result.cycles,
+            sparkline(&rates)
+        );
+    }
+    println!("\nEach glyph is one 500-cycle window; taller = more iterations retired.");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! `hfs` — facade crate re-exporting the full workspace API.
+//!
+//! See the individual crates for details:
+//! [`hfs_sim`], [`hfs_isa`], [`hfs_mem`], [`hfs_cpu`], [`hfs_core`],
+//! [`hfs_workloads`].
+
+pub use hfs_core as core;
+pub use hfs_cpu as cpu;
+pub use hfs_isa as isa;
+pub use hfs_mem as mem;
+pub use hfs_sim as sim;
+pub use hfs_workloads as workloads;

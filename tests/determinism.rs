@@ -1,0 +1,37 @@
+//! Determinism: identical configurations produce identical simulations.
+
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+use hfs::workloads::benchmark;
+
+fn run_cycles(design: DesignPoint, seed: u64) -> u64 {
+    let b = benchmark("mcf").unwrap().with_iterations(150);
+    let mut cfg = MachineConfig::itanium2_cmp(design);
+    cfg.seed = seed;
+    Machine::new_pipeline(&cfg, &b.pair)
+        .unwrap()
+        .run(50_000_000)
+        .unwrap()
+        .cycles
+}
+
+#[test]
+fn same_seed_same_result() {
+    for design in [
+        DesignPoint::existing(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+    ] {
+        let a = run_cycles(design, 7);
+        let b = run_cycles(design, 7);
+        assert_eq!(a, b, "{design:?} is non-deterministic");
+    }
+}
+
+#[test]
+fn different_seed_changes_random_workloads() {
+    // mcf uses random address streams, so a different seed changes the
+    // cache behavior and (almost surely) the cycle count.
+    let a = run_cycles(DesignPoint::heavywt(), 1);
+    let b = run_cycles(DesignPoint::heavywt(), 2);
+    assert_ne!(a, b, "seed should influence random address streams");
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the design-space extensions beyond the paper's
+//! four headline points: QLU layouts (§4.3), register-mapped queues
+//! (§3.1.3), and centralized dedicated stores (§3.5.2).
+
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+use hfs::workloads::benchmark;
+
+const BUDGET: u64 = 100_000_000;
+
+fn cycles(bench: &str, design: DesignPoint) -> u64 {
+    let b = benchmark(bench).unwrap().with_iterations(250);
+    Machine::new_pipeline(&MachineConfig::itanium2_cmp(design), &b.pair)
+        .and_then(|mut m| m.run(BUDGET))
+        .unwrap_or_else(|e| panic!("{bench} {design:?}: {e}"))
+        .cycles
+}
+
+/// §4.3: performance is uniformly better with QLU 8 than QLU 1 — the
+/// padded layout trades false sharing for an 8x loss of spatial locality
+/// and loses badly.
+#[test]
+fn qlu8_beats_qlu1_uniformly() {
+    for bench in ["wc", "adpcmdec", "fir"] {
+        let q1 = cycles(bench, DesignPoint::existing_with_qlu(1));
+        let q8 = cycles(bench, DesignPoint::existing_with_qlu(8));
+        assert!(
+            q8 < q1,
+            "{bench}: QLU8 ({q8}) must beat QLU1 ({q1})"
+        );
+    }
+}
+
+/// QLU validation rejects layouts that cannot hold a datum+flag slot.
+#[test]
+fn qlu_validation() {
+    assert!(DesignPoint::existing_with_qlu(3).validate().is_err());
+    assert!(DesignPoint::existing_with_qlu(16).validate().is_err());
+    for q in [1, 2, 4, 8] {
+        assert!(DesignPoint::existing_with_qlu(q).validate().is_ok());
+    }
+}
+
+/// §3.1.3: with no register pressure, register-mapped queues are at
+/// least as fast as HEAVYWT (communication costs no issue slots); with
+/// heavy spill pressure they lose the advantage.
+#[test]
+fn regmapped_tradeoff() {
+    for bench in ["wc", "adpcmdec"] {
+        let hw = cycles(bench, DesignPoint::heavywt());
+        let rm0 = cycles(bench, DesignPoint::regmapped(0));
+        let rm8 = cycles(bench, DesignPoint::regmapped(8));
+        assert!(
+            rm0 <= hw + hw / 50,
+            "{bench}: REGMAPPED(spill0)={rm0} should not lose to HEAVYWT={hw}"
+        );
+        assert!(
+            rm8 > rm0,
+            "{bench}: spill pressure must cost cycles ({rm0} -> {rm8})"
+        );
+    }
+}
+
+/// Register-mapped runs still verify FIFO semantics end to end.
+#[test]
+fn regmapped_verifies_queues() {
+    let b = benchmark("fft2").unwrap().with_iterations(200);
+    let r = Machine::new_pipeline(
+        &MachineConfig::itanium2_cmp(DesignPoint::regmapped(2)),
+        &b.pair,
+    )
+    .unwrap()
+    .run(BUDGET)
+    .unwrap();
+    assert_eq!(r.iterations, 200);
+    for c in &r.cores {
+        assert_eq!(c.breakdown.total(), c.cycles);
+    }
+}
+
+/// §3.5.2: a centralized dedicated store's longer access latency costs
+/// consume-to-use-bound benchmarks, monotonically in distance.
+#[test]
+fn centralized_store_costs_latency() {
+    let b = "fir"; // consumer-bound: consume-to-use on the critical path
+    let distributed = cycles(b, DesignPoint::heavywt());
+    let near = cycles(b, DesignPoint::heavywt_centralized(3));
+    let far = cycles(b, DesignPoint::heavywt_centralized(12));
+    assert!(near >= distributed);
+    assert!(
+        far > near,
+        "farther store must cost more: {near} -> {far}"
+    );
+    assert!(
+        far as f64 > distributed as f64 * 1.2,
+        "a 12-cycle store should clearly hurt fir: {distributed} -> {far}"
+    );
+}
+
+/// Labels for the extended design points are distinct and stable.
+#[test]
+fn extended_labels() {
+    assert_eq!(DesignPoint::existing_with_qlu(1).label(), "EXISTING(QLU1)");
+    assert_eq!(DesignPoint::existing_with_qlu(8).label(), "EXISTING");
+    assert_eq!(DesignPoint::memopti_with_qlu(4).label(), "MEMOPTI(QLU4)");
+    assert_eq!(DesignPoint::regmapped(0).label(), "REGMAPPED");
+    assert_eq!(DesignPoint::regmapped(4).label(), "REGMAPPED(spill4)");
+    assert_eq!(
+        DesignPoint::heavywt_centralized(6).label(),
+        "HEAVYWT(central,l=6)"
+    );
+}
+
+/// Multiple independent pipelines share the CMP correctly: all complete,
+/// all verify, and per-core accounting stays consistent.
+#[test]
+fn multi_pipeline_runs_and_verifies() {
+    let b = benchmark("epicdec").unwrap().with_iterations(150);
+    for design in [
+        DesignPoint::existing(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+    ] {
+        let pairs = vec![b.pair.clone(), b.pair.clone()];
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let r = Machine::new_multi_pipeline(&cfg, &pairs)
+            .and_then(|mut m| m.run(BUDGET))
+            .unwrap_or_else(|e| panic!("2-pair {design:?}: {e}"));
+        assert_eq!(r.cores.len(), 4);
+        assert_eq!(r.iterations, 150);
+        for c in &r.cores {
+            assert_eq!(c.breakdown.total(), c.cycles);
+        }
+    }
+}
+
+/// Contention grows most for the software-queue design when pipelines
+/// multiply: its per-item coherence traffic fights for the shared bus,
+/// while HEAVYWT's dedicated interconnect isolates it.
+#[test]
+fn heavywt_scales_better_than_existing() {
+    let b = benchmark("adpcmdec").unwrap().with_iterations(200);
+    let slowdown = |design: DesignPoint| {
+        let run = |n: usize| {
+            let pairs: Vec<_> = (0..n).map(|_| b.pair.clone()).collect();
+            Machine::new_multi_pipeline(&MachineConfig::itanium2_cmp(design), &pairs)
+                .and_then(|mut m| m.run(BUDGET))
+                .unwrap_or_else(|e| panic!("{design:?} x{n}: {e}"))
+                .cycles as f64
+        };
+        run(4) / run(1)
+    };
+    let hw = slowdown(DesignPoint::heavywt());
+    let ex = slowdown(DesignPoint::existing());
+    assert!(
+        ex > hw,
+        "EXISTING must degrade more under 4-pair contention: EXISTING x{ex:.2} vs HEAVYWT x{hw:.2}"
+    );
+}
+
+/// More than four pairs exceed the shared-bus model and are rejected.
+#[test]
+fn multi_pipeline_rejects_oversize() {
+    let b = benchmark("fir").unwrap().with_iterations(10);
+    let pairs: Vec<_> = (0..5).map(|_| b.pair.clone()).collect();
+    assert!(Machine::new_multi_pipeline(
+        &MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        &pairs
+    )
+    .is_err());
+}

@@ -1,0 +1,106 @@
+//! Property-based end-to-end tests: randomly shaped pipelines must run
+//! to completion with verified FIFO queue semantics on every design.
+
+use hfs::core::kernel::{KStep, Kernel, KernelPair};
+use hfs::core::{DesignPoint, Machine, MachineConfig};
+use hfs::isa::QueueId;
+use proptest::prelude::*;
+
+/// Builds a random but valid two-thread pipeline.
+fn arb_pair() -> impl Strategy<Value = KernelPair> {
+    (
+        1u32..6,          // producer ALU work
+        1u32..6,          // consumer chain length
+        1usize..3,        // number of queues
+        10u64..40,        // iterations
+        0u32..3,          // extra FP work
+    )
+        .prop_map(|(pwork, cchain, nq, iters, fp)| {
+            let queues: Vec<QueueId> = (0..nq as u16).map(QueueId).collect();
+            let mut psteps = vec![KStep::Alu(pwork)];
+            if fp > 0 {
+                psteps.push(KStep::Fp(fp));
+            }
+            for &q in &queues {
+                psteps.push(KStep::Produce(q));
+            }
+            psteps.push(KStep::Branch);
+            let mut csteps: Vec<KStep> =
+                queues.iter().map(|&q| KStep::Consume(q)).collect();
+            csteps.push(KStep::AluChain(cchain));
+            csteps.push(KStep::Branch);
+            KernelPair {
+                name: "prop",
+                producer: Kernel::new(psteps),
+                consumer: Kernel::new(csteps),
+                iterations: iters,
+            }
+        })
+}
+
+fn designs() -> Vec<DesignPoint> {
+    vec![
+        DesignPoint::existing(),
+        DesignPoint::memopti(),
+        DesignPoint::syncopti(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every random pipeline completes on every design, with the queue
+    /// checker (produce/consume FIFO + conservation) passing and the
+    /// stall breakdown accounting for every cycle.
+    #[test]
+    fn random_pipelines_complete_and_verify(pair in arb_pair()) {
+        prop_assert!(pair.validate().is_ok());
+        for design in designs() {
+            let cfg = MachineConfig::itanium2_cmp(design);
+            let result = Machine::new_pipeline(&cfg, &pair)
+                .and_then(|mut m| m.run(20_000_000));
+            let r = match result {
+                Ok(r) => r,
+                Err(e) => return Err(TestCaseError::fail(format!("{design:?}: {e}"))),
+            };
+            prop_assert_eq!(r.iterations, pair.iterations);
+            for core in &r.cores {
+                prop_assert_eq!(core.breakdown.total(), core.cycles);
+            }
+        }
+    }
+
+    /// The fused single-threaded lowering of any random pipeline also
+    /// completes, and executes at least the communication-free
+    /// instruction count.
+    #[test]
+    fn random_pipelines_fuse_and_complete(pair in arb_pair()) {
+        let cfg = MachineConfig::itanium2_single();
+        let r = Machine::new_single(&cfg, &pair)
+            .and_then(|mut m| m.run(20_000_000));
+        let r = match r {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(e.to_string())),
+        };
+        prop_assert_eq!(r.iterations, pair.iterations);
+        prop_assert!(r.cores[0].comm_instrs == 0, "fused code has no comm ops");
+    }
+
+    /// HEAVYWT never loses to the software-queue baseline on these
+    /// communication-bound pipelines.
+    #[test]
+    fn heavywt_never_slower_than_existing(pair in arb_pair()) {
+        let run = |d: DesignPoint| {
+            Machine::new_pipeline(&MachineConfig::itanium2_cmp(d), &pair)
+                .unwrap()
+                .run(20_000_000)
+                .unwrap()
+                .cycles
+        };
+        let hw = run(DesignPoint::heavywt());
+        let ex = run(DesignPoint::existing());
+        prop_assert!(hw <= ex, "HEAVYWT {hw} vs EXISTING {ex}");
+    }
+}
