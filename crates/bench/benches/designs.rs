@@ -1,14 +1,37 @@
-//! Criterion microbenchmarks: simulator throughput per design point.
+//! Microbenchmarks: simulator throughput per design point.
 //!
-//! Each benchmark runs a short two-thread pipeline to completion and
-//! reports wall-clock time per simulated run — useful for tracking
-//! simulator performance regressions across the design-point backends.
+//! Hand-rolled `std::time` harness (`harness = false` — the workspace is
+//! std-only, so there is no criterion). Each benchmark runs a short
+//! two-thread pipeline to completion and reports wall-clock time per
+//! simulated run — useful for tracking simulator performance regressions
+//! across the design-point backends.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use hfs_core::kernel::KernelPair;
 use hfs_core::{DesignPoint, Machine, MachineConfig};
 
 const ITERATIONS: u64 = 200;
+const WARMUP: usize = 2;
+const SAMPLES: usize = 10;
+
+/// Times `f` over `SAMPLES` runs (after warmup) and prints median/mean.
+fn time(name: &str, mut f: impl FnMut() -> u64) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    let mut checksum = 0u64;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!("{name:<28} median {median:8.3} ms   mean {mean:8.3} ms   (checksum {checksum})");
+}
 
 fn run_design(design: DesignPoint) -> u64 {
     let pair = KernelPair::simple("bench", 4, ITERATIONS);
@@ -20,9 +43,8 @@ fn run_design(design: DesignPoint) -> u64 {
         .cycles
 }
 
-fn design_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("design_points");
-    group.sample_size(10);
+fn main() {
+    println!("design_points ({SAMPLES} samples, {ITERATIONS} iterations/run)");
     for (name, design) in [
         ("existing", DesignPoint::existing()),
         ("memopti", DesignPoint::memopti()),
@@ -30,26 +52,16 @@ fn design_points(c: &mut Criterion) {
         ("syncopti_sc_q64", DesignPoint::syncopti_sc_q64()),
         ("heavywt", DesignPoint::heavywt()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &design, |b, &d| {
-            b.iter(|| run_design(d));
-        });
+        time(name, || run_design(design));
     }
-    group.finish();
-}
 
-fn single_threaded(c: &mut Criterion) {
-    c.bench_function("single_threaded_fused", |b| {
-        let pair = KernelPair::simple("bench", 4, ITERATIONS);
-        let cfg = MachineConfig::itanium2_single();
-        b.iter(|| {
-            Machine::new_single(&cfg, &pair)
-                .unwrap()
-                .run(50_000_000)
-                .unwrap()
-                .cycles
-        });
+    let pair = KernelPair::simple("bench", 4, ITERATIONS);
+    let cfg = MachineConfig::itanium2_single();
+    time("single_threaded_fused", || {
+        Machine::new_single(&cfg, &pair)
+            .unwrap()
+            .run(50_000_000)
+            .unwrap()
+            .cycles
     });
 }
-
-criterion_group!(benches, design_points, single_threaded);
-criterion_main!(benches);

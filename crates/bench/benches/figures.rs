@@ -1,12 +1,37 @@
-//! Criterion benchmarks of the paper's per-figure workloads: one short
+//! Microbenchmarks of the paper's per-figure workloads: one short
 //! Table 1 benchmark per figure family, so `cargo bench` exercises every
 //! experiment code path (the full paper-scale tables come from the
-//! `fig*` binaries).
+//! `fig*` binaries and `all_figures`).
+//!
+//! Hand-rolled `std::time` harness (`harness = false` — the workspace is
+//! std-only, so there is no criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use hfs_core::analytic::{iterations_in, AnalyticParams};
 use hfs_core::{DesignPoint, Machine, MachineConfig};
 use hfs_workloads::benchmark;
+
+const WARMUP: usize = 2;
+const SAMPLES: usize = 10;
+
+/// Times `f` over `SAMPLES` runs (after warmup) and prints median/mean.
+fn time(name: &str, mut f: impl FnMut() -> u64) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    let mut checksum = 0u64;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!("{name:<28} median {median:8.3} ms   mean {mean:8.3} ms   (checksum {checksum})");
+}
 
 fn run(bench_name: &str, cfg: MachineConfig) -> u64 {
     let b = benchmark(bench_name).unwrap().with_iterations(150);
@@ -17,74 +42,43 @@ fn run(bench_name: &str, cfg: MachineConfig) -> u64 {
         .cycles
 }
 
-fn fig3_analytic(c: &mut Criterion) {
-    c.bench_function("fig3_analytic_window", |b| {
-        b.iter(|| {
-            iterations_in(AnalyticParams::fig3b(), 150)
-                + iterations_in(AnalyticParams::fig3c(), 150)
-        });
-    });
-}
+fn main() {
+    println!("figure workloads ({SAMPLES} samples)");
 
-fn fig6_transit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_bzip2_transit");
-    group.sample_size(10);
+    time("fig3_analytic_window", || {
+        iterations_in(AnalyticParams::fig3b(), 150) + iterations_in(AnalyticParams::fig3c(), 150)
+    });
+
     for transit in [1u64, 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(transit), &transit, |b, &t| {
-            let d = DesignPoint::heavywt_with(t, 32);
-            b.iter(|| run("bzip2", MachineConfig::itanium2_cmp(d)));
+        let d = DesignPoint::heavywt_with(transit, 32);
+        time(&format!("fig6_bzip2_transit/{transit}"), || {
+            run("bzip2", MachineConfig::itanium2_cmp(d))
         });
     }
-    group.finish();
-}
 
-fn fig7_designs_on_wc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_wc");
-    group.sample_size(10);
     for (name, d) in [
         ("heavywt", DesignPoint::heavywt()),
         ("syncopti", DesignPoint::syncopti()),
         ("existing", DesignPoint::existing()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, &d| {
-            b.iter(|| run("wc", MachineConfig::itanium2_cmp(d)));
+        time(&format!("fig7_wc/{name}"), || {
+            run("wc", MachineConfig::itanium2_cmp(d))
         });
     }
-    group.finish();
-}
 
-fn fig10_slow_bus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_adpcmdec_bus");
-    group.sample_size(10);
     for divider in [1u64, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(divider), &divider, |b, &dv| {
-            let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing()).with_bus_divider(dv);
-            b.iter(|| run("adpcmdec", cfg.clone()));
+        let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing()).with_bus_divider(divider);
+        time(&format!("fig10_adpcmdec_bus/{divider}"), || {
+            run("adpcmdec", cfg.clone())
         });
     }
-    group.finish();
-}
 
-fn fig12_sc_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_fir_variants");
-    group.sample_size(10);
     for (name, d) in [
         ("syncopti", DesignPoint::syncopti()),
         ("sc_q64", DesignPoint::syncopti_sc_q64()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, &d| {
-            b.iter(|| run("fir", MachineConfig::itanium2_cmp(d)));
+        time(&format!("fig12_fir_variants/{name}"), || {
+            run("fir", MachineConfig::itanium2_cmp(d))
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    fig3_analytic,
-    fig6_transit,
-    fig7_designs_on_wc,
-    fig10_slow_bus,
-    fig12_sc_variants
-);
-criterion_main!(benches);

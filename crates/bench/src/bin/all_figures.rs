@@ -1,12 +1,22 @@
 //! Regenerates every table and figure in one run.
 //!
-//! Set `HFS_OUT_DIR=<dir>` to additionally write each artifact as a
-//! `.txt` file and each underlying table as a `.csv`.
+//! All simulation work routes through the shared `hfs-harness` engine:
+//! jobs run in parallel (`HFS_JOBS` workers), completed runs land in the
+//! on-disk cache (`HFS_CACHE_DIR`, default `results/cache`), and each
+//! experiment's machine-readable artifact is written to
+//! `HFS_RESULTS_DIR` (default `results`).
+//!
+//! Set `HFS_OUT_DIR=<dir>` to additionally write each rendered figure as
+//! a `.txt` file and each underlying table as a `.csv`. A figure that
+//! fails (watchdog timeout, deadlock) is reported and skipped; the run
+//! continues, exits nonzero, and an immediate re-run resumes from the
+//! cache.
 
 use std::fs;
 use std::path::PathBuf;
 
 use hfs_bench::experiments as ex;
+use hfs_bench::runner::engine;
 use hfs_bench::table::TextTable;
 
 struct Sink {
@@ -37,48 +47,95 @@ impl Sink {
     }
 }
 
+/// Runs one figure, converting a panic (failed batch, model bug) into a
+/// reported failure instead of aborting the whole regeneration.
+fn figure(name: &str, failed: &mut Vec<String>, f: impl FnOnce() + std::panic::UnwindSafe) {
+    if std::panic::catch_unwind(f).is_err() {
+        // The panic payload was already printed by the default hook.
+        eprintln!("all_figures: {name} FAILED; continuing with remaining figures");
+        failed.push(name.to_string());
+    }
+}
+
 fn main() {
     let sink = Sink::new();
+    let mut failed = Vec::new();
 
-    let t1 = ex::table1::run();
-    sink.csv("table1", &t1);
-    sink.text("table1", &t1.render());
+    figure("table1", &mut failed, || {
+        let t1 = ex::table1::run();
+        sink.csv("table1", &t1);
+        sink.text("table1", &t1.render());
+    });
 
-    sink.text("table2", &ex::table2::run());
+    figure("table2", &mut failed, || {
+        sink.text("table2", &ex::table2::run());
+    });
 
-    sink.text("fig3", &ex::fig3::run().render());
+    figure("fig3", &mut failed, || {
+        sink.text("fig3", &ex::fig3::run().render());
+    });
 
-    let f6 = ex::fig6::run();
-    sink.csv("fig6", &f6.table());
-    sink.text("fig6", &f6.render());
+    figure("fig6", &mut failed, || {
+        let f6 = ex::fig6::run();
+        sink.csv("fig6", &f6.table());
+        sink.text("fig6", &f6.render());
+    });
 
-    let f7 = ex::fig7::run();
-    sink.csv("fig7_producer", &f7.producer_table("Figure 7"));
-    sink.csv("fig7_consumer", &f7.consumer_table("Figure 7"));
-    sink.text("fig7", &f7.render("Figure 7: design points, baseline bus"));
+    figure("fig7", &mut failed, || {
+        let f7 = ex::fig7::run();
+        sink.csv("fig7_producer", &f7.producer_table("Figure 7"));
+        sink.csv("fig7_consumer", &f7.consumer_table("Figure 7"));
+        sink.text("fig7", &f7.render("Figure 7: design points, baseline bus"));
+    });
 
-    let f8 = ex::fig8::run();
-    sink.csv("fig8", &f8.table());
-    sink.text("fig8", &f8.render());
+    figure("fig8", &mut failed, || {
+        let f8 = ex::fig8::run();
+        sink.csv("fig8", &f8.table());
+        sink.text("fig8", &f8.render());
+    });
 
-    let f9 = ex::fig9::run();
-    sink.csv("fig9", &f9.table());
-    sink.text("fig9", &f9.render());
+    figure("fig9", &mut failed, || {
+        let f9 = ex::fig9::run();
+        sink.csv("fig9", &f9.table());
+        sink.text("fig9", &f9.render());
+    });
 
-    let f10 = ex::fig10::run();
-    sink.csv("fig10_producer", &f10.producer_table("Figure 10"));
-    sink.csv("fig10_consumer", &f10.consumer_table("Figure 10"));
-    sink.text("fig10", &f10.render("Figure 10: 4-cycle bus"));
+    figure("fig10", &mut failed, || {
+        let f10 = ex::fig10::run();
+        sink.csv("fig10_producer", &f10.producer_table("Figure 10"));
+        sink.csv("fig10_consumer", &f10.consumer_table("Figure 10"));
+        sink.text("fig10", &f10.render("Figure 10: 4-cycle bus"));
+    });
 
-    let f11 = ex::fig11::run();
-    sink.csv("fig11_producer", &f11.producer_table("Figure 11"));
-    sink.csv("fig11_consumer", &f11.consumer_table("Figure 11"));
-    sink.text("fig11", &f11.render("Figure 11: 4-cycle, 128-byte bus"));
+    figure("fig11", &mut failed, || {
+        let f11 = ex::fig11::run();
+        sink.csv("fig11_producer", &f11.producer_table("Figure 11"));
+        sink.csv("fig11_consumer", &f11.consumer_table("Figure 11"));
+        sink.text("fig11", &f11.render("Figure 11: 4-cycle, 128-byte bus"));
+    });
 
-    let f12 = ex::fig12::run();
-    sink.csv("fig12_producer", &f12.producer_table());
-    sink.csv("fig12_consumer", &f12.consumer_table());
-    sink.text("fig12", &f12.render());
+    figure("fig12", &mut failed, || {
+        let f12 = ex::fig12::run();
+        sink.csv("fig12_producer", &f12.producer_table());
+        sink.csv("fig12_consumer", &f12.consumer_table());
+        sink.text("fig12", &f12.render());
+    });
 
-    sink.text("ablation", &ex::ablation::run_all());
+    figure("ablation", &mut failed, || {
+        sink.text("ablation", &ex::ablation::run_all());
+    });
+
+    figure("scaling", &mut failed, || {
+        sink.text("scaling", &ex::scaling::run());
+    });
+
+    eprintln!("{}", engine().summary());
+    if !failed.is_empty() {
+        eprintln!(
+            "all_figures: {} figure(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

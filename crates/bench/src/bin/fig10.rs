@@ -1,4 +1,7 @@
 //! Regenerates Figure 10 (4-cycle bus).
 fn main() {
-    print!("{}", hfs_bench::experiments::fig10::run().render("Figure 10: 4-cycle bus"));
+    print!(
+        "{}",
+        hfs_bench::experiments::fig10::run().render("Figure 10: 4-cycle bus")
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 11 (4-cycle, 128-byte bus).
 fn main() {
-    print!("{}", hfs_bench::experiments::fig11::run().render("Figure 11: 4-cycle, 128-byte bus"));
+    print!(
+        "{}",
+        hfs_bench::experiments::fig11::run().render("Figure 11: 4-cycle, 128-byte bus")
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 7 (design-point comparison).
 fn main() {
-    print!("{}", hfs_bench::experiments::fig7::run().render("Figure 7: design points, baseline bus"));
+    print!(
+        "{}",
+        hfs_bench::experiments::fig7::run().render("Figure 7: design points, baseline bus")
+    );
 }

@@ -6,7 +6,12 @@ use hfs_core::DesignPoint;
 fn main() {
     let mut t = TextTable::new(
         "Dedicated storage and OS context cost per design point",
-        &["design", "added storage (B)", "OS context (B)", "new interconnect"],
+        &[
+            "design",
+            "added storage (B)",
+            "OS context (B)",
+            "new interconnect",
+        ],
     );
     for d in [
         DesignPoint::existing(),
@@ -21,7 +26,12 @@ fn main() {
             d.label(),
             c.added_storage_bytes.to_string(),
             c.os_context_bytes.to_string(),
-            if c.needs_new_interconnect { "yes" } else { "no" }.to_string(),
+            if c.needs_new_interconnect {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     print!("{}", t.render());

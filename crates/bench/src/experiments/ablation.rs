@@ -14,20 +14,35 @@
 //! * **OzQ size** — footnote 1 / §4.4: the ordered transaction queue is
 //!   where software-queue designs drown.
 
-use hfs_core::{DesignPoint, Machine, MachineConfig};
+use hfs_core::{DesignPoint, MachineConfig};
+use hfs_harness::Job;
 use hfs_workloads::benchmark;
 
-use crate::runner::{scaled, MAX_CYCLES};
+use crate::runner::{engine, pipeline_job};
 use crate::table::{f2, TextTable};
 
-fn cycles(bench_name: &str, design: DesignPoint, mutate: impl Fn(&mut MachineConfig)) -> u64 {
-    let b = scaled(&benchmark(bench_name).expect("known benchmark"));
+/// A pipeline job for the named benchmark with a mutated configuration.
+fn job(
+    batch: &str,
+    bench_name: &str,
+    design: DesignPoint,
+    mutate: impl Fn(&mut MachineConfig),
+) -> Job {
+    let b = benchmark(bench_name).expect("known benchmark");
     let mut cfg = MachineConfig::itanium2_cmp(design);
     mutate(&mut cfg);
-    Machine::new_pipeline(&cfg, &b.pair)
-        .and_then(|mut m| m.run(MAX_CYCLES))
-        .unwrap_or_else(|e| panic!("{bench_name} under {design:?}: {e}"))
-        .cycles
+    pipeline_job(batch, &b, cfg)
+}
+
+/// Runs one sweep's jobs as an engine batch and returns their cycle
+/// counts in submission order.
+fn cycles_batch(batch: &str, jobs: Vec<Job>) -> Vec<u64> {
+    engine()
+        .run_batch(batch, jobs)
+        .expect_results()
+        .iter()
+        .map(|r| r.cycles)
+        .collect()
 }
 
 /// QLU 1/2/4/8 for the software designs (Figure 5's layouts).
@@ -36,11 +51,25 @@ pub fn qlu_sweep() -> TextTable {
         "Ablation: queue layout unit for software queues (cycles, lower is better)",
         &["bench", "QLU1", "QLU2", "QLU4", "QLU8"],
     );
-    for bench in ["wc", "adpcmdec", "fir"] {
+    let benches = ["wc", "adpcmdec", "fir"];
+    let qlus = [1, 2, 4, 8];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            qlus.iter().map(|&qlu| {
+                job(
+                    "ablation_qlu",
+                    b,
+                    DesignPoint::existing_with_qlu(qlu),
+                    |_| {},
+                )
+            })
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_qlu", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(qlus.len())) {
         let mut row = vec![bench.to_string()];
-        for qlu in [1, 2, 4, 8] {
-            row.push(cycles(bench, DesignPoint::existing_with_qlu(qlu), |_| {}).to_string());
-        }
+        row.extend(chunk.iter().map(u64::to_string));
         t.row(row);
     }
     t
@@ -55,11 +84,20 @@ pub fn depth_sweep() -> TextTable {
     // bzip2 is excluded below depth 32: its outer-gated consumer
     // requires the inner queue to hold a whole nest, so shallower queues
     // deadlock by construction (caught by the machine's detector).
-    for bench in ["fir", "wc"] {
+    let benches = ["fir", "wc"];
+    let depths = [4, 8, 16, 32, 64];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            depths
+                .iter()
+                .map(|&d| job("ablation_depth", b, DesignPoint::heavywt_with(1, d), |_| {}))
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_depth", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(depths.len())) {
         let mut row = vec![bench.to_string()];
-        for depth in [4, 8, 16, 32, 64] {
-            row.push(cycles(bench, DesignPoint::heavywt_with(1, depth), |_| {}).to_string());
-        }
+        row.extend(chunk.iter().map(u64::to_string));
         t.row(row);
     }
     t
@@ -71,13 +109,23 @@ pub fn regmapped_sweep() -> TextTable {
         "Ablation: register-mapped queues vs HEAVYWT (normalized to HEAVYWT)",
         &["bench", "HEAVYWT", "spill0", "spill2", "spill4", "spill8"],
     );
-    for bench in ["wc", "adpcmdec"] {
-        let base = cycles(bench, DesignPoint::heavywt(), |_| {}) as f64;
+    let benches = ["wc", "adpcmdec"];
+    let spills = [0, 2, 4, 8];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(job("ablation_regmapped", b, DesignPoint::heavywt(), |_| {})).chain(
+                spills
+                    .iter()
+                    .map(|&s| job("ablation_regmapped", b, DesignPoint::regmapped(s), |_| {})),
+            )
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_regmapped", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(1 + spills.len())) {
+        let base = chunk[0] as f64;
         let mut row = vec![bench.to_string(), f2(1.0)];
-        for spill in [0, 2, 4, 8] {
-            let c = cycles(bench, DesignPoint::regmapped(spill), |_| {}) as f64;
-            row.push(f2(c / base));
-        }
+        row.extend(chunk[1..].iter().map(|&c| f2(c as f64 / base)));
         t.row(row);
     }
     t
@@ -88,15 +136,36 @@ pub fn regmapped_sweep() -> TextTable {
 pub fn store_placement_sweep() -> TextTable {
     let mut t = TextTable::new(
         "Ablation: dedicated-store placement (consume-to-use latency; normalized)",
-        &["bench", "distributed (1cy)", "central 3cy", "central 6cy", "central 12cy"],
+        &[
+            "bench",
+            "distributed (1cy)",
+            "central 3cy",
+            "central 6cy",
+            "central 12cy",
+        ],
     );
-    for bench in ["wc", "fir"] {
-        let base = cycles(bench, DesignPoint::heavywt(), |_| {}) as f64;
+    let benches = ["wc", "fir"];
+    let lats = [3, 6, 12];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(job("ablation_store", b, DesignPoint::heavywt(), |_| {})).chain(
+                lats.iter().map(|&l| {
+                    job(
+                        "ablation_store",
+                        b,
+                        DesignPoint::heavywt_centralized(l),
+                        |_| {},
+                    )
+                }),
+            )
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_store", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(1 + lats.len())) {
+        let base = chunk[0] as f64;
         let mut row = vec![bench.to_string(), f2(1.0)];
-        for lat in [3, 6, 12] {
-            let c = cycles(bench, DesignPoint::heavywt_centralized(lat), |_| {}) as f64;
-            row.push(f2(c / base));
-        }
+        row.extend(chunk[1..].iter().map(|&c| f2(c as f64 / base)));
         t.row(row);
     }
     t
@@ -108,16 +177,22 @@ pub fn ozq_sweep() -> TextTable {
         "Ablation: OzQ entries under EXISTING (cycles)",
         &["bench", "ozq=4", "ozq=8", "ozq=16", "ozq=32"],
     );
-    for bench in ["adpcmdec", "mcf"] {
-        let mut row = vec![bench.to_string()];
-        for entries in [4u32, 8, 16, 32] {
-            row.push(
-                cycles(bench, DesignPoint::existing(), |cfg| {
+    let benches = ["adpcmdec", "mcf"];
+    let sizes = [4u32, 8, 16, 32];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            sizes.iter().map(|&entries| {
+                job("ablation_ozq", b, DesignPoint::existing(), move |cfg| {
                     cfg.mem.ozq_entries = entries;
                 })
-                .to_string(),
-            );
-        }
+            })
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_ozq", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(sizes.len())) {
+        let mut row = vec![bench.to_string()];
+        row.extend(chunk.iter().map(u64::to_string));
         t.row(row);
     }
     t
@@ -129,16 +204,27 @@ pub fn l2_ports_sweep() -> TextTable {
         "Ablation: L2 ports under SYNCOPTI (cycles)",
         &["bench", "1 port", "2 ports", "4 ports"],
     );
-    for bench in ["wc", "epicdec"] {
+    let benches = ["wc", "epicdec"];
+    let port_counts = [1u32, 2, 4];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            port_counts.iter().map(|&ports| {
+                job(
+                    "ablation_l2ports",
+                    b,
+                    DesignPoint::syncopti_sc_q64(),
+                    move |cfg| {
+                        cfg.mem.l2_ports = ports;
+                    },
+                )
+            })
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_l2ports", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(port_counts.len())) {
         let mut row = vec![bench.to_string()];
-        for ports in [1u32, 2, 4] {
-            row.push(
-                cycles(bench, DesignPoint::syncopti_sc_q64(), |cfg| {
-                    cfg.mem.l2_ports = ports;
-                })
-                .to_string(),
-            );
-        }
+        row.extend(chunk.iter().map(u64::to_string));
         t.row(row);
     }
     t
@@ -155,14 +241,34 @@ pub fn arbiter_priority_sweep() -> TextTable {
     );
     // Contention only matters on the §4.5 slow bus, where line
     // transfers take 32 CPU cycles and requests back up.
-    for bench in ["mcf", "equake", "wc"] {
-        let fair = cycles(bench, DesignPoint::syncopti_sc_q64(), |cfg| {
-            *cfg = cfg.clone().with_bus_divider(4);
-        });
-        let fav = cycles(bench, DesignPoint::syncopti_sc_q64(), |cfg| {
-            *cfg = cfg.clone().with_bus_divider(4);
-            cfg.mem.bus.favor_app_traffic = true;
-        });
+    let benches = ["mcf", "equake", "wc"];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            [
+                job(
+                    "ablation_arbiter",
+                    b,
+                    DesignPoint::syncopti_sc_q64(),
+                    |cfg| {
+                        *cfg = cfg.clone().with_bus_divider(4);
+                    },
+                ),
+                job(
+                    "ablation_arbiter",
+                    b,
+                    DesignPoint::syncopti_sc_q64(),
+                    |cfg| {
+                        *cfg = cfg.clone().with_bus_divider(4);
+                        cfg.mem.bus.favor_app_traffic = true;
+                    },
+                ),
+            ]
+        })
+        .collect();
+    let cycles = cycles_batch("ablation_arbiter", jobs);
+    for (bench, chunk) in benches.iter().zip(cycles.chunks_exact(2)) {
+        let (fair, fav) = (chunk[0], chunk[1]);
         t.row(vec![
             bench.to_string(),
             fair.to_string(),

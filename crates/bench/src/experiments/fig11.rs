@@ -8,5 +8,5 @@ use crate::experiments::fig7::{run_with, DesignSweep};
 
 /// Runs the four designs with a 4-cycle, 128-byte bus.
 pub fn run() -> DesignSweep {
-    run_with(|c| c.with_bus_divider(4).with_bus_width(128))
+    run_with("fig11", |c| c.with_bus_divider(4).with_bus_width(128))
 }

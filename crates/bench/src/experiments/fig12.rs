@@ -8,7 +8,7 @@ use hfs_core::{DesignPoint, RunResult};
 use hfs_workloads::all_benchmarks;
 
 use crate::experiments::{breakdown_table, column_geomean};
-use crate::runner::run_design;
+use crate::runner::{design_job, engine};
 use crate::table::f2;
 
 /// The variant order: HEAVYWT, SC+Q64, SC, Q64, plain SYNCOPTI
@@ -32,14 +32,20 @@ pub struct Fig12 {
     pub rows: Vec<(String, Vec<RunResult>)>,
 }
 
-/// Runs the five variants over every benchmark.
+/// Runs the five variants over every benchmark as one engine batch.
 pub fn run() -> Fig12 {
     let vs = variants();
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let results: Vec<RunResult> = vs.iter().map(|d| run_design(&b, *d)).collect();
-        rows.push((b.name.to_string(), results));
-    }
+    let benches = all_benchmarks();
+    let jobs = benches
+        .iter()
+        .flat_map(|b| vs.iter().map(|&v| design_job("fig12", b, v)))
+        .collect();
+    let results = engine().run_batch("fig12", jobs).expect_results();
+    let rows = benches
+        .iter()
+        .zip(results.chunks_exact(vs.len()))
+        .map(|(b, runs)| (b.name.to_string(), runs.to_vec()))
+        .collect();
     Fig12 {
         designs: vs.iter().map(|d| d.label()).collect(),
         rows,

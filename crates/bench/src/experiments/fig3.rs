@@ -47,7 +47,11 @@ impl Fig3 {
                 "steady iters/cycle",
             ],
         );
-        let meta = [("(a) single buffer", 1, 20), ("(b) queue", 4, 20), ("(c) queue, COMM-OP/2", 6, 10)];
+        let meta = [
+            ("(a) single buffer", 1, 20),
+            ("(b) queue", 4, 20),
+            ("(c) queue, COMM-OP/2", 6, 10),
+        ];
         for (i, (name, bufs, comm)) in meta.iter().enumerate() {
             t.row(vec![
                 name.to_string(),
@@ -73,7 +77,10 @@ mod tests {
     fn reproduces_paper_counts() {
         let f = super::run();
         assert_eq!(f.iterations[1], 7, "Figure 3b: 7 iterations in 150 cycles");
-        assert_eq!(f.iterations[2], 14, "Figure 3c: 14 iterations in 150 cycles");
+        assert_eq!(
+            f.iterations[2], 14,
+            "Figure 3c: 14 iterations in 150 cycles"
+        );
         assert!(f.throughput[1] > 2.5 * f.throughput[0]);
         assert!(f.throughput[2] > 1.8 * f.throughput[1]);
         assert!(f.render().contains("Figure 3"));

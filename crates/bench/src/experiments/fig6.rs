@@ -12,7 +12,7 @@ use hfs_core::DesignPoint;
 use hfs_sim::stats::geomean;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::run_design;
+use crate::runner::{design_job, engine};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's normalized execution times.
@@ -33,19 +33,29 @@ pub struct Fig6 {
     pub rows: Vec<Fig6Row>,
 }
 
-/// Runs the three HEAVYWT variants over all benchmarks.
+/// Runs the three HEAVYWT variants over all benchmarks (one engine
+/// batch: 3 jobs per benchmark, gathered in submission order).
 pub fn run() -> Fig6 {
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let base = run_design(&b, DesignPoint::heavywt_with(1, 32));
-        let t10 = run_design(&b, DesignPoint::heavywt_with(10, 32));
-        let t10q64 = run_design(&b, DesignPoint::heavywt_with(10, 64));
-        rows.push(Fig6Row {
+    let benches = all_benchmarks();
+    let variants = [
+        DesignPoint::heavywt_with(1, 32),
+        DesignPoint::heavywt_with(10, 32),
+        DesignPoint::heavywt_with(10, 64),
+    ];
+    let jobs = benches
+        .iter()
+        .flat_map(|b| variants.iter().map(|&v| design_job("fig6", b, v)))
+        .collect();
+    let results = engine().run_batch("fig6", jobs).expect_results();
+    let rows = benches
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(b, runs)| Fig6Row {
             bench: b.name.to_string(),
-            t10_q32: t10.cycles as f64 / base.cycles as f64,
-            t10_q64: t10q64.cycles as f64 / base.cycles as f64,
-        });
-    }
+            t10_q32: runs[1].cycles as f64 / runs[0].cycles as f64,
+            t10_q64: runs[2].cycles as f64 / runs[0].cycles as f64,
+        })
+        .collect();
     Fig6 { rows }
 }
 
@@ -72,12 +82,7 @@ impl Fig6 {
             &["bench", "1cy/32", "10cy/32", "10cy/64"],
         );
         for r in &self.rows {
-            t.row(vec![
-                r.bench.clone(),
-                f2(1.0),
-                f2(r.t10_q32),
-                f2(r.t10_q64),
-            ]);
+            t.row(vec![r.bench.clone(), f2(1.0), f2(r.t10_q32), f2(r.t10_q64)]);
         }
         t.row(vec![
             "GeoMean".to_string(),

@@ -5,7 +5,7 @@ use hfs_core::{DesignPoint, MachineConfig, RunResult};
 use hfs_workloads::all_benchmarks;
 
 use crate::experiments::{breakdown_table, column_geomean};
-use crate::runner::run_with_config;
+use crate::runner::{engine, pipeline_job};
 use crate::table::f2;
 
 /// The design order used by Figures 7/10/11: HEAVYWT, SYNCOPTI,
@@ -30,18 +30,24 @@ pub struct DesignSweep {
 }
 
 /// Runs the four designs over every benchmark with a configuration
-/// derived from the baseline by `tweak`.
-pub fn run_with(tweak: impl Fn(MachineConfig) -> MachineConfig) -> DesignSweep {
+/// derived from the baseline by `tweak`, as one engine batch named
+/// `batch` (Figure 7 itself, plus Figures 10/11 with bus tweaks).
+pub fn run_with(batch: &str, tweak: impl Fn(MachineConfig) -> MachineConfig) -> DesignSweep {
     let ds = designs();
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let mut results = Vec::new();
-        for d in ds {
-            let cfg = tweak(MachineConfig::itanium2_cmp(d));
-            results.push(run_with_config(&b, &cfg));
-        }
-        rows.push((b.name.to_string(), results));
-    }
+    let benches = all_benchmarks();
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            ds.iter()
+                .map(|&d| pipeline_job(batch, b, tweak(MachineConfig::itanium2_cmp(d))))
+        })
+        .collect();
+    let results = engine().run_batch(batch, jobs).expect_results();
+    let rows = benches
+        .iter()
+        .zip(results.chunks_exact(ds.len()))
+        .map(|(b, runs)| (b.name.to_string(), runs.to_vec()))
+        .collect();
     DesignSweep {
         designs: ds.iter().map(|d| d.label()).collect(),
         rows,
@@ -50,7 +56,7 @@ pub fn run_with(tweak: impl Fn(MachineConfig) -> MachineConfig) -> DesignSweep {
 
 /// Runs Figure 7 on the baseline machine.
 pub fn run() -> DesignSweep {
-    run_with(|c| c)
+    run_with("fig7", |c| c)
 }
 
 impl DesignSweep {

@@ -8,7 +8,7 @@
 use hfs_core::DesignPoint;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::run_design;
+use crate::runner::{design_job, engine};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's measured ratios.
@@ -29,17 +29,25 @@ pub struct Fig8 {
     pub rows: Vec<Fig8Row>,
 }
 
-/// Measures the ratios under HEAVYWT.
+/// Measures the ratios under HEAVYWT. These jobs share cache keys with
+/// Figure 7's HEAVYWT column, so a combined regeneration simulates each
+/// run once.
 pub fn run() -> Fig8 {
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let r = run_design(&b, DesignPoint::heavywt());
-        rows.push(Fig8Row {
+    let benches = all_benchmarks();
+    let jobs = benches
+        .iter()
+        .map(|b| design_job("fig8", b, DesignPoint::heavywt()))
+        .collect();
+    let results = engine().run_batch("fig8", jobs).expect_results();
+    let rows = benches
+        .iter()
+        .zip(&results)
+        .map(|(b, r)| Fig8Row {
             bench: b.name.to_string(),
             producer: r.producer().comm_ratio(),
             consumer: r.consumer().expect("pipeline run").comm_ratio(),
-        });
-    }
+        })
+        .collect();
     Fig8 { rows }
 }
 
@@ -54,7 +62,13 @@ impl Fig8 {
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figure 8: dynamic comm:app instruction ratio (HEAVYWT)",
-            &["bench", "producer", "consumer", "app instrs per comm (P)", "(C)"],
+            &[
+                "bench",
+                "producer",
+                "consumer",
+                "app instrs per comm (P)",
+                "(C)",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -67,7 +81,13 @@ impl Fig8 {
         }
         let gp = hfs_sim::stats::geomean(self.rows.iter().map(|r| r.producer));
         let gc = hfs_sim::stats::geomean(self.rows.iter().map(|r| r.consumer));
-        t.row(vec!["GeoMean".into(), f2(gp), f2(gc), f2(1.0 / gp), f2(1.0 / gc)]);
+        t.row(vec![
+            "GeoMean".into(),
+            f2(gp),
+            f2(gc),
+            f2(1.0 / gp),
+            f2(1.0 / gc),
+        ]);
         t
     }
 }

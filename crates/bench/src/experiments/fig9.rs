@@ -8,7 +8,7 @@ use hfs_core::DesignPoint;
 use hfs_sim::stats::geomean;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::{run_design, run_single};
+use crate::runner::{design_job, engine, single_job};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's speedup.
@@ -31,19 +31,33 @@ pub struct Fig9 {
     pub rows: Vec<Fig9Row>,
 }
 
-/// Runs HEAVYWT and the fused single-threaded baseline per benchmark.
+/// Runs HEAVYWT and the fused single-threaded baseline per benchmark in
+/// one engine batch (pipeline job then single job, per benchmark).
 pub fn run() -> Fig9 {
-    let mut rows = Vec::new();
-    for b in all_benchmarks() {
-        let hw = run_design(&b, DesignPoint::heavywt());
-        let single = run_single(&b);
-        rows.push(Fig9Row {
-            bench: b.name.to_string(),
-            single_cycles: single.cycles,
-            heavywt_cycles: hw.cycles,
-            speedup: single.cycles as f64 / hw.cycles as f64,
-        });
-    }
+    let benches = all_benchmarks();
+    let jobs = benches
+        .iter()
+        .flat_map(|b| {
+            [
+                design_job("fig9", b, DesignPoint::heavywt()),
+                single_job("fig9", b),
+            ]
+        })
+        .collect();
+    let results = engine().run_batch("fig9", jobs).expect_results();
+    let rows = benches
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(b, runs)| {
+            let (hw, single) = (&runs[0], &runs[1]);
+            Fig9Row {
+                bench: b.name.to_string(),
+                single_cycles: single.cycles,
+                heavywt_cycles: hw.cycles,
+                speedup: single.cycles as f64 / hw.cycles as f64,
+            }
+        })
+        .collect();
     Fig9 { rows }
 }
 

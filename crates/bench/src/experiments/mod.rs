@@ -78,12 +78,14 @@ mod tests {
     use hfs_sim::stats::Breakdown;
 
     fn fake_result(cycles: u64) -> RunResult {
-        let mut stats = CoreStats::default();
-        stats.cycles = cycles;
         let mut b = Breakdown::new();
         b.charge_busy(cycles / 2);
         b.charge(StallComponent::Bus, cycles - cycles / 2);
-        stats.breakdown = b;
+        let stats = CoreStats {
+            cycles,
+            breakdown: b,
+            ..Default::default()
+        };
         RunResult {
             design: "X".into(),
             cycles,

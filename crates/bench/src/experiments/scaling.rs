@@ -8,11 +8,10 @@
 //! producer/consumer pairs (2–8 cores) concurrently and reports each
 //! design's contention slowdown relative to its own single-pair run.
 
-use hfs_core::kernel::KernelPair;
-use hfs_core::{DesignPoint, Machine, MachineConfig};
+use hfs_core::DesignPoint;
 use hfs_workloads::benchmark;
 
-use crate::runner::{scaled, MAX_CYCLES};
+use crate::runner::{engine, multi_job};
 use crate::table::{f2, TextTable};
 
 /// The designs compared in the scaling sweep.
@@ -43,24 +42,27 @@ impl ScalingRow {
 /// Runs the sweep on clones of the given benchmark (default: adpcmdec, a
 /// bandwidth-sensitive tight loop).
 pub fn run_on(bench_name: &str) -> Vec<ScalingRow> {
-    let b = scaled(&benchmark(bench_name).expect("known benchmark"));
-    let mut rows = Vec::new();
-    for design in designs() {
-        let mut cycles = [0u64; 4];
-        for pairs in 1..=4usize {
-            let workload: Vec<KernelPair> = (0..pairs).map(|_| b.pair.clone()).collect();
-            let cfg = MachineConfig::itanium2_cmp(design);
-            let r = Machine::new_multi_pipeline(&cfg, &workload)
-                .and_then(|mut m| m.run(MAX_CYCLES))
-                .unwrap_or_else(|e| panic!("{bench_name} x{pairs} under {design:?}: {e}"));
-            cycles[pairs - 1] = r.cycles;
-        }
-        rows.push(ScalingRow {
-            design: design.label(),
-            cycles,
-        });
-    }
-    rows
+    let b = benchmark(bench_name).expect("known benchmark");
+    let ds = designs();
+    let b = &b;
+    let jobs = ds
+        .iter()
+        .flat_map(|&design| (1..=4u8).map(move |pairs| multi_job("scaling", b, design, pairs)))
+        .collect();
+    let results = engine().run_batch("scaling", jobs).expect_results();
+    ds.iter()
+        .zip(results.chunks_exact(4))
+        .map(|(design, runs)| {
+            let mut cycles = [0u64; 4];
+            for (slot, r) in cycles.iter_mut().zip(runs) {
+                *slot = r.cycles;
+            }
+            ScalingRow {
+                design: design.label(),
+                cycles,
+            }
+        })
+        .collect()
 }
 
 /// Renders the scaling table.

@@ -1,14 +1,31 @@
 //! Shared run helpers for the experiments.
+//!
+//! Every experiment routes its simulation work through the shared
+//! [`hfs_harness::Engine`] returned by [`engine`]: jobs are built with
+//! the helpers here, submitted as a batch, executed on the worker pool
+//! (cache-aware, watchdog-guarded), and gathered back in submission
+//! order.
 
-use hfs_core::{DesignPoint, Machine, MachineConfig, RunResult};
+use std::sync::OnceLock;
+
+use hfs_core::{DesignPoint, MachineConfig, RunResult, SimError};
+use hfs_harness::{Engine, Job};
 use hfs_workloads::Benchmark;
 
 /// Upper bound on simulated cycles per run; hitting it is a harness bug.
-pub const MAX_CYCLES: u64 = 500_000_000;
+pub const MAX_CYCLES: u64 = hfs_harness::DEFAULT_MAX_CYCLES;
 
 /// Iteration cap applied when `HFS_QUICK=1` is set, trading steady-state
 /// fidelity for speed.
 pub const QUICK_ITERATIONS: u64 = 300;
+
+/// The process-wide experiment engine, configured from the `HFS_*`
+/// environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
+/// `HFS_RETRIES`, `HFS_RESULTS_DIR`, `HFS_NO_PROGRESS`) on first use.
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::from_env)
+}
 
 /// Returns the benchmark with quick-mode iteration capping applied.
 pub fn scaled(bench: &Benchmark) -> Benchmark {
@@ -17,6 +34,63 @@ pub fn scaled(bench: &Benchmark) -> Benchmark {
     } else {
         bench.clone()
     }
+}
+
+/// A pipeline job for `bench` (quick-scaled) under `cfg`, labeled
+/// `<batch>/<bench>/<design>`.
+pub fn pipeline_job(batch: &str, bench: &Benchmark, cfg: MachineConfig) -> Job {
+    let b = scaled(bench);
+    let label = format!("{batch}/{}/{}", b.name, cfg.design);
+    Job::pipeline(label, b.pair, cfg)
+}
+
+/// A pipeline job for `bench` under `design` on the baseline machine.
+pub fn design_job(batch: &str, bench: &Benchmark, design: DesignPoint) -> Job {
+    pipeline_job(batch, bench, MachineConfig::itanium2_cmp(design))
+}
+
+/// A fused single-threaded job for `bench` (Figure 9 baseline).
+pub fn single_job(batch: &str, bench: &Benchmark) -> Job {
+    let b = scaled(bench);
+    Job::single(
+        format!("{batch}/{}/single", b.name),
+        b.pair,
+        MachineConfig::itanium2_single(),
+    )
+}
+
+/// A multi-pipeline job: `pairs` concurrent copies of `bench` under
+/// `design` (the CMP scaling sweep).
+pub fn multi_job(batch: &str, bench: &Benchmark, design: DesignPoint, pairs: u8) -> Job {
+    let b = scaled(bench);
+    Job::multi(
+        format!("{batch}/{}/{}/x{pairs}", b.name, design.label()),
+        b.pair,
+        MachineConfig::itanium2_cmp(design),
+        pairs,
+    )
+}
+
+/// Runs `bench` under an explicit machine configuration, without the
+/// engine (no cache, no pool) — the building block for one-off runs.
+///
+/// # Errors
+///
+/// Any [`SimError`] from machine construction or the run.
+pub fn try_run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> Result<RunResult, SimError> {
+    let b = scaled(bench);
+    hfs_harness::execute_once(&Job::pipeline(b.name, b.pair.clone(), cfg.clone()))
+}
+
+/// Runs the fused single-threaded version of `bench`.
+///
+/// # Errors
+///
+/// See [`try_run_with_config`].
+pub fn try_run_single(bench: &Benchmark) -> Result<RunResult, SimError> {
+    let b = scaled(bench);
+    let cfg = MachineConfig::itanium2_single();
+    hfs_harness::execute_once(&Job::single(b.name, b.pair.clone(), cfg))
 }
 
 /// Runs `bench` as a two-thread pipeline under `design` on the baseline
@@ -36,10 +110,8 @@ pub fn run_design(bench: &Benchmark, design: DesignPoint) -> RunResult {
 ///
 /// See [`run_design`].
 pub fn run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> RunResult {
-    let b = scaled(bench);
-    Machine::new_pipeline(cfg, &b.pair)
-        .and_then(|mut m| m.run(MAX_CYCLES))
-        .unwrap_or_else(|e| panic!("{} under {}: {e}", b.name, cfg.design))
+    try_run_with_config(bench, cfg)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", bench.name, cfg.design))
 }
 
 /// Runs the fused single-threaded version of `bench` (Figure 9 baseline).
@@ -48,11 +120,7 @@ pub fn run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> RunResult {
 ///
 /// See [`run_design`].
 pub fn run_single(bench: &Benchmark) -> RunResult {
-    let b = scaled(bench);
-    let cfg = MachineConfig::itanium2_single();
-    Machine::new_single(&cfg, &b.pair)
-        .and_then(|mut m| m.run(MAX_CYCLES))
-        .unwrap_or_else(|e| panic!("{} single-threaded: {e}", b.name))
+    try_run_single(bench).unwrap_or_else(|e| panic!("{} single-threaded: {e}", bench.name))
 }
 
 #[cfg(test)]
@@ -73,5 +141,25 @@ mod tests {
         let r = run_single(&b);
         assert_eq!(r.iterations, 50);
         assert_eq!(r.cores.len(), 1);
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        // An undersized queue deadlocks bzip2's nested stream by
+        // construction; the fallible API must surface that as Err.
+        let b = benchmark("bzip2").unwrap().with_iterations(50);
+        let cfg = MachineConfig::itanium2_cmp(DesignPoint::heavywt_with(1, 4));
+        assert!(try_run_with_config(&b, &cfg).is_err());
+    }
+
+    #[test]
+    fn job_labels_follow_batch_bench_design() {
+        let b = benchmark("fir").unwrap().with_iterations(50);
+        let j = design_job("fig7", &b, DesignPoint::heavywt());
+        assert_eq!(j.label, "fig7/fir/HEAVYWT");
+        let s = single_job("fig9", &b);
+        assert_eq!(s.label, "fig9/fir/single");
+        let m = multi_job("scaling", &b, DesignPoint::existing(), 3);
+        assert_eq!(m.label, "scaling/fir/EXISTING/x3");
     }
 }

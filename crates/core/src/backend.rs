@@ -67,9 +67,9 @@ impl Backend {
             DesignPoint::MemOpti(c) => Backend::Software(SoftwareBackend::new(
                 queues, producer, consumer, true, c.qlu,
             )),
-            DesignPoint::SyncOpti(c) => Backend::SyncOpti(SyncOptiBackend::new(
-                *c, design, queues, producer, consumer,
-            )),
+            DesignPoint::SyncOpti(c) => {
+                Backend::SyncOpti(SyncOptiBackend::new(*c, design, queues, producer, consumer))
+            }
             DesignPoint::HeavyWt(c) => {
                 Backend::HeavyWt(HeavyWtBackend::new(*c, producer, consumer)?)
             }
@@ -250,8 +250,7 @@ impl SoftwareBackend {
                     *n += 1;
                     if *n >= self.qlu {
                         *n = 0;
-                        self.pending_forwards
-                            .push_back(addr.line_base(LINE_BYTES));
+                        self.pending_forwards.push_back(addr.line_base(LINE_BYTES));
                     }
                 }
             }
@@ -448,7 +447,7 @@ impl SyncOptiBackend {
                 // updated (§5), so line-completing consumes still emit
                 // their bulk ACK to the producer.
                 let done = slot + 1;
-                if done % u64::from(s.info.qlu) == 0 {
+                if done.is_multiple_of(u64::from(s.info.qlu)) {
                     self.pending_acks.push((q, done));
                 }
                 return StreamSubmit::Done {
@@ -512,7 +511,7 @@ impl SyncOptiBackend {
             let done = w.slot + 1;
             // Bulk ACK when the last item of a line is consumed; timeout
             // path ACKs eagerly to keep the tail moving.
-            if done % u64::from(s.info.qlu) == 0 || w.early_released {
+            if done.is_multiple_of(u64::from(s.info.qlu)) || w.early_released {
                 self.pending_acks.push((w.q, done));
             }
         }
@@ -608,9 +607,7 @@ impl SyncOptiBackend {
             if w.slot < s.forwarded {
                 w.released = true;
                 mem.release(w.mem_token, now);
-            } else if w.slot < s.performed
-                && now.saturating_since(s.last_perform) > IDLE_FLUSH
-            {
+            } else if w.slot < s.performed && now.saturating_since(s.last_perform) > IDLE_FLUSH {
                 w.released = true;
                 w.early_released = true;
                 mem.release(w.mem_token, now);
@@ -701,18 +698,18 @@ impl HeavyWtBackend {
         }
         self.sa.begin_cycle();
         // Wake consumes that were waiting for data, in FIFO order per
-        // queue, while array ports remain.
-        let queues: Vec<QueueId> = self
+        // queue, while array ports remain. Queue order must be fixed:
+        // ports are contended, so a map-iteration order here would leak
+        // into cycle counts and break run-to-run determinism.
+        let mut queues: Vec<QueueId> = self
             .waiting
             .iter()
             .filter(|(_, w)| !w.is_empty())
             .map(|(q, _)| *q)
             .collect();
+        queues.sort_unstable();
         for q in queues {
-            loop {
-                let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) else {
-                    break;
-                };
+            while let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) {
                 let Some(v) = self.sa.try_consume(q) else {
                     break;
                 };
@@ -735,8 +732,8 @@ impl HeavyWtBackend {
         // consumptions. ACKs take a transit delay back, so a longer
         // interconnect shrinks the usable queue for codes that keep it
         // full (§4.4's bzip2 effect; a deeper queue restores the slack).
-        let occ = self.injected.get(&q).copied().unwrap_or(0)
-            - self.acked.get(&q).copied().unwrap_or(0);
+        let occ =
+            self.injected.get(&q).copied().unwrap_or(0) - self.acked.get(&q).copied().unwrap_or(0);
         if occ >= self.depth {
             return StreamSubmit::Blocked;
         }
@@ -852,8 +849,7 @@ mod tests {
         let mut sent = 0u64;
         for _ in 0..200 {
             b.process(Cycle::new(t));
-            while let StreamSubmit::Done { .. } = b.try_produce(CoreId(0), q, sent, Cycle::new(t))
-            {
+            while let StreamSubmit::Done { .. } = b.try_produce(CoreId(0), q, sent, Cycle::new(t)) {
                 sent += 1;
             }
             t += 1;
@@ -882,8 +878,7 @@ mod tests {
                 consumed_at = Some(t);
             }
             if consumed_at.is_some() {
-                if let StreamSubmit::Done { .. } =
-                    b.try_produce(CoreId(0), q, sent, Cycle::new(t))
+                if let StreamSubmit::Done { .. } = b.try_produce(CoreId(0), q, sent, Cycle::new(t))
                 {
                     unblocked_at = Some(t);
                     break;
@@ -946,10 +941,7 @@ mod tests {
         let queues = [QueueId(0), QueueId(2)];
         let base = crate::lower::queue_base(QueueId(0));
         assert_eq!(queue_of_addr(base, &queues), Some((QueueId(0), 0)));
-        assert_eq!(
-            queue_of_addr(base + 24, &queues),
-            Some((QueueId(0), 24))
-        );
+        assert_eq!(queue_of_addr(base + 24, &queues), Some((QueueId(0), 24)));
         // Queue 1 is not in the set.
         let q1 = crate::lower::queue_base(QueueId(1));
         assert_eq!(queue_of_addr(q1, &queues), None);

@@ -198,7 +198,6 @@ impl DesignPoint {
             queue_depth: 64,
             qlu: 16,
             stream_cache: true,
-            ..SyncOptiConfig::default()
         })
     }
 

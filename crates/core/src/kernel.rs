@@ -95,15 +95,11 @@ impl Kernel {
     fn collect_queues(steps: &[KStep], produces: &mut Vec<QueueId>, consumes: &mut Vec<QueueId>) {
         for s in steps {
             match s {
-                KStep::Produce(q) => {
-                    if !produces.contains(q) {
-                        produces.push(*q);
-                    }
+                KStep::Produce(q) if !produces.contains(q) => {
+                    produces.push(*q);
                 }
-                KStep::Consume(q) => {
-                    if !consumes.contains(q) {
-                        consumes.push(*q);
-                    }
+                KStep::Consume(q) if !consumes.contains(q) => {
+                    consumes.push(*q);
                 }
                 KStep::Loop(body, _) => Self::collect_queues(body, produces, consumes),
                 _ => {}

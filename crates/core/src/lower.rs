@@ -320,14 +320,14 @@ fn lower_produce(b: &mut ProgramBuilder, q: QueueId, design: &DesignPoint) {
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // flag addr
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // flag mask
     b.spin(q, false); // wait until the slot is empty (2 instrs per attempt)
-    // data (1):
+                      // data (1):
     b.instr(InstrTemplate::new(
         Op::Store(AddrPattern::QueueData { q }, StoreValue::QueuePayload(q)),
         InstrKind::Comm,
     ));
     b.release_store_flag(q, true);
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // occupancy math
-    // stream-address update (3):
+                                                              // stream-address update (3):
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // tail + 1
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // mod depth
     b.advance_queue(q);
@@ -335,22 +335,16 @@ fn lower_produce(b: &mut ProgramBuilder, q: QueueId, design: &DesignPoint) {
 
 /// The software consume sequence, mirroring [`lower_produce`]. Returns
 /// the register holding the consumed datum, if the design exposes one.
-fn lower_consume(
-    b: &mut ProgramBuilder,
-    q: QueueId,
-    design: &DesignPoint,
-) -> Option<hfs_isa::Reg> {
+fn lower_consume(b: &mut ProgramBuilder, q: QueueId, design: &DesignPoint) -> Option<hfs_isa::Reg> {
     if !design.is_software() {
         return Some(b.consume_into(q));
     }
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // flag addr
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm)); // flag mask
     b.spin(q, true); // wait until the slot is full
-    // data (1): the load's destination carries the consumed value.
+                     // data (1): the load's destination carries the consumed value.
     let dest = b.data_reg();
-    b.instr(
-        InstrTemplate::new(Op::Load(AddrPattern::QueueData { q }), InstrKind::Comm).dest(dest),
-    );
+    b.instr(InstrTemplate::new(Op::Load(AddrPattern::QueueData { q }), InstrKind::Comm).dest(dest));
     // st.rel: the flag clear may not perform before the data load.
     b.release_store_flag(q, false);
     b.instr(InstrTemplate::new(Op::IntAlu, InstrKind::Comm));
@@ -434,10 +428,14 @@ mod tests {
         let mut producer = Kernel::new(vec![KStep::Produce(q), KStep::Branch]);
         let a = producer.add_region("a", 100);
         let b2 = producer.add_region("b", 10_000);
-        producer.steps.insert(0, KStep::LoadStream { region: a, stride: 8 });
-        producer
-            .steps
-            .insert(1, KStep::LoadRandom { region: b2 });
+        producer.steps.insert(
+            0,
+            KStep::LoadStream {
+                region: a,
+                stride: 8,
+            },
+        );
+        producer.steps.insert(1, KStep::LoadRandom { region: b2 });
         let pair = KernelPair {
             name: "r",
             producer,
@@ -458,10 +456,7 @@ mod tests {
         let q = QueueId(0);
         let pair = KernelPair {
             name: "nest",
-            producer: Kernel::new(vec![KStep::Loop(
-                vec![KStep::Alu(2), KStep::Produce(q)],
-                3,
-            )]),
+            producer: Kernel::new(vec![KStep::Loop(vec![KStep::Alu(2), KStep::Produce(q)], 3)]),
             consumer: Kernel::new(vec![KStep::Loop(vec![KStep::Consume(q)], 3)]),
             iterations: 2,
         };

@@ -160,10 +160,7 @@ impl Machine {
     /// # Errors
     ///
     /// Configuration errors; at most 4 pairs fit the 8-core bus model.
-    pub fn new_multi_pipeline(
-        cfg: &MachineConfig,
-        pairs: &[KernelPair],
-    ) -> Result<Self, SimError> {
+    pub fn new_multi_pipeline(cfg: &MachineConfig, pairs: &[KernelPair]) -> Result<Self, SimError> {
         if pairs.is_empty() || pairs.len() > 4 {
             return Err(SimError::Config(hfs_sim::ConfigError::new(
                 "between 1 and 4 pipelines are supported",
@@ -307,10 +304,7 @@ impl Machine {
                     }
                 }
             }
-            if all_done
-                && self.mem.is_idle()
-                && self.backends.iter().all(Backend::quiescent)
-            {
+            if all_done && self.mem.is_idle() && self.backends.iter().all(Backend::quiescent) {
                 break;
             }
             // Deadlock detection: total committed instructions must grow.
@@ -325,7 +319,7 @@ impl Machine {
                 });
             }
             if let Some(step) = interval {
-                if now.as_u64() % step == 0 {
+                if now.as_u64().is_multiple_of(step) {
                     let iters = self
                         .seqs
                         .iter()
@@ -354,7 +348,11 @@ impl Machine {
                 self.mem.pending_ops(CoreId(i as u8)),
             ));
         }
-        s.push_str(&format!("mem idle={}\n{}", self.mem.is_idle(), self.mem.debug_state()));
+        s.push_str(&format!(
+            "mem idle={}\n{}",
+            self.mem.is_idle(),
+            self.mem.debug_state()
+        ));
         s
     }
 

@@ -54,8 +54,9 @@ impl QueueCheck {
     /// commit restores architectural order, so correctness is per-slot.
     pub fn on_consume(&mut self, q: QueueId, slot: u64, value: u64) {
         if value != slot {
-            self.errors
-                .push(format!("{q}: consume of slot {slot} returned value {value}"));
+            self.errors.push(format!(
+                "{q}: consume of slot {slot} returned value {value}"
+            ));
         }
         *self.consumed.entry(q).or_insert(0) += 1;
     }

@@ -47,7 +47,10 @@ impl SyncArrayConfig {
     ///
     /// Rejects zero depths, transits, rates, or stage capacities.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.depth == 0 || self.transit == 0 || self.ops_per_cycle == 0 || self.stage_capacity == 0
+        if self.depth == 0
+            || self.transit == 0
+            || self.ops_per_cycle == 0
+            || self.stage_capacity == 0
         {
             return Err(ConfigError::new(
                 "synchronization array dimensions must be non-zero",

@@ -178,10 +178,7 @@ impl Core {
                             InstrKind::Comm => self.stats.comm_instrs += 1,
                         }
                         let folded = self.cfg.free_queue_ops
-                            && matches!(
-                                e.instr.op,
-                                DynOp::Produce { .. } | DynOp::Consume { .. }
-                            );
+                            && matches!(e.instr.op, DynOp::Produce { .. } | DynOp::Consume { .. });
                         self.window.pop_front();
                         if !folded {
                             commits += 1;
@@ -237,29 +234,27 @@ impl Core {
                     }
                     Status::Done { done: now + 1 }
                 }
-                DynOp::Load { addr, spin } => {
-                    match mem.submit(self.id, MemOp::load(addr), now) {
-                        Submit::L1Hit { value, at } => {
-                            if let Some(tok) = spin {
-                                self.spin_deliveries.push(at, (tok, value));
-                            }
-                            if let Some(dest) = instr.dest {
-                                self.reg_ready[dest.index()] = at;
-                            }
-                            Status::Done { done: at }
+                DynOp::Load { addr, spin } => match mem.submit(self.id, MemOp::load(addr), now) {
+                    Submit::L1Hit { value, at } => {
+                        if let Some(tok) = spin {
+                            self.spin_deliveries.push(at, (tok, value));
                         }
-                        Submit::Accepted(token) => {
-                            if let Some(dest) = instr.dest {
-                                self.reg_ready[dest.index()] = PENDING;
-                            }
-                            Status::WaitMem { token }
+                        if let Some(dest) = instr.dest {
+                            self.reg_ready[dest.index()] = at;
                         }
-                        Submit::Rejected(_) => {
-                            self.stats.ozq_stalls += 1;
-                            break;
-                        }
+                        Status::Done { done: at }
                     }
-                }
+                    Submit::Accepted(token) => {
+                        if let Some(dest) = instr.dest {
+                            self.reg_ready[dest.index()] = PENDING;
+                        }
+                        Status::WaitMem { token }
+                    }
+                    Submit::Rejected(_) => {
+                        self.stats.ozq_stalls += 1;
+                        break;
+                    }
+                },
                 DynOp::Store {
                     addr,
                     value,
@@ -282,14 +277,16 @@ impl Core {
                         Submit::L1Hit { .. } => unreachable!("stores never L1-hit-complete"),
                     }
                 }
-                DynOp::Produce { q, value } => match stream.try_produce(mem, self.id, q, value, now) {
-                    StreamSubmit::Done { at, .. } => Status::Done { done: at },
-                    StreamSubmit::Pending(token) => Status::WaitStream { token },
-                    StreamSubmit::Blocked => {
-                        self.stats.stream_blocked += 1;
-                        break;
+                DynOp::Produce { q, value } => {
+                    match stream.try_produce(mem, self.id, q, value, now) {
+                        StreamSubmit::Done { at, .. } => Status::Done { done: at },
+                        StreamSubmit::Pending(token) => Status::WaitStream { token },
+                        StreamSubmit::Blocked => {
+                            self.stats.stream_blocked += 1;
+                            break;
+                        }
                     }
-                },
+                }
                 DynOp::Consume { q } => match stream.try_consume(mem, self.id, q, now) {
                     StreamSubmit::Done { at, .. } => {
                         if let Some(dest) = instr.dest {
@@ -399,7 +396,10 @@ mod tests {
                 break;
             }
         }
-        assert!(core.finished(&seq), "program did not finish in {limit} cycles");
+        assert!(
+            core.finished(&seq),
+            "program did not finish in {limit} cycles"
+        );
         (core, seq)
     }
 
@@ -418,7 +418,11 @@ mod tests {
         let prog = ProgramBuilder::new(10).alu_chain(10).build();
         let (core, _) = run(&prog, 10_000);
         // 100 dependent 1-cycle ops need at least ~100 cycles.
-        assert!(core.stats().cycles >= 90, "chain finished too fast: {}", core.stats().cycles);
+        assert!(
+            core.stats().cycles >= 90,
+            "chain finished too fast: {}",
+            core.stats().cycles
+        );
     }
 
     #[test]
@@ -516,7 +520,7 @@ mod tests {
         assert!(core.finished(&seq));
         let s = core.stats();
         assert_eq!(s.app_instrs, 12); // 3 ALU x 4 iterations
-        // Per iteration: flag load + branch + advance = 3 comm instrs.
+                                      // Per iteration: flag load + branch + advance = 3 comm instrs.
         assert_eq!(s.comm_instrs, 12);
         assert!((s.comm_ratio() - 1.0).abs() < 1e-12);
     }

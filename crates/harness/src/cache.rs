@@ -1,0 +1,123 @@
+//! On-disk result cache: `<dir>/<key>.json`, one file per job outcome.
+//!
+//! Only successful outcomes are persisted — failures are worth retrying
+//! on the next run, and a partial `all_figures` pass therefore resumes
+//! exactly where it failed. Writes go through a temp file + rename so a
+//! killed run never leaves a truncated entry behind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::job::JobOutcome;
+use crate::json::parse;
+use crate::ser::{outcome_from_json, outcome_to_json};
+
+/// A directory of cached job outcomes keyed by content hash.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl Cache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Cache {
+        Cache {
+            dir: dir.into(),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the outcome cached under `key`, if present and decodable.
+    /// Corrupt or unreadable entries are treated as misses.
+    pub fn load(&self, key: &str) -> Option<JobOutcome> {
+        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        outcome_from_json(&parse(&text).ok()?).ok()
+    }
+
+    /// Persists a successful outcome under `key`; non-`Ok` outcomes are
+    /// ignored. I/O failures are swallowed: the cache is an accelerator,
+    /// never a correctness dependency.
+    pub fn store(&self, key: &str, outcome: &JobOutcome) {
+        if !outcome.is_ok() {
+            return;
+        }
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let body = outcome_to_json(outcome).to_pretty();
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, body).is_ok() && fs::rename(&tmp, self.path_for(key)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{execute, Job};
+    use hfs_core::kernel::KernelPair;
+    use hfs_core::{DesignPoint, MachineConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hfs-cache-test-{}-{}", std::process::id(), tag));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = Cache::new(&dir);
+        let job = Job::pipeline(
+            "t",
+            KernelPair::simple("demo", 2, 30),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        );
+        let out = execute(&job, 0);
+        let key = job.key();
+        assert!(cache.load(&key).is_none(), "cold cache misses");
+        cache.store(&key, &out);
+        let loaded = cache.load(&key).expect("hit after store");
+        assert_eq!(
+            loaded.ok().unwrap().cycles,
+            out.ok().unwrap().cycles,
+            "cached cycles match"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let dir = tmp_dir("failures");
+        let cache = Cache::new(&dir);
+        cache.store("deadbeef", &JobOutcome::Timeout { max_cycles: 1 });
+        cache.store("deadbeef", &JobOutcome::SimError("x".into()));
+        assert!(cache.load("deadbeef").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("abc.json"), "{not json").unwrap();
+        assert!(Cache::new(&dir).load("abc").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,455 @@
+//! The parallel experiment-execution engine.
+//!
+//! An [`Engine`] runs batches of [`Job`]s on a `std::thread` worker pool
+//! fed by a shared index queue. Results are gathered into submission
+//! order, so experiment output is byte-identical at any worker count;
+//! only the (stderr) progress stream interleaves differently.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::cache::Cache;
+use crate::job::{execute, Job, JobOutcome};
+use crate::json::Json;
+use crate::ser::outcome_to_json;
+
+/// Worker-count environment variable (`HFS_JOBS`).
+pub const ENV_JOBS: &str = "HFS_JOBS";
+/// Cache-directory environment variable (`HFS_CACHE_DIR`).
+pub const ENV_CACHE_DIR: &str = "HFS_CACHE_DIR";
+/// Set to disable the result cache entirely (`HFS_NO_CACHE=1`).
+pub const ENV_NO_CACHE: &str = "HFS_NO_CACHE";
+/// Default retry count for failed jobs (`HFS_RETRIES`).
+pub const ENV_RETRIES: &str = "HFS_RETRIES";
+/// Artifact output directory (`HFS_RESULTS_DIR`).
+pub const ENV_RESULTS_DIR: &str = "HFS_RESULTS_DIR";
+/// Set to suppress the per-job progress stream (`HFS_NO_PROGRESS=1`).
+pub const ENV_NO_PROGRESS: &str = "HFS_NO_PROGRESS";
+
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Live counters aggregated across every batch an engine runs.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    jobs: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    failures: AtomicU64,
+    sim_cycles: AtomicU64,
+    exec_millis: AtomicU64,
+}
+
+/// A snapshot of an engine's aggregate counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs processed (hits + misses).
+    pub jobs: u64,
+    /// Jobs answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs actually simulated.
+    pub cache_misses: u64,
+    /// Jobs whose final outcome was not `Ok`.
+    pub failures: u64,
+    /// Total simulated cycles across executed (non-cached) jobs.
+    pub sim_cycles: u64,
+    /// Wall-clock milliseconds spent executing jobs (summed over
+    /// workers, so this can exceed elapsed time when running parallel).
+    pub exec_millis: u64,
+}
+
+/// The parallel experiment-execution engine.
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    cache: Option<Cache>,
+    results_dir: Option<PathBuf>,
+    default_retries: u32,
+    progress: bool,
+    counters: EngineCounters,
+}
+
+impl Engine {
+    /// A quiet engine with `workers` threads, no cache, and no artifact
+    /// directory — the configuration tests want.
+    pub fn new(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            cache: None,
+            results_dir: None,
+            default_retries: 0,
+            progress: false,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// The production configuration, honoring the `HFS_*` environment:
+    /// `HFS_JOBS` workers (default: available parallelism), a result
+    /// cache in `HFS_CACHE_DIR` (default `results/cache`, disable with
+    /// `HFS_NO_CACHE=1`), artifacts in `HFS_RESULTS_DIR` (default
+    /// `results`), `HFS_RETRIES` retries (default 1), and a progress
+    /// stream on stderr unless `HFS_NO_PROGRESS=1`.
+    pub fn from_env() -> Engine {
+        let workers = std::env::var(ENV_JOBS)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let cache = if env_flag(ENV_NO_CACHE) {
+            None
+        } else {
+            let dir = std::env::var(ENV_CACHE_DIR).unwrap_or_else(|_| "results/cache".to_string());
+            Some(Cache::new(dir))
+        };
+        let results_dir = Some(PathBuf::from(
+            std::env::var(ENV_RESULTS_DIR).unwrap_or_else(|_| "results".to_string()),
+        ));
+        let default_retries = std::env::var(ENV_RETRIES)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        Engine {
+            workers,
+            cache,
+            results_dir,
+            default_retries,
+            progress: !env_flag(ENV_NO_PROGRESS),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Replaces the cache directory.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.cache = Some(Cache::new(dir));
+        self
+    }
+
+    /// Sets the artifact output directory (written by
+    /// [`Engine::run_batch`] after each batch).
+    #[must_use]
+    pub fn with_results_dir(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.results_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables or disables the stderr progress stream.
+    #[must_use]
+    pub fn with_progress(mut self, on: bool) -> Engine {
+        self.progress = on;
+        self
+    }
+
+    /// Sets the default retry count applied to every job.
+    #[must_use]
+    pub fn with_default_retries(mut self, retries: u32) -> Engine {
+        self.default_retries = retries;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            failures: self.counters.failures.load(Ordering::Relaxed),
+            sim_cycles: self.counters.sim_cycles.load(Ordering::Relaxed),
+            exec_millis: self.counters.exec_millis.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One line summarizing everything this engine has processed.
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        format!(
+            "harness: {} jobs ({} cache hits, {} simulated, {} failed), \
+             {} simulated cycles, {:.1}s execute time, {} workers",
+            s.jobs,
+            s.cache_hits,
+            s.cache_misses,
+            s.failures,
+            s.sim_cycles,
+            s.exec_millis as f64 / 1000.0,
+            self.workers,
+        )
+    }
+
+    /// Runs `jobs` to completion on the worker pool and returns their
+    /// records in submission order. Every job runs even if others fail —
+    /// failures surface in the records (and later via
+    /// [`Batch::expect_results`]), so completed work lands in the cache
+    /// before anyone panics. If a results directory is configured, the
+    /// batch artifact `<dir>/<name>.json` is written before returning.
+    pub fn run_batch(&self, name: &str, jobs: Vec<Job>) -> Batch {
+        let total = jobs.len();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Record>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(total.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let record = self.run_one(name, &jobs[i], &done, total);
+                    *slots[i].lock().unwrap() = Some(record);
+                });
+            }
+        });
+        let records: Vec<Record> = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+            .collect();
+        let batch = Batch {
+            name: name.to_string(),
+            records,
+        };
+        if let Some(dir) = &self.results_dir {
+            if let Err(e) = batch.write_artifact(dir) {
+                eprintln!("harness: failed to write {name} artifact: {e}");
+            }
+        }
+        batch
+    }
+
+    fn run_one(&self, batch: &str, job: &Job, done: &AtomicUsize, total: usize) -> Record {
+        let key = job.key();
+        let started = Instant::now();
+        let (outcome, cached) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
+            Some(hit) => (hit, true),
+            None => {
+                let outcome = execute(job, self.default_retries);
+                if let Some(cache) = &self.cache {
+                    cache.store(&key, &outcome);
+                }
+                (outcome, false)
+            }
+        };
+        let wall_millis = started.elapsed().as_millis() as u64;
+
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        if cached {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .exec_millis
+                .fetch_add(wall_millis, Ordering::Relaxed);
+            if let Some(r) = outcome.ok() {
+                self.counters
+                    .sim_cycles
+                    .fetch_add(r.cycles, Ordering::Relaxed);
+            }
+        }
+        if !outcome.is_ok() {
+            self.counters.failures.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.progress {
+            // Labels conventionally start with the batch name; don't
+            // print it twice.
+            let label = job
+                .label
+                .strip_prefix(batch)
+                .and_then(|rest| rest.strip_prefix('/'))
+                .unwrap_or(&job.label);
+            eprintln!(
+                "[{finished}/{total}] {batch}/{}: {}{}",
+                label,
+                outcome,
+                if cached {
+                    " (cached)".to_string()
+                } else {
+                    format!(" in {:.2}s", wall_millis as f64 / 1000.0)
+                },
+            );
+        }
+        Record {
+            label: job.label.clone(),
+            key,
+            cached,
+            wall_millis,
+            outcome,
+        }
+    }
+}
+
+/// One job's execution record within a batch.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// The job's display label.
+    pub label: String,
+    /// Content-derived cache key.
+    pub key: String,
+    /// Whether the outcome came from the cache.
+    pub cached: bool,
+    /// Wall-clock milliseconds this job took (≈0 for cache hits).
+    pub wall_millis: u64,
+    /// The job's outcome.
+    pub outcome: JobOutcome,
+}
+
+/// The ordered results of one [`Engine::run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch/experiment name (artifact file stem).
+    pub name: String,
+    /// Per-job records, in submission order.
+    pub records: Vec<Record>,
+}
+
+impl Batch {
+    /// Iterates the outcomes in submission order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.records.iter().map(|r| &r.outcome)
+    }
+
+    /// Whether every job in the batch succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.outcome.is_ok())
+    }
+
+    /// Whether every outcome was served from the cache.
+    pub fn all_cached(&self) -> bool {
+        self.records.iter().all(|r| r.cached)
+    }
+
+    /// Unwraps every outcome into its [`hfs_core::RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job failed, listing *every* failing label and
+    /// reason — after the whole batch has executed, so completed work is
+    /// already cached and a re-run resumes from the failures alone.
+    pub fn expect_results(&self) -> Vec<hfs_core::RunResult> {
+        let failures: Vec<String> = self
+            .records
+            .iter()
+            .filter(|r| !r.outcome.is_ok())
+            .map(|r| format!("  {}/{}: {}", self.name, r.label, r.outcome))
+            .collect();
+        assert!(
+            failures.is_empty(),
+            "{} job(s) failed in batch `{}`:\n{}",
+            failures.len(),
+            self.name,
+            failures.join("\n")
+        );
+        self.records
+            .iter()
+            .map(|r| r.outcome.ok().expect("checked above").clone())
+            .collect()
+    }
+
+    /// The machine-readable batch artifact. Deliberately excludes
+    /// wall-clock times and cache flags so the bytes are identical across
+    /// runs, worker counts, and warm/cold caches.
+    pub fn artifact_json(&self) -> String {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.name.clone())),
+            ("schema", Json::U64(u64::from(crate::job::CACHE_SCHEMA))),
+            (
+                "jobs",
+                Json::Arr(
+                    self.records
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("label", Json::Str(r.label.clone())),
+                                ("key", Json::Str(r.key.clone())),
+                                ("outcome", outcome_to_json(&r.outcome)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Writes the batch artifact as `<dir>/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating the directory or writing.
+    pub fn write_artifact(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.artifact_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_core::kernel::KernelPair;
+    use hfs_core::{DesignPoint, MachineConfig};
+
+    fn job(work: u32, iters: u64) -> Job {
+        Job::pipeline(
+            format!("w{work}-i{iters}"),
+            KernelPair::simple("demo", work, iters),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let engine = Engine::new(4);
+        let jobs: Vec<Job> = (1..=6).map(|w| job(w, 20)).collect();
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let batch = engine.run_batch("order", jobs);
+        let got: Vec<String> = batch.records.iter().map(|r| r.label.clone()).collect();
+        assert_eq!(got, labels);
+        assert!(batch.all_ok());
+        assert_eq!(engine.stats().jobs, 6);
+        assert_eq!(engine.stats().cache_misses, 6);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = Engine::new(2).run_batch("empty", Vec::new());
+        assert!(batch.all_ok());
+        assert!(batch.expect_results().is_empty());
+    }
+
+    #[test]
+    fn failures_do_not_stop_the_batch() {
+        let engine = Engine::new(2);
+        let jobs = vec![
+            job(2, 20),
+            job(2, 5_000).with_max_cycles(50), // watchdog trips
+            job(3, 20),
+        ];
+        let batch = engine.run_batch("mixed", jobs);
+        assert!(!batch.all_ok());
+        let statuses: Vec<&str> = batch.outcomes().map(JobOutcome::status).collect();
+        assert_eq!(statuses, vec!["ok", "timeout", "ok"]);
+        assert_eq!(engine.stats().failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed in batch")]
+    fn expect_results_names_the_failure() {
+        let batch = Engine::new(1).run_batch("boom", vec![job(2, 5_000).with_max_cycles(50)]);
+        let _ = batch.expect_results();
+    }
+
+    #[test]
+    fn summary_mentions_worker_count() {
+        let engine = Engine::new(3);
+        assert!(engine.summary().contains("3 workers"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Experiment job specifications and outcomes.
+
+use std::fmt;
+
+use hfs_core::kernel::KernelPair;
+use hfs_core::{Machine, MachineConfig, RunResult, SimError};
+
+/// Default per-job simulated-cycle budget; hitting it is a harness or
+/// model bug, surfaced as [`JobOutcome::Timeout`] by the watchdog.
+pub const DEFAULT_MAX_CYCLES: u64 = 500_000_000;
+
+/// Cache-schema revision. Bump when the serialized result format or the
+/// key derivation changes; old entries then miss and are re-simulated.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// How the machine is assembled for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dual-core producer/consumer pipeline ([`Machine::new_pipeline`]).
+    Pipeline,
+    /// Fused single-threaded baseline ([`Machine::new_single`]).
+    Single,
+    /// `n` independent copies of the pair on a `2n`-core CMP
+    /// ([`Machine::new_multi_pipeline`]).
+    Multi(u8),
+}
+
+/// One unit of experiment work: a kernel pair under a machine
+/// configuration, with a watchdog budget and retry policy.
+///
+/// The job's [cache key](Job::key) is derived from the *content* that
+/// determines the simulation result (pair, config, mode, cycle budget) —
+/// never from the display label — so identical runs shared between
+/// figures (e.g. HEAVYWT baselines) deduplicate in the cache.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display label, e.g. `"fig7/wc/HEAVYWT"`. Not part of the key.
+    pub label: String,
+    /// The workload, with iteration scaling already applied.
+    pub pair: KernelPair,
+    /// Machine configuration (includes the design point and seed).
+    pub cfg: MachineConfig,
+    /// Machine assembly mode.
+    pub mode: Mode,
+    /// Watchdog budget in simulated cycles.
+    pub max_cycles: u64,
+    /// Re-execution attempts after a transient harness failure.
+    pub retries: u32,
+}
+
+impl Job {
+    /// A dual-core pipeline job.
+    pub fn pipeline(label: impl Into<String>, pair: KernelPair, cfg: MachineConfig) -> Job {
+        Job {
+            label: label.into(),
+            pair,
+            cfg,
+            mode: Mode::Pipeline,
+            max_cycles: DEFAULT_MAX_CYCLES,
+            retries: 0,
+        }
+    }
+
+    /// A fused single-threaded job.
+    pub fn single(label: impl Into<String>, pair: KernelPair, cfg: MachineConfig) -> Job {
+        Job {
+            mode: Mode::Single,
+            ..Job::pipeline(label, pair, cfg)
+        }
+    }
+
+    /// A multi-pipeline job running `pairs` copies of the workload.
+    pub fn multi(label: impl Into<String>, pair: KernelPair, cfg: MachineConfig, pairs: u8) -> Job {
+        Job {
+            mode: Mode::Multi(pairs),
+            ..Job::pipeline(label, pair, cfg)
+        }
+    }
+
+    /// Overrides the watchdog cycle budget.
+    #[must_use]
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Job {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Overrides the retry count.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Job {
+        self.retries = retries;
+        self
+    }
+
+    /// The stable, content-derived cache key (16 hex digits).
+    ///
+    /// Hashes everything that determines the simulation outcome: the
+    /// kernel pair (kernels, queues, iterations), the full machine
+    /// configuration (memory hierarchy, core, design point, seed), the
+    /// assembly mode, the cycle budget, and [`CACHE_SCHEMA`].
+    pub fn key(&self) -> String {
+        let canonical = format!(
+            "schema={CACHE_SCHEMA}|mode={:?}|max_cycles={}|pair={:?}|cfg={:?}",
+            self.mode, self.max_cycles, self.pair, self.cfg
+        );
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a, the workspace's content hash for cache keys.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The structured result of attempting one job: success, a simulation
+/// error (config/deadlock/verification), or a watchdog timeout. Replaces
+/// the seed harness's `panic!`-on-error behavior so one bad kernel no
+/// longer kills a whole figure.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The run completed; full statistics attached.
+    Ok(RunResult),
+    /// The simulator reported an error (after exhausting retries).
+    SimError(String),
+    /// The run exceeded its cycle budget.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+}
+
+impl JobOutcome {
+    /// The run result, if the job succeeded.
+    pub fn ok(&self) -> Option<&RunResult> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// Short status tag: `"ok"`, `"sim_error"`, or `"timeout"`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok(_) => "ok",
+            JobOutcome::SimError(_) => "sim_error",
+            JobOutcome::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+impl fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobOutcome::Ok(r) => write!(f, "ok ({} cycles)", r.cycles),
+            JobOutcome::SimError(e) => write!(f, "sim error: {e}"),
+            JobOutcome::Timeout { max_cycles } => {
+                write!(f, "timeout: exceeded {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+/// Runs `job` once, propagating the simulator's fallible API.
+///
+/// # Errors
+///
+/// Any [`SimError`] from machine construction or the run itself.
+pub fn execute_once(job: &Job) -> Result<RunResult, SimError> {
+    let mut machine = match job.mode {
+        Mode::Pipeline => Machine::new_pipeline(&job.cfg, &job.pair)?,
+        Mode::Single => Machine::new_single(&job.cfg, &job.pair)?,
+        Mode::Multi(n) => {
+            let pairs: Vec<KernelPair> = (0..n).map(|_| job.pair.clone()).collect();
+            Machine::new_multi_pipeline(&job.cfg, &pairs)?
+        }
+    };
+    machine.run(job.max_cycles)
+}
+
+/// Runs `job` with its retry policy, classifying failures.
+///
+/// Timeouts are never retried (the simulator is deterministic, so a
+/// budget overrun will recur); other errors are retried up to
+/// `max(job.retries, default_retries)` times to absorb transient harness
+/// issues.
+pub fn execute(job: &Job, default_retries: u32) -> JobOutcome {
+    let attempts = 1 + job.retries.max(default_retries);
+    let mut last_err = String::new();
+    for _ in 0..attempts {
+        match execute_once(job) {
+            Ok(r) => return JobOutcome::Ok(r),
+            Err(SimError::Timeout { max_cycles }) => return JobOutcome::Timeout { max_cycles },
+            Err(e) => last_err = e.to_string(),
+        }
+    }
+    JobOutcome::SimError(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_core::DesignPoint;
+
+    fn demo_job(iters: u64) -> Job {
+        Job::pipeline(
+            "test/demo",
+            KernelPair::simple("demo", 3, iters),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+    }
+
+    #[test]
+    fn key_is_stable_and_label_independent() {
+        let a = demo_job(50);
+        let mut b = demo_job(50);
+        b.label = "something/else".into();
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.key().len(), 16);
+    }
+
+    #[test]
+    fn key_depends_on_content() {
+        let base = demo_job(50);
+        assert_ne!(base.key(), demo_job(51).key(), "iterations change the key");
+        let other_design = Job {
+            cfg: MachineConfig::itanium2_cmp(DesignPoint::existing()),
+            ..demo_job(50)
+        };
+        assert_ne!(base.key(), other_design.key(), "design changes the key");
+        let single = Job {
+            mode: Mode::Single,
+            ..demo_job(50)
+        };
+        assert_ne!(base.key(), single.key(), "mode changes the key");
+        let budget = demo_job(50).with_max_cycles(1_000);
+        assert_ne!(base.key(), budget.key(), "budget changes the key");
+    }
+
+    #[test]
+    fn execute_completes_a_small_pipeline() {
+        let out = execute(&demo_job(40), 0);
+        let r = out.ok().expect("run succeeds");
+        assert_eq!(r.iterations, 40);
+        assert!(out.is_ok());
+        assert_eq!(out.status(), "ok");
+    }
+
+    #[test]
+    fn watchdog_classifies_budget_overrun() {
+        let job = demo_job(10_000).with_max_cycles(100);
+        match execute(&job, 3) {
+            JobOutcome::Timeout { max_cycles } => assert_eq!(max_cycles, 100),
+            other => panic!("expected timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn config_errors_become_sim_errors() {
+        // 5 pairs exceed the 8-core bus model.
+        let job = Job::multi(
+            "test/too-many",
+            KernelPair::simple("demo", 2, 10),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+            5,
+        );
+        match execute(&job, 1) {
+            JobOutcome::SimError(e) => assert!(e.contains("pipelines"), "{e}"),
+            other => panic!("expected sim error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_and_multi_modes_execute() {
+        let single = Job::single(
+            "test/single",
+            KernelPair::simple("demo", 2, 30),
+            MachineConfig::itanium2_single(),
+        );
+        let r = execute(&single, 0);
+        assert_eq!(r.ok().expect("single ok").cores.len(), 1);
+
+        let multi = Job::multi(
+            "test/multi",
+            KernelPair::simple("demo", 2, 30),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+            2,
+        );
+        let r = execute(&multi, 0);
+        assert_eq!(r.ok().expect("multi ok").cores.len(), 4);
+    }
+}

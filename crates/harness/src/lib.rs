@@ -1,0 +1,34 @@
+//! `hfs-harness` — the parallel experiment-execution engine.
+//!
+//! Every `hfs-bench` experiment routes its simulation runs through this
+//! crate instead of calling [`hfs_core::Machine`] directly. The harness
+//! provides:
+//!
+//! - [`Job`]: a benchmark × design-point × machine-config work unit with
+//!   a stable, content-derived cache [key](Job::key);
+//! - [`Engine`]: a `std::thread` worker pool that executes job batches
+//!   in parallel while gathering results in submission order, so output
+//!   is byte-identical at any `HFS_JOBS` setting;
+//! - [`Cache`]: an on-disk result cache (`results/cache/<key>.json`)
+//!   with hand-rolled, std-only JSON serialization;
+//! - robustness: simulator failures become structured [`JobOutcome`]s
+//!   (never panics mid-batch), with a per-job simulated-cycle watchdog
+//!   and configurable retries;
+//! - observability: per-job timing and live progress on stderr, engine
+//!   counters via [`Engine::stats`]/[`Engine::summary`], and
+//!   machine-readable `results/<experiment>.json` artifacts.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod job;
+pub mod json;
+pub mod ser;
+
+pub use cache::Cache;
+pub use engine::{Batch, Engine, EngineStats, Record};
+pub use job::{execute, execute_once, Job, JobOutcome, Mode, CACHE_SCHEMA, DEFAULT_MAX_CYCLES};
+pub use json::{parse, Json, ParseError};
+pub use ser::{outcome_from_json, outcome_to_json, run_result_from_json, run_result_to_json};

@@ -1,0 +1,115 @@
+//! End-to-end harness tests: determinism across worker counts, cache
+//! round-trips, and watchdog behavior inside a batch.
+
+use std::path::PathBuf;
+
+use hfs_core::kernel::KernelPair;
+use hfs_core::{DesignPoint, MachineConfig};
+use hfs_harness::{Engine, Job, JobOutcome};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hfs-engine-test-{}-{}", std::process::id(), tag));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn sweep_jobs() -> Vec<Job> {
+    let designs = [
+        DesignPoint::heavywt(),
+        DesignPoint::syncopti(),
+        DesignPoint::existing(),
+        DesignPoint::memopti(),
+    ];
+    let mut jobs = Vec::new();
+    for d in designs {
+        for work in [1u32, 4, 9] {
+            jobs.push(Job::pipeline(
+                format!("{}/w{work}", d.label()),
+                KernelPair::simple("demo", work, 40),
+                MachineConfig::itanium2_cmp(d),
+            ));
+        }
+    }
+    jobs
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_worker_counts() {
+    let serial = Engine::new(1).run_batch("sweep", sweep_jobs());
+    let parallel = Engine::new(4).run_batch("sweep", sweep_jobs());
+    assert!(serial.all_ok() && parallel.all_ok());
+    assert_eq!(
+        serial.artifact_json(),
+        parallel.artifact_json(),
+        "one worker and four workers must produce identical artifacts"
+    );
+}
+
+#[test]
+fn second_run_is_all_cache_hits_and_byte_identical() {
+    let dir = tmp_dir("cache-roundtrip");
+    let cold = Engine::new(4).with_cache_dir(&dir);
+    let first = cold.run_batch("sweep", sweep_jobs());
+    assert!(first.all_ok());
+    assert_eq!(cold.stats().cache_misses, first.records.len() as u64);
+    assert_eq!(cold.stats().cache_hits, 0);
+
+    let warm = Engine::new(4).with_cache_dir(&dir);
+    let second = warm.run_batch("sweep", sweep_jobs());
+    assert!(second.all_cached(), "warm run must be 100% cache hits");
+    assert_eq!(warm.stats().cache_hits, second.records.len() as u64);
+    assert_eq!(warm.stats().cache_misses, 0);
+    assert_eq!(
+        first.artifact_json(),
+        second.artifact_json(),
+        "cached results must reconstruct byte-identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_deduplicates_identical_jobs_across_batches() {
+    let dir = tmp_dir("cache-dedup");
+    let engine = Engine::new(2).with_cache_dir(&dir);
+    let job = |label: &str| {
+        Job::pipeline(
+            label,
+            KernelPair::simple("demo", 3, 40),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+    };
+    // Same content under different labels (as fig7/fig8 share HEAVYWT
+    // baselines) must hit the same cache entry.
+    engine.run_batch("figA", vec![job("figA/demo")]);
+    let b = engine.run_batch("figB", vec![job("figB/demo")]);
+    assert!(b.all_cached(), "label must not defeat cache dedup");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_timeout_surfaces_in_batch_without_hanging() {
+    let jobs = vec![
+        Job::pipeline(
+            "ok",
+            KernelPair::simple("demo", 2, 40),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        ),
+        Job::pipeline(
+            "stuck",
+            KernelPair::simple("demo", 2, 100_000),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+        .with_max_cycles(200),
+    ];
+    let batch = Engine::new(2).run_batch("watchdog", jobs);
+    assert!(batch.records[0].outcome.is_ok());
+    match &batch.records[1].outcome {
+        JobOutcome::Timeout { max_cycles } => assert_eq!(*max_cycles, 200),
+        other => panic!("expected watchdog timeout, got {other}"),
+    }
+    // A failed batch still writes a well-formed artifact.
+    let artifact = batch.artifact_json();
+    let parsed = hfs_harness::parse(&artifact).expect("artifact parses");
+    let jobs = parsed.get("jobs").and_then(|j| j.as_arr()).unwrap();
+    assert_eq!(jobs.len(), 2);
+}

@@ -91,8 +91,9 @@ impl ProgramBuilder {
     pub fn alu_work(&mut self, n: u64) -> &mut Self {
         for _ in 0..n {
             let d = self.alloc_reg();
-            self.body
-                .push(Step::Instr(InstrTemplate::new(Op::IntAlu, InstrKind::App).dest(d)));
+            self.body.push(Step::Instr(
+                InstrTemplate::new(Op::IntAlu, InstrKind::App).dest(d),
+            ));
         }
         self
     }
@@ -117,8 +118,9 @@ impl ProgramBuilder {
     pub fn fp_work(&mut self, n: u64) -> &mut Self {
         for _ in 0..n {
             let d = self.alloc_reg();
-            self.body
-                .push(Step::Instr(InstrTemplate::new(Op::FpAlu, InstrKind::App).dest(d)));
+            self.body.push(Step::Instr(
+                InstrTemplate::new(Op::FpAlu, InstrKind::App).dest(d),
+            ));
         }
         self
     }
@@ -136,8 +138,11 @@ impl ProgramBuilder {
     pub fn load_stream(&mut self, region: RegionId, stride: u64) -> &mut Self {
         let d = self.alloc_reg();
         self.body.push(Step::Instr(
-            InstrTemplate::new(Op::Load(AddrPattern::Stream { region, stride }), InstrKind::App)
-                .dest(d),
+            InstrTemplate::new(
+                Op::Load(AddrPattern::Stream { region, stride }),
+                InstrKind::App,
+            )
+            .dest(d),
         ));
         self
     }
@@ -261,10 +266,8 @@ impl ProgramBuilder {
 
     /// Appends a memory fence.
     pub fn fence(&mut self) -> &mut Self {
-        self.body.push(Step::Instr(InstrTemplate::new(
-            Op::Fence,
-            InstrKind::Comm,
-        )));
+        self.body
+            .push(Step::Instr(InstrTemplate::new(Op::Fence, InstrKind::Comm)));
         self
     }
 

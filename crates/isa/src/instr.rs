@@ -130,9 +130,11 @@ impl Op {
             Op::IntAlu => FuClass::IntAlu,
             Op::FpAlu => FuClass::Fp,
             Op::Branch => FuClass::Branch,
-            Op::Load(_) | Op::Store(..) | Op::StoreRelease(..) | Op::Produce(_) | Op::Consume(_) => {
-                FuClass::Mem
-            }
+            Op::Load(_)
+            | Op::Store(..)
+            | Op::StoreRelease(..)
+            | Op::Produce(_)
+            | Op::Consume(_) => FuClass::Mem,
             // A fence issues through the memory pipeline.
             Op::Fence => FuClass::Mem,
         }

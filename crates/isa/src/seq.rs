@@ -8,8 +8,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hfs_sim::Rng64;
 
 use crate::addr::{Addr, AddrPattern};
 use crate::ids::{QueueId, Reg, RegionId};
@@ -91,7 +90,7 @@ pub struct Sequencer {
     finished: bool,
     /// Buffered next instruction for peek/pop.
     lookahead: Option<DynInstr>,
-    rng: StdRng,
+    rng: Rng64,
     emitted_app: u64,
     emitted_comm: u64,
 }
@@ -155,7 +154,7 @@ impl Sequencer {
             iterations_done: 0,
             finished: program.iterations == 0,
             lookahead: None,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
             emitted_app: 0,
             emitted_comm: 0,
         })
@@ -229,7 +228,13 @@ impl Sequencer {
         }
     }
 
-    fn emit(&mut self, op: DynOp, dest: Option<Reg>, srcs: [Option<Reg>; 2], kind: InstrKind) -> DynInstr {
+    fn emit(
+        &mut self,
+        op: DynOp,
+        dest: Option<Reg>,
+        srcs: [Option<Reg>; 2],
+        kind: InstrKind,
+    ) -> DynInstr {
         let d = DynInstr {
             seq: self.next_seq,
             op,
@@ -406,7 +411,7 @@ impl Sequencer {
                 let size = self.region_size[&region];
                 // 8-byte aligned uniform offset.
                 let words = (size / 8).max(1);
-                let off = self.rng.gen_range(0..words) * 8;
+                let off = self.rng.below(words) * 8;
                 self.region_base[&region] + off
             }
             AddrPattern::QueueData { q } => {
@@ -575,7 +580,10 @@ mod tests {
         // First: flag load carrying a token.
         let load = s.pop().unwrap();
         let token = match load.op {
-            DynOp::Load { spin: Some(t), addr } => {
+            DynOp::Load {
+                spin: Some(t),
+                addr,
+            } => {
                 assert_eq!(addr, Addr::new(0x8008));
                 t
             }
@@ -669,7 +677,9 @@ mod tests {
             regions: vec![Region::new(RegionId(0), "ws", 256)],
             queues: vec![],
             body: vec![Step::Instr(InstrTemplate::new(
-                Op::Load(AddrPattern::Random { region: RegionId(0) }),
+                Op::Load(AddrPattern::Random {
+                    region: RegionId(0),
+                }),
                 InstrKind::App,
             ))],
             iterations: 50,
@@ -689,7 +699,9 @@ mod tests {
             regions: vec![Region::new(RegionId(0), "ws", 1024)],
             queues: vec![],
             body: vec![Step::Instr(InstrTemplate::new(
-                Op::Load(AddrPattern::Random { region: RegionId(0) }),
+                Op::Load(AddrPattern::Random {
+                    region: RegionId(0),
+                }),
                 InstrKind::App,
             ))],
             iterations: 20,

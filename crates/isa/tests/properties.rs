@@ -1,14 +1,21 @@
-//! Property-based tests for program building and sequencing.
+//! Randomized property tests for program building and sequencing,
+//! driven by the workspace's deterministic [`Rng64`].
 
 use hfs_isa::{Addr, DynOp, ProgramBuilder, RegionId, Sequencer};
-use proptest::prelude::*;
+use hfs_sim::Rng64;
 use std::collections::HashMap;
 
-proptest! {
-    /// A straight-line body expands to exactly body-size x iterations
-    /// dynamic instructions, in deterministic order.
-    #[test]
-    fn expansion_count_is_exact(alu in 1u64..8, fp in 0u64..4, iters in 1u64..50) {
+const CASES: u64 = 48;
+
+/// A straight-line body expands to exactly body-size x iterations
+/// dynamic instructions, in deterministic order.
+#[test]
+fn expansion_count_is_exact() {
+    let mut rng = Rng64::new(0x15A_0001);
+    for _ in 0..CASES {
+        let alu = rng.range(1, 8);
+        let fp = rng.below(4);
+        let iters = rng.range(1, 50);
         let mut b = ProgramBuilder::new(iters);
         b.alu_work(alu).fp_work(fp).branch();
         let prog = b.build();
@@ -17,18 +24,20 @@ proptest! {
         while seq.pop().is_some() {
             n += 1;
         }
-        prop_assert_eq!(n, (alu + fp + 1) * iters);
-        prop_assert!(seq.finished());
-        prop_assert_eq!(seq.iterations_completed(), iters);
+        assert_eq!(n, (alu + fp + 1) * iters);
+        assert!(seq.finished());
+        assert_eq!(seq.iterations_completed(), iters);
     }
+}
 
-    /// Stream loads walk the region by the stride and wrap inside it.
-    #[test]
-    fn stream_addresses_stay_in_region(
-        size_words in 2u64..256,
-        stride_words in 1u64..8,
-        iters in 1u64..100,
-    ) {
+/// Stream loads walk the region by the stride and wrap inside it.
+#[test]
+fn stream_addresses_stay_in_region() {
+    let mut rng = Rng64::new(0x15A_0002);
+    for _ in 0..CASES {
+        let size_words = rng.range(2, 256);
+        let stride_words = rng.range(1, 8);
+        let iters = rng.range(1, 100);
         let bytes = size_words * 8;
         let stride = stride_words * 8;
         let mut b = ProgramBuilder::new(iters);
@@ -42,16 +51,22 @@ proptest! {
         let mut expect = 0u64;
         while let Some(d) = seq.pop() {
             if let DynOp::Load { addr, .. } = d.op {
-                prop_assert_eq!(addr.as_u64(), base + expect);
-                prop_assert!(addr.as_u64() < base + bytes);
+                assert_eq!(addr.as_u64(), base + expect);
+                assert!(addr.as_u64() < base + bytes);
                 expect = (expect + stride) % bytes;
             }
         }
     }
+}
 
-    /// Inner loops multiply instruction counts exactly.
-    #[test]
-    fn nested_loops_expand_exactly(outer in 1u64..20, inner in 1u64..20, body in 1u64..5) {
+/// Inner loops multiply instruction counts exactly.
+#[test]
+fn nested_loops_expand_exactly() {
+    let mut rng = Rng64::new(0x15A_0003);
+    for _ in 0..CASES {
+        let outer = rng.range(1, 20);
+        let inner = rng.range(1, 20);
+        let body = rng.range(1, 5);
         let mut b = ProgramBuilder::new(outer);
         b.inner_loop(inner, |ib| {
             ib.alu_work(body);
@@ -62,12 +77,16 @@ proptest! {
         while seq.pop().is_some() {
             n += 1;
         }
-        prop_assert_eq!(n, outer * inner * body);
+        assert_eq!(n, outer * inner * body);
     }
+}
 
-    /// The same seed yields the same dynamic stream; sequencing is pure.
-    #[test]
-    fn sequencing_is_deterministic(seed in 0u64..1000) {
+/// The same seed yields the same dynamic stream; sequencing is pure.
+#[test]
+fn sequencing_is_deterministic() {
+    let mut rng = Rng64::new(0x15A_0004);
+    for _ in 0..CASES {
+        let seed = rng.below(1000);
         let mut b = ProgramBuilder::new(30);
         let r = b.declare_region("ws", 4096);
         b.load_random(r).alu_work(2);
@@ -76,8 +95,10 @@ proptest! {
         bases.insert(RegionId(0), Addr::new(0x4000));
         let collect = |seed| {
             let mut s = Sequencer::new(&prog, &bases, seed).unwrap();
-            std::iter::from_fn(move || s.pop()).map(|d| format!("{d}")).collect::<Vec<_>>()
+            std::iter::from_fn(move || s.pop())
+                .map(|d| format!("{d}"))
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(collect(seed), collect(seed));
+        assert_eq!(collect(seed), collect(seed));
     }
 }

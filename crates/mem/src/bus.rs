@@ -69,11 +69,7 @@ pub(crate) enum DataTxn {
     /// A dirty-line writeback into the L3.
     WbL3 { line: u64, from: CoreId },
     /// A write-forward push of a streaming line from one L2 to another.
-    ForwardLine {
-        line: u64,
-        from: CoreId,
-        to: CoreId,
-    },
+    ForwardLine { line: u64, from: CoreId, to: CoreId },
 }
 
 /// Aggregate bus statistics.
@@ -156,7 +152,7 @@ impl Bus {
     }
 
     fn on_bus_cycle(&self, now: Cycle) -> bool {
-        now.as_u64() % self.cfg.clock_divider == 0
+        now.as_u64().is_multiple_of(self.cfg.clock_divider)
     }
 
     /// Advances one CPU cycle. Returns the address phases and data
@@ -184,10 +180,16 @@ impl Bus {
             let is_streaming = |t: &AddrTxn| {
                 matches!(
                     t,
-                    AddrTxn::Rd { streaming: true, .. }
-                        | AddrTxn::RdX { streaming: true, .. }
-                        | AddrTxn::Upgr { streaming: true, .. }
-                        | AddrTxn::Ctl { .. }
+                    AddrTxn::Rd {
+                        streaming: true,
+                        ..
+                    } | AddrTxn::RdX {
+                        streaming: true,
+                        ..
+                    } | AddrTxn::Upgr {
+                        streaming: true,
+                        ..
+                    } | AddrTxn::Ctl { .. }
                 )
             };
             let passes: &[bool] = if self.cfg.favor_app_traffic {
@@ -205,8 +207,7 @@ impl Bus {
                     if eligible {
                         let txn = self.addr_queues[idx].pop_front().expect("front checked");
                         self.stats.addr_phases += 1;
-                        let deliver =
-                            now + self.cfg.pipeline_stages * self.cfg.clock_divider;
+                        let deliver = now + self.cfg.pipeline_stages * self.cfg.clock_divider;
                         self.addr_inflight.push(deliver, txn);
                         self.addr_rr = (idx + 1) % n;
                         break 'grant;
@@ -244,7 +245,9 @@ mod tests {
         Bus::new(BusConfig::baseline(), 2)
     }
 
-    fn run(bus: &mut Bus, from: u64, to: u64) -> (Vec<(u64, AddrTxn)>, Vec<(u64, DataTxn)>) {
+    type Stamped<T> = Vec<(u64, T)>;
+
+    fn run(bus: &mut Bus, from: u64, to: u64) -> (Stamped<AddrTxn>, Stamped<DataTxn>) {
         let mut a = Vec::new();
         let mut d = Vec::new();
         for c in from..to {
@@ -378,7 +381,11 @@ mod tests {
             AddrTxn::Ctl {
                 from: CoreId(1),
                 to: CoreId(0),
-                payload: CtlPayload { kind: 1, a: 2, b: 3 },
+                payload: CtlPayload {
+                    kind: 1,
+                    a: 2,
+                    b: 3,
+                },
             },
         );
         let (a, _) = run(&mut b, 0, 10);

@@ -52,7 +52,7 @@ impl CacheGeometry {
             return Err(ConfigError::new("cache line size must be a power of two"));
         }
         let row = u64::from(self.ways) * self.line_bytes;
-        if self.bytes % row != 0 || self.bytes / row == 0 {
+        if !self.bytes.is_multiple_of(row) || self.bytes / row == 0 {
             return Err(ConfigError::new(
                 "cache capacity must be a positive multiple of ways x line size",
             ));
@@ -151,7 +151,10 @@ impl CacheArray {
     /// Looks up `line` without touching LRU or statistics.
     pub fn probe(&self, line: u64) -> Option<LineState> {
         let set = self.set_index(line);
-        self.sets[set].iter().find(|w| w.line == line).map(|w| w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.state)
     }
 
     /// Installs `line` in `state`, evicting the LRU way if the set is
@@ -202,10 +205,9 @@ impl CacheArray {
     pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
         let set = self.set_index(line);
         let ways = &mut self.sets[set];
-        match ways.iter().position(|w| w.line == line) {
-            Some(i) => Some(ways.swap_remove(i).state),
-            None => None,
-        }
+        ways.iter()
+            .position(|w| w.line == line)
+            .map(|i| ways.swap_remove(i).state)
     }
 
     /// Number of resident lines.

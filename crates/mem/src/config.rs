@@ -137,7 +137,9 @@ impl MemConfig {
             return Err(ConfigError::new("at least one core is required"));
         }
         if self.cores > 8 {
-            return Err(ConfigError::new("the shared-bus model supports at most 8 cores"));
+            return Err(ConfigError::new(
+                "the shared-bus model supports at most 8 cores",
+            ));
         }
         self.l1d.validate()?;
         self.l2.validate()?;
@@ -233,8 +235,7 @@ mod tests {
     #[test]
     fn l2_bank_latencies_cover_5_7_9() {
         let c = MemConfig::itanium2_cmp();
-        let lats: std::collections::HashSet<u64> =
-            (0..6).map(|l| c.l2_latency_for(l)).collect();
+        let lats: std::collections::HashSet<u64> = (0..6).map(|l| c.l2_latency_for(l)).collect();
         assert_eq!(lats, [5, 7, 9].into_iter().collect());
     }
 }

@@ -337,12 +337,10 @@ impl L2Ctl {
             if retry_at > now {
                 continue;
             }
-            if matches!(
-                self.entries[i].kind,
-                EntryKind::Store { release: true, .. }
-            ) && self.entries[..i]
-                .iter()
-                .any(|p| !matches!(p.kind, EntryKind::Forward { .. }))
+            if matches!(self.entries[i].kind, EntryKind::Store { release: true, .. })
+                && self.entries[..i]
+                    .iter()
+                    .any(|p| !matches!(p.kind, EntryKind::Forward { .. }))
             {
                 continue; // ordered behind earlier accesses
             }
@@ -364,7 +362,11 @@ impl L2Ctl {
         // 3. Re-issue line requests whose NACK backoff expired.
         let mut reissue = Vec::new();
         for (&line, stage) in &self.pending_lines {
-            if let LineStage::WantIssue { retry_at, exclusive } = *stage {
+            if let LineStage::WantIssue {
+                retry_at,
+                exclusive,
+            } = *stage
+            {
                 if retry_at <= now {
                     reissue.push((line, exclusive));
                 }
@@ -446,12 +448,7 @@ impl L2Ctl {
     /// steal the line back; without this, two cores ping-ponging a line
     /// can livelock, each stealing it before the other's waiting access
     /// finishes its pipe pass.
-    pub(crate) fn fill(
-        &mut self,
-        line: u64,
-        state: LineState,
-        _now: Cycle,
-    ) -> Option<L2Victim> {
+    pub(crate) fn fill(&mut self, line: u64, state: LineState, _now: Cycle) -> Option<L2Victim> {
         self.pending_lines.remove(&line);
         self.array.install(line, state).map(|v| L2Victim {
             line: v.line,
@@ -541,7 +538,6 @@ impl L2Ctl {
         self.pending_lines.contains_key(&line)
     }
 
-
     /// Renders entry states for deadlock diagnostics.
     pub(crate) fn debug_entries(&self) -> String {
         let mut s = String::new();
@@ -567,7 +563,6 @@ impl L2Ctl {
     pub(crate) fn port_conflicts(&self) -> u64 {
         self.port_conflicts
     }
-
 }
 
 #[cfg(test)]
@@ -628,7 +623,10 @@ mod tests {
         c.fill(line, LineState::Shared, Cycle::new(0));
         c.allocate(
             addr,
-            EntryKind::Store { value: 7, release: false },
+            EntryKind::Store {
+                value: 7,
+                release: false,
+            },
             false,
             false,
             Cycle::new(0),
@@ -657,7 +655,10 @@ mod tests {
         c.fill(line, LineState::Modified, Cycle::new(0));
         c.allocate(
             addr,
-            EntryKind::Store { value: 1, release: false },
+            EntryKind::Store {
+                value: 1,
+                release: false,
+            },
             false,
             false,
             Cycle::new(0),
@@ -718,7 +719,10 @@ mod tests {
         c.fill(line, LineState::Modified, Cycle::new(0));
         let id = c.allocate(
             Addr::new(0),
-            EntryKind::Store { value: 9, release: false },
+            EntryKind::Store {
+                value: 9,
+                release: false,
+            },
             false,
             true,
             Cycle::new(0),
@@ -767,10 +771,9 @@ mod tests {
             Cycle::new(0),
         );
         let out = drive(&mut c, 0, 12);
-        assert!(out.iter().any(|(_, o)| matches!(
-            o,
-            L2Outcome::ForwardReady { to: CoreId(1), .. }
-        )));
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, L2Outcome::ForwardReady { to: CoreId(1), .. })));
         c.forward_complete(id, line);
         assert_eq!(c.probe(line), None);
         assert_eq!(c.occupancy(), 0);
@@ -796,7 +799,13 @@ mod tests {
     #[test]
     fn nack_backs_off_and_reissues() {
         let mut c = l2();
-        c.allocate(Addr::new(0x7000), EntryKind::Load, false, false, Cycle::new(0));
+        c.allocate(
+            Addr::new(0x7000),
+            EntryKind::Load,
+            false,
+            false,
+            Cycle::new(0),
+        );
         let out = drive(&mut c, 0, 12);
         assert_eq!(
             out.iter()

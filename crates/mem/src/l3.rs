@@ -196,7 +196,7 @@ mod tests {
         c.request(req(42), Cycle::new(0));
         for t in 0..20 {
             c.tick(Cycle::new(t));
-            for r in c.drain_ready() {
+            if let Some(r) = c.drain_ready().into_iter().next() {
                 assert!(!r.from_dram);
                 return;
             }

@@ -271,7 +271,8 @@ impl MemSystem {
     /// Sends a small streaming control message over the bus address
     /// channel; delivered as [`MemEvent::CtlDelivered`].
     pub fn send_ctl(&mut self, from: CoreId, to: CoreId, payload: CtlPayload) {
-        self.bus.request_addr(from, AddrTxn::Ctl { from, to, payload });
+        self.bus
+            .request_addr(from, AddrTxn::Ctl { from, to, payload });
     }
 
     /// In-flight operations for `core`.
@@ -369,8 +370,7 @@ impl MemSystem {
         // 2. L3: move lookups along; ship serviced lines onto the bus.
         self.l3.tick(now);
         for ready in self.l3.drain_ready() {
-            self.l2s[ready.req.requester.index()]
-                .line_stage(ready.req.line, LineStage::Incoming);
+            self.l2s[ready.req.requester.index()].line_stage(ready.req.line, LineStage::Incoming);
             self.bus.request_data(
                 Agent::L3,
                 self.cfg.l2.line_bytes,
@@ -412,7 +412,9 @@ impl MemSystem {
                 background,
             } => {
                 let value = self.func.read(addr);
-                let meta = self.meta[c].remove(&id).unwrap_or(TokenMeta { gated: false });
+                let meta = self.meta[c]
+                    .remove(&id)
+                    .unwrap_or(TokenMeta { gated: false });
                 // Gated (streaming) loads bypass the L1 and its fill
                 // latency; their data goes straight to the consumer.
                 let at = if meta.gated {
@@ -439,7 +441,8 @@ impl MemSystem {
             } => {
                 self.func.write(addr, value);
                 self.meta[c].remove(&id);
-                self.events.push(MemEvent::StorePerformed { core, addr, value });
+                self.events
+                    .push(MemEvent::StorePerformed { core, addr, value });
                 self.completions[c].push(
                     now,
                     Completion {
@@ -516,9 +519,12 @@ impl MemSystem {
         let backoff = 2 * self.cfg.bus.pipeline_stages * self.cfg.bus.clock_divider;
         match txn {
             AddrTxn::Ctl { from, to, payload } => {
-                self.events.push(MemEvent::CtlDelivered { from, to, payload });
+                self.events
+                    .push(MemEvent::CtlDelivered { from, to, payload });
             }
-            AddrTxn::Rd { line, requester, .. } => {
+            AddrTxn::Rd {
+                line, requester, ..
+            } => {
                 if self.busy_lines.contains(&line) {
                     self.l2s[requester.index()].nack_line(line, now + backoff, false);
                     return;
@@ -558,7 +564,9 @@ impl MemSystem {
                     );
                 }
             }
-            AddrTxn::RdX { line, requester, .. } => {
+            AddrTxn::RdX {
+                line, requester, ..
+            } => {
                 if self.busy_lines.contains(&line) {
                     self.l2s[requester.index()].nack_line(line, now + backoff, true);
                     return;
@@ -606,7 +614,9 @@ impl MemSystem {
                     );
                 }
             }
-            AddrTxn::Upgr { line, requester, .. } => {
+            AddrTxn::Upgr {
+                line, requester, ..
+            } => {
                 if self.busy_lines.contains(&line) {
                     self.l2s[requester.index()].nack_line(line, now + backoff, true);
                     return;
@@ -677,7 +687,14 @@ impl MemSystem {
         }
     }
 
-    fn install_fill(&mut self, dest: CoreId, line: u64, modified: bool, forwarded: bool, now: Cycle) {
+    fn install_fill(
+        &mut self,
+        dest: CoreId,
+        line: u64,
+        modified: bool,
+        forwarded: bool,
+        now: Cycle,
+    ) {
         let d = dest.index();
         let state = if modified {
             LineState::Modified
@@ -1061,7 +1078,11 @@ mod tests {
         // it is cold too, but to separate lines both go to DRAM; the
         // store (no release) may complete in any order. Just assert both
         // complete and the machine stays consistent.
-        let st_tok = match m.submit(CoreId(0), MemOp::store(Addr::new(0x70000), 2), Cycle::new(0)) {
+        let st_tok = match m.submit(
+            CoreId(0),
+            MemOp::store(Addr::new(0x70000), 2),
+            Cycle::new(0),
+        ) {
             Submit::Accepted(t) => t,
             _ => panic!(),
         };
@@ -1116,7 +1137,8 @@ mod tests {
         assert_eq!(m.func_mem().read(a), 1);
         assert_eq!(m.func_mem().read(a + 8), 2);
         // Exactly one core may own the line at the end.
-        let owners = u32::from(m.l2_has_line(CoreId(0), a)) + u32::from(m.l2_has_line(CoreId(1), a));
+        let owners =
+            u32::from(m.l2_has_line(CoreId(0), a)) + u32::from(m.l2_has_line(CoreId(1), a));
         assert_eq!(owners, 1);
     }
 }

@@ -1,40 +1,61 @@
-//! Property-based tests for the memory substrate.
+//! Randomized property tests for the memory substrate, driven by the
+//! workspace's deterministic [`Rng64`].
 
 use hfs_isa::{Addr, CoreId};
 use hfs_mem::{CacheArray, CacheGeometry, LineState, MemConfig, MemOp, MemSystem, Submit};
-use proptest::prelude::*;
+use hfs_sim::Rng64;
 
-proptest! {
-    /// A cache never holds more lines than its capacity, and a line just
-    /// installed is always resident.
-    #[test]
-    fn cache_capacity_invariant(lines in prop::collection::vec(0u64..64, 1..200)) {
+/// A cache never holds more lines than its capacity, and a line just
+/// installed is always resident.
+#[test]
+fn cache_capacity_invariant() {
+    let mut rng = Rng64::new(0x3E3_0001);
+    for _ in 0..32 {
+        let len = 1 + rng.below(199) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
         let geom = CacheGeometry::new(4096, 4, 64); // 16 sets x 4 ways
         let mut c = CacheArray::new(geom).unwrap();
         let capacity = (geom.sets() * u64::from(geom.ways)) as usize;
         for &l in &lines {
             c.install(l, LineState::Shared);
-            prop_assert!(c.probe(l).is_some(), "line {l} must be resident after install");
-            prop_assert!(c.resident() <= capacity);
+            assert!(
+                c.probe(l).is_some(),
+                "line {l} must be resident after install"
+            );
+            assert!(c.resident() <= capacity);
         }
     }
+}
 
-    /// Invalidation removes exactly the named line.
-    #[test]
-    fn invalidate_is_precise(a in 0u64..32, b in 0u64..32) {
-        prop_assume!(a != b);
+/// Invalidation removes exactly the named line.
+#[test]
+fn invalidate_is_precise() {
+    let mut rng = Rng64::new(0x3E3_0002);
+    for _ in 0..32 {
+        let a = rng.below(32);
+        let b = rng.below(32);
+        if a == b {
+            continue;
+        }
         let mut c = CacheArray::new(CacheGeometry::new(16 * 1024, 4, 64)).unwrap();
         c.install(a, LineState::Modified);
         c.install(b, LineState::Shared);
         c.invalidate(a);
-        prop_assert!(c.probe(a).is_none());
-        prop_assert!(c.probe(b).is_some());
+        assert!(c.probe(a).is_none());
+        assert!(c.probe(b).is_some());
     }
+}
 
-    /// Single-core read-your-writes: any interleaving of stores and loads
-    /// through the full hierarchy returns the last written value per word.
-    #[test]
-    fn read_your_writes(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..25)) {
+/// Single-core read-your-writes: any interleaving of stores and loads
+/// through the full hierarchy returns the last written value per word.
+#[test]
+fn read_your_writes() {
+    let mut rng = Rng64::new(0x3E3_0003);
+    for _ in 0..16 {
+        let n_ops = 1 + rng.below(24) as usize;
+        let ops: Vec<(u64, u64)> = (0..n_ops)
+            .map(|_| (rng.below(32), rng.below(1000)))
+            .collect();
         let mut m = MemSystem::new(MemConfig::itanium2_single()).unwrap();
         let mut shadow = std::collections::HashMap::new();
         let mut now = 0u64;
@@ -43,19 +64,22 @@ proptest! {
             // Store, then wait for it to perform.
             let tok = match m.submit(CoreId(0), MemOp::store(addr, val), hfs_sim::Cycle::new(now)) {
                 Submit::Accepted(t) => t,
-                other => return Err(TestCaseError::fail(format!("store rejected: {other:?}"))),
+                other => panic!("store rejected: {other:?}"),
             };
             let mut done = false;
             for _ in 0..5000 {
                 now += 1;
                 let t = hfs_sim::Cycle::new(now);
                 m.tick(t);
-                if m.drain_completions(CoreId(0), t).iter().any(|c| c.token == tok) {
+                if m.drain_completions(CoreId(0), t)
+                    .iter()
+                    .any(|c| c.token == tok)
+                {
                     done = true;
                     break;
                 }
             }
-            prop_assert!(done, "store never performed");
+            assert!(done, "store never performed");
             shadow.insert(word, val);
             // Load back.
             now += 1;
@@ -80,7 +104,7 @@ proptest! {
                 }
                 Submit::Rejected(_) => None,
             };
-            prop_assert_eq!(v, shadow.get(&word).copied());
+            assert_eq!(v, shadow.get(&word).copied());
         }
     }
 }

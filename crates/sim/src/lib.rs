@@ -9,6 +9,8 @@
 //! * [`stats`] — counters, histograms, and the per-component stall
 //!   [`stats::Breakdown`] that reproduces the paper's Figure 7 accounting
 //!   (`PreL2` / `L2` / `BUS` / `L3` / `MEM` / `PostL2`),
+//! * [`Rng64`] — the workspace-wide deterministic PRNG (SplitMix64-seeded
+//!   xorshift64*) behind workload address randomness and randomized tests,
 //! * [`ConfigError`] — validation errors for machine configuration.
 //!
 //! # Example
@@ -29,8 +31,10 @@
 mod cycle;
 mod error;
 mod queue;
+mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use error::ConfigError;
 pub use queue::{Pipe, TimedQueue};
+pub use rng::Rng64;

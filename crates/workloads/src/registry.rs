@@ -93,7 +93,10 @@ fn art() -> Benchmark {
     let mut producer = Kernel::default();
     let f1 = producer.add_region("f1_layer", 64 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: f1, stride: 8 },
+        KStep::LoadStream {
+            region: f1,
+            stride: 8,
+        },
         KStep::Fp(1),
         KStep::Alu(2),
         KStep::Produce(Q0),
@@ -104,7 +107,10 @@ fn art() -> Benchmark {
     consumer.steps = vec![
         KStep::Consume(Q0),
         KStep::FpChain(2),
-        KStep::LoadStream { region: bus, stride: 8 },
+        KStep::LoadStream {
+            region: bus,
+            stride: 8,
+        },
         KStep::Fp(2),
         KStep::Alu(1),
         KStep::Branch,
@@ -130,7 +136,10 @@ fn equake() -> Benchmark {
     let matrix = producer.add_region("sparse_matrix", 4 * 1024 * 1024);
     producer.steps = vec![
         KStep::LoadRandom { region: matrix },
-        KStep::LoadStream { region: matrix, stride: 24 },
+        KStep::LoadStream {
+            region: matrix,
+            stride: 24,
+        },
         KStep::Alu(3),
         KStep::Produce(Q0),
         KStep::Produce(Q1),
@@ -144,7 +153,10 @@ fn equake() -> Benchmark {
         KStep::FpChain(2),
         KStep::Fp(2),
         KStep::AluChain(2),
-        KStep::StoreStream { region: vec_out, stride: 8 },
+        KStep::StoreStream {
+            region: vec_out,
+            stride: 8,
+        },
         KStep::Branch,
     ];
     Benchmark {
@@ -214,7 +226,10 @@ fn bzip2() -> Benchmark {
     producer.steps = vec![
         KStep::Loop(
             vec![
-                KStep::LoadStream { region: block, stride: 8 },
+                KStep::LoadStream {
+                    region: block,
+                    stride: 8,
+                },
                 KStep::AluChain(1),
                 KStep::Produce(Q0),
             ],
@@ -237,7 +252,10 @@ fn bzip2() -> Benchmark {
                 KStep::Consume(Q0),
                 KStep::AluChain(2),
                 KStep::Alu(1),
-                KStep::StoreStream { region: out, stride: 8 },
+                KStep::StoreStream {
+                    region: out,
+                    stride: 8,
+                },
             ],
             INNER,
         ),
@@ -263,7 +281,10 @@ fn adpcmdec() -> Benchmark {
     let mut producer = Kernel::default();
     let input = producer.add_region("compressed", 32 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: input, stride: 8 },
+        KStep::LoadStream {
+            region: input,
+            stride: 8,
+        },
         KStep::AluChain(4),
         KStep::Produce(Q0),
         KStep::Branch,
@@ -273,7 +294,10 @@ fn adpcmdec() -> Benchmark {
     consumer.steps = vec![
         KStep::Consume(Q0),
         KStep::AluChain(5),
-        KStep::StoreStream { region: pcm, stride: 8 },
+        KStep::StoreStream {
+            region: pcm,
+            stride: 8,
+        },
         KStep::Branch,
     ];
     Benchmark {
@@ -295,7 +319,10 @@ fn epicdec() -> Benchmark {
     let mut producer = Kernel::default();
     let bits = producer.add_region("bitstream", 32 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: bits, stride: 8 },
+        KStep::LoadStream {
+            region: bits,
+            stride: 8,
+        },
         KStep::Alu(3),
         KStep::Produce(Q0),
         KStep::Branch,
@@ -306,7 +333,10 @@ fn epicdec() -> Benchmark {
         KStep::Consume(Q0),
         KStep::AluChain(2),
         KStep::Alu(2),
-        KStep::StoreStream { region: sym, stride: 8 },
+        KStep::StoreStream {
+            region: sym,
+            stride: 8,
+        },
         KStep::Branch,
     ];
     Benchmark {
@@ -331,7 +361,10 @@ fn wc() -> Benchmark {
     let mut producer = Kernel::default();
     let text = producer.add_region("text", 8 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: text, stride: 8 },
+        KStep::LoadStream {
+            region: text,
+            stride: 8,
+        },
         KStep::Alu(2),
         KStep::Produce(Q0), // character class
         KStep::Produce(Q1), // in-word flag
@@ -365,7 +398,10 @@ fn fir() -> Benchmark {
     let mut producer = Kernel::default();
     let samples = producer.add_region("samples", 8 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: samples, stride: 8 },
+        KStep::LoadStream {
+            region: samples,
+            stride: 8,
+        },
         KStep::Fp(1),
         KStep::Produce(Q0),
         KStep::Branch,
@@ -395,7 +431,10 @@ fn fft2() -> Benchmark {
     let mut producer = Kernel::default();
     let twiddle = producer.add_region("twiddle", 32 * 1024);
     producer.steps = vec![
-        KStep::LoadStream { region: twiddle, stride: 16 },
+        KStep::LoadStream {
+            region: twiddle,
+            stride: 16,
+        },
         KStep::Fp(2),
         KStep::Alu(1),
         KStep::Produce(Q0),
@@ -409,7 +448,10 @@ fn fft2() -> Benchmark {
         KStep::Consume(Q1),
         KStep::FpChain(2),
         KStep::Fp(1),
-        KStep::StoreStream { region: spectrum, stride: 8 },
+        KStep::StoreStream {
+            region: spectrum,
+            stride: 8,
+        },
         KStep::Branch,
     ];
     Benchmark {
@@ -512,7 +554,9 @@ mod tests {
         steps
             .iter()
             .map(|s| match s {
-                KStep::Alu(n) | KStep::AluChain(n) | KStep::Fp(n) | KStep::FpChain(n) => u64::from(*n),
+                KStep::Alu(n) | KStep::AluChain(n) | KStep::Fp(n) | KStep::FpChain(n) => {
+                    u64::from(*n)
+                }
                 KStep::Branch => 1,
                 KStep::LoadStream { .. }
                 | KStep::LoadRandom { .. }

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vals = consumer.add_region("values", 2 * 1024 * 1024);
     consumer.steps = vec![
         KStep::Consume(q),
-        KStep::AluChain(2),                 // ptr->val + 1
+        KStep::AluChain(2), // ptr->val + 1
         KStep::StoreRandom { region: vals },
         KStep::Branch,
     ];

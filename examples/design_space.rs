@@ -11,15 +11,15 @@ use hfs::workloads::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "wc".to_string());
-    let bench = benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark {name}; try wc, mcf, fir, …"))?;
+    let bench =
+        benchmark(&name).ok_or_else(|| format!("unknown benchmark {name}; try wc, mcf, fir, …"))?;
     println!(
         "{} ({}, {} iterations)\n",
         bench.name, bench.function, bench.pair.iterations
     );
     println!(
-        "{:<16} {:>9}  {:>5}  {}",
-        "design", "cycles", "norm", "producer stalls: PreL2/L2/BUS/L3/MEM/PostL2"
+        "{:<16} {:>9}  {:>5}  producer stalls: PreL2/L2/BUS/L3/MEM/PostL2",
+        "design", "cycles", "norm"
     );
 
     let designs = [

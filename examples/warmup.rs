@@ -29,7 +29,9 @@ fn sparkline(values: &[f64]) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = benchmark("wc").expect("wc registered").with_iterations(1_500);
+    let bench = benchmark("wc")
+        .expect("wc registered")
+        .with_iterations(1_500);
     println!("wc iteration throughput over time (each bucket = 500 cycles):\n");
     for design in [
         DesignPoint::heavywt(),

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run this before every push.
+#
+#   scripts/ci.sh          # fmt + clippy + build + tier-1 tests (quick)
+#   HFS_FULL=1 scripts/ci.sh   # same, but without the quick iteration cap
+#
+# The workspace is std-only, so everything here works with no network or
+# registry access.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+if [ -n "${HFS_FULL:-}" ]; then
+    cargo test --workspace -q
+else
+    HFS_QUICK=1 cargo test --workspace -q
+fi
+
+echo "==> ci OK"

@@ -72,7 +72,9 @@ fn software_designs_execute_ten_instruction_sequences() {
 
 #[test]
 fn write_forwarding_happens_only_where_designed() {
-    let b = hfs::workloads::benchmark("fir").unwrap().with_iterations(ITERS);
+    let b = hfs::workloads::benchmark("fir")
+        .unwrap()
+        .with_iterations(ITERS);
     let forwards = |d: DesignPoint| {
         let cfg = MachineConfig::itanium2_cmp(d);
         Machine::new_pipeline(&cfg, &b.pair)
@@ -90,7 +92,9 @@ fn write_forwarding_happens_only_where_designed() {
 
 #[test]
 fn stream_cache_hits_only_with_sc_designs() {
-    let b = hfs::workloads::benchmark("fir").unwrap().with_iterations(ITERS);
+    let b = hfs::workloads::benchmark("fir")
+        .unwrap()
+        .with_iterations(ITERS);
     let sc = |d: DesignPoint| {
         let cfg = MachineConfig::itanium2_cmp(d);
         Machine::new_pipeline(&cfg, &b.pair)

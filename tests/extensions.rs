@@ -23,10 +23,7 @@ fn qlu8_beats_qlu1_uniformly() {
     for bench in ["wc", "adpcmdec", "fir"] {
         let q1 = cycles(bench, DesignPoint::existing_with_qlu(1));
         let q8 = cycles(bench, DesignPoint::existing_with_qlu(8));
-        assert!(
-            q8 < q1,
-            "{bench}: QLU8 ({q8}) must beat QLU1 ({q1})"
-        );
+        assert!(q8 < q1, "{bench}: QLU8 ({q8}) must beat QLU1 ({q1})");
     }
 }
 
@@ -86,10 +83,7 @@ fn centralized_store_costs_latency() {
     let near = cycles(b, DesignPoint::heavywt_centralized(3));
     let far = cycles(b, DesignPoint::heavywt_centralized(12));
     assert!(near >= distributed);
-    assert!(
-        far > near,
-        "farther store must cost more: {near} -> {far}"
-    );
+    assert!(far > near, "farther store must cost more: {near} -> {far}");
     assert!(
         far as f64 > distributed as f64 * 1.2,
         "a 12-cycle store should clearly hurt fir: {distributed} -> {far}"

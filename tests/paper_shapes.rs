@@ -62,7 +62,10 @@ fn sc_q64_approaches_heavywt() {
         over_existing.push(ex / sc);
     }
     let gap = geomean(ratios.iter().copied());
-    assert!(gap < 1.25, "SC+Q64 geomean {gap:.2}x HEAVYWT (expected close)");
+    assert!(
+        gap < 1.25,
+        "SC+Q64 geomean {gap:.2}x HEAVYWT (expected close)"
+    );
     let speedup = geomean(over_existing.iter().copied());
     assert!(
         speedup > 1.4,
@@ -183,7 +186,12 @@ fn bus_bandwidth_recovers_latency_loss() {
     let d = DesignPoint::existing();
     let base = run(MachineConfig::itanium2_cmp(d));
     let slow = run(MachineConfig::itanium2_cmp(d).with_bus_divider(4));
-    let wide = run(MachineConfig::itanium2_cmp(d).with_bus_divider(4).with_bus_width(128));
-    assert!(slow > base * 1.05, "4-cycle bus should hurt: {base} -> {slow}");
+    let wide = run(MachineConfig::itanium2_cmp(d)
+        .with_bus_divider(4)
+        .with_bus_width(128));
+    assert!(
+        slow > base * 1.05,
+        "4-cycle bus should hurt: {base} -> {slow}"
+    );
     assert!(wide < slow, "128-byte bus should recover: {slow} -> {wide}");
 }

@@ -1,41 +1,40 @@
-//! Property-based end-to-end tests: randomly shaped pipelines must run
-//! to completion with verified FIFO queue semantics on every design.
+//! Randomized end-to-end tests: randomly shaped pipelines must run to
+//! completion with verified FIFO queue semantics on every design.
+//! Driven by the workspace's deterministic [`Rng64`] (std-only).
 
 use hfs::core::kernel::{KStep, Kernel, KernelPair};
 use hfs::core::{DesignPoint, Machine, MachineConfig};
 use hfs::isa::QueueId;
-use proptest::prelude::*;
+use hfs::sim::Rng64;
+
+const CASES: u64 = 12;
 
 /// Builds a random but valid two-thread pipeline.
-fn arb_pair() -> impl Strategy<Value = KernelPair> {
-    (
-        1u32..6,          // producer ALU work
-        1u32..6,          // consumer chain length
-        1usize..3,        // number of queues
-        10u64..40,        // iterations
-        0u32..3,          // extra FP work
-    )
-        .prop_map(|(pwork, cchain, nq, iters, fp)| {
-            let queues: Vec<QueueId> = (0..nq as u16).map(QueueId).collect();
-            let mut psteps = vec![KStep::Alu(pwork)];
-            if fp > 0 {
-                psteps.push(KStep::Fp(fp));
-            }
-            for &q in &queues {
-                psteps.push(KStep::Produce(q));
-            }
-            psteps.push(KStep::Branch);
-            let mut csteps: Vec<KStep> =
-                queues.iter().map(|&q| KStep::Consume(q)).collect();
-            csteps.push(KStep::AluChain(cchain));
-            csteps.push(KStep::Branch);
-            KernelPair {
-                name: "prop",
-                producer: Kernel::new(psteps),
-                consumer: Kernel::new(csteps),
-                iterations: iters,
-            }
-        })
+fn arb_pair(rng: &mut Rng64) -> KernelPair {
+    let pwork = rng.range(1, 6) as u32; // producer ALU work
+    let cchain = rng.range(1, 6) as u32; // consumer chain length
+    let nq = rng.range(1, 3) as usize; // number of queues
+    let iters = rng.range(10, 40); // iterations
+    let fp = rng.below(3) as u32; // extra FP work
+
+    let queues: Vec<QueueId> = (0..nq as u16).map(QueueId).collect();
+    let mut psteps = vec![KStep::Alu(pwork)];
+    if fp > 0 {
+        psteps.push(KStep::Fp(fp));
+    }
+    for &q in &queues {
+        psteps.push(KStep::Produce(q));
+    }
+    psteps.push(KStep::Branch);
+    let mut csteps: Vec<KStep> = queues.iter().map(|&q| KStep::Consume(q)).collect();
+    csteps.push(KStep::AluChain(cchain));
+    csteps.push(KStep::Branch);
+    KernelPair {
+        name: "prop",
+        producer: Kernel::new(psteps),
+        consumer: Kernel::new(csteps),
+        iterations: iters,
+    }
 }
 
 fn designs() -> Vec<DesignPoint> {
@@ -48,50 +47,52 @@ fn designs() -> Vec<DesignPoint> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every random pipeline completes on every design, with the queue
-    /// checker (produce/consume FIFO + conservation) passing and the
-    /// stall breakdown accounting for every cycle.
-    #[test]
-    fn random_pipelines_complete_and_verify(pair in arb_pair()) {
-        prop_assert!(pair.validate().is_ok());
+/// Every random pipeline completes on every design, with the queue
+/// checker (produce/consume FIFO + conservation) passing and the
+/// stall breakdown accounting for every cycle.
+#[test]
+fn random_pipelines_complete_and_verify() {
+    let mut rng = Rng64::new(0xE2E_0001);
+    for _ in 0..CASES {
+        let pair = arb_pair(&mut rng);
+        assert!(pair.validate().is_ok());
         for design in designs() {
             let cfg = MachineConfig::itanium2_cmp(design);
-            let result = Machine::new_pipeline(&cfg, &pair)
-                .and_then(|mut m| m.run(20_000_000));
-            let r = match result {
-                Ok(r) => r,
-                Err(e) => return Err(TestCaseError::fail(format!("{design:?}: {e}"))),
-            };
-            prop_assert_eq!(r.iterations, pair.iterations);
+            let r = Machine::new_pipeline(&cfg, &pair)
+                .and_then(|mut m| m.run(20_000_000))
+                .unwrap_or_else(|e| panic!("{design:?}: {e}"));
+            assert_eq!(r.iterations, pair.iterations);
             for core in &r.cores {
-                prop_assert_eq!(core.breakdown.total(), core.cycles);
+                assert_eq!(core.breakdown.total(), core.cycles);
             }
         }
     }
+}
 
-    /// The fused single-threaded lowering of any random pipeline also
-    /// completes, and executes at least the communication-free
-    /// instruction count.
-    #[test]
-    fn random_pipelines_fuse_and_complete(pair in arb_pair()) {
+/// The fused single-threaded lowering of any random pipeline also
+/// completes, and executes at least the communication-free
+/// instruction count.
+#[test]
+fn random_pipelines_fuse_and_complete() {
+    let mut rng = Rng64::new(0xE2E_0002);
+    for _ in 0..CASES {
+        let pair = arb_pair(&mut rng);
         let cfg = MachineConfig::itanium2_single();
         let r = Machine::new_single(&cfg, &pair)
-            .and_then(|mut m| m.run(20_000_000));
-        let r = match r {
-            Ok(r) => r,
-            Err(e) => return Err(TestCaseError::fail(e.to_string())),
-        };
-        prop_assert_eq!(r.iterations, pair.iterations);
-        prop_assert!(r.cores[0].comm_instrs == 0, "fused code has no comm ops");
+            .and_then(|mut m| m.run(20_000_000))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(r.iterations, pair.iterations);
+        assert!(r.cores[0].comm_instrs == 0, "fused code has no comm ops");
     }
+}
 
-    /// HEAVYWT never loses to the software-queue baseline on these
-    /// communication-bound pipelines.
-    #[test]
-    fn heavywt_never_slower_than_existing(pair in arb_pair()) {
+/// HEAVYWT never loses to the software-queue baseline on these
+/// communication-bound pipelines.
+#[test]
+fn heavywt_never_slower_than_existing() {
+    let mut rng = Rng64::new(0xE2E_0003);
+    for _ in 0..CASES {
+        let pair = arb_pair(&mut rng);
         let run = |d: DesignPoint| {
             Machine::new_pipeline(&MachineConfig::itanium2_cmp(d), &pair)
                 .unwrap()
@@ -101,6 +102,6 @@ proptest! {
         };
         let hw = run(DesignPoint::heavywt());
         let ex = run(DesignPoint::existing());
-        prop_assert!(hw <= ex, "HEAVYWT {hw} vs EXISTING {ex}");
+        assert!(hw <= ex, "HEAVYWT {hw} vs EXISTING {ex}");
     }
 }
