@@ -7,7 +7,13 @@
 //! `HFS_RESULTS_DIR` (default `results`).
 //!
 //! Set `HFS_OUT_DIR=<dir>` to additionally write each rendered figure as
-//! a `.txt` file and each underlying table as a `.csv`. A figure that
+//! a `.txt` file and each underlying table as a `.csv`.
+//!
+//! Observability hooks: `HFS_METRICS=1` attaches a metrics report to
+//! every run in the artifacts and writes `harness_metrics.json`;
+//! `HFS_TRACE_DIR=<dir>` additionally exports a Chrome trace per
+//! executed job; `--trace <path>` / `HFS_TRACE=<path>` records a
+//! Perfetto-loadable trace of one demo design point. A figure that
 //! fails (watchdog timeout, deadlock) is reported and skipped; the run
 //! continues, exits nonzero, and an immediate re-run resumes from the
 //! cache.
@@ -130,6 +136,18 @@ fn main() {
     });
 
     eprintln!("{}", engine().summary());
+    if engine().metrics_enabled() {
+        if let Some(dir) = engine().results_dir() {
+            fs::create_dir_all(dir).expect("create results dir");
+            let json = hfs_harness::metrics_to_json(&engine().metrics_report()).to_pretty();
+            let path = dir.join("harness_metrics.json");
+            fs::write(&path, json).expect("write harness metrics");
+            eprintln!("all_figures: wrote harness metrics to {}", path.display());
+        }
+    }
+    if let Some(p) = hfs_bench::runner::maybe_write_demo_trace() {
+        eprintln!("all_figures: wrote demo trace to {}", p.display());
+    }
     if !failed.is_empty() {
         eprintln!(
             "all_figures: {} figure(s) failed: {}",

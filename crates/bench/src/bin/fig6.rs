@@ -1,4 +1,10 @@
 //! Regenerates Figure 6 (transit-delay sensitivity).
+//!
+//! Pass `--trace <path>` (or set `HFS_TRACE=<path>`) to also record a
+//! Chrome trace of the demo HEAVYWT design point, loadable in Perfetto.
 fn main() {
     print!("{}", hfs_bench::experiments::fig6::run().render());
+    if let Some(p) = hfs_bench::runner::maybe_write_demo_trace() {
+        eprintln!("fig6: wrote demo trace to {}", p.display());
+    }
 }

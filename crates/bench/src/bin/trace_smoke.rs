@@ -1,0 +1,97 @@
+//! CI smoke test for the tracing subsystem.
+//!
+//! Checks three properties, exiting nonzero (panicking) on any failure:
+//!
+//! 1. **Disabled-path golden cycles** — with tracing off, a fixed set of
+//!    design points reproduces known cycle counts exactly, so the
+//!    observability layer cannot have perturbed the simulation.
+//! 2. **Trace validity** — the demo Chrome trace parses as JSON, and
+//!    every declared track (thread-name metadata record) carries at
+//!    least one event.
+//! 3. **Traced == untraced** — the traced demo run reports the same
+//!    cycle count as its golden untraced counterpart, and its metrics
+//!    report includes consume-to-use percentiles.
+
+use std::collections::BTreeSet;
+
+use hfs_bench::runner::{demo_trace, run_design};
+use hfs_core::DesignPoint;
+use hfs_harness::Json;
+use hfs_workloads::benchmark;
+
+/// Cycle counts captured before the tracing subsystem existed
+/// (benchmarks at 300 iterations on the baseline machine).
+const GOLDEN: &[(&str, &str, u64)] = &[
+    ("existing", "fir", 5433),
+    ("existing", "mcf", 28349),
+    ("syncopti_sc_q64", "fir", 4059),
+    ("syncopti_sc_q64", "mcf", 14400),
+    ("heavywt", "fir", 3590),
+    ("heavywt", "mcf", 14010),
+];
+
+fn design(name: &str) -> DesignPoint {
+    match name {
+        "existing" => DesignPoint::existing(),
+        "syncopti_sc_q64" => DesignPoint::syncopti_sc_q64(),
+        "heavywt" => DesignPoint::heavywt(),
+        other => panic!("unknown golden design `{other}`"),
+    }
+}
+
+fn main() {
+    for &(d, bench, expect) in GOLDEN {
+        let b = benchmark(bench).unwrap().with_iterations(300);
+        let r = run_design(&b, design(d));
+        assert_eq!(
+            r.cycles, expect,
+            "{bench}/{}: disabled-path cycle count drifted",
+            r.design
+        );
+        println!(
+            "trace_smoke: {bench}/{} = {} cycles (golden)",
+            r.design, r.cycles
+        );
+    }
+
+    let (json, result) = demo_trace();
+    assert_eq!(
+        result.cycles, 3590,
+        "traced demo run must match the untraced golden cycle count"
+    );
+    let metrics = result.metrics.as_ref().expect("traced run carries metrics");
+    let c2u = metrics
+        .get_histogram("consume_to_use_cycles")
+        .expect("metrics include the consume-to-use histogram");
+    assert!(c2u.count > 0, "consume-to-use histogram has samples");
+    println!(
+        "trace_smoke: consume_to_use n={} p50={} p99={}",
+        c2u.count, c2u.p50, c2u.p99
+    );
+
+    let doc = hfs_harness::parse(&json).expect("demo trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace has a traceEvents array");
+    assert!(!events.is_empty(), "trace has events");
+    let mut tracks = BTreeSet::new();
+    let mut populated = BTreeSet::new();
+    for e in events {
+        let tid = e.get("tid").and_then(Json::as_u64).expect("event tid");
+        if e.get("ph").and_then(Json::as_str) == Some("M") {
+            tracks.insert(tid);
+        } else {
+            populated.insert(tid);
+        }
+    }
+    assert!(!tracks.is_empty(), "trace declares named tracks");
+    for t in &tracks {
+        assert!(populated.contains(t), "track tid={t} has no events");
+    }
+    println!(
+        "trace_smoke: {} events across {} tracks; all checks passed",
+        events.len(),
+        tracks.len()
+    );
+}

@@ -93,6 +93,7 @@ mod tests {
             iterations: 10,
             mem: MemStats::default(),
             stream_cache: None,
+            metrics: None,
         }
     }
 

@@ -6,10 +6,12 @@
 //! (cache-aware, watchdog-guarded), and gathered back in submission
 //! order.
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use hfs_core::{DesignPoint, MachineConfig, RunResult, SimError};
 use hfs_harness::{Engine, Job};
+use hfs_trace::{chrome_trace_json, Tracer};
 use hfs_workloads::Benchmark;
 
 /// Upper bound on simulated cycles per run; hitting it is a harness bug.
@@ -18,6 +20,10 @@ pub const MAX_CYCLES: u64 = hfs_harness::DEFAULT_MAX_CYCLES;
 /// Iteration cap applied when `HFS_QUICK=1` is set, trading steady-state
 /// fidelity for speed.
 pub const QUICK_ITERATIONS: u64 = 300;
+
+/// Environment variable naming a file to receive the demo Chrome trace
+/// (equivalent to the `--trace <path>` flag on the fig binaries).
+pub const ENV_TRACE: &str = "HFS_TRACE";
 
 /// The process-wide experiment engine, configured from the `HFS_*`
 /// environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
@@ -123,6 +129,51 @@ pub fn run_single(bench: &Benchmark) -> RunResult {
     try_run_single(bench).unwrap_or_else(|e| panic!("{} single-threaded: {e}", bench.name))
 }
 
+/// Runs the demo design point — the Figure 6 HEAVYWT pipeline on `fir`,
+/// capped at [`QUICK_ITERATIONS`] — with a recording tracer, returning
+/// the Chrome trace-event JSON and the (metrics-carrying) run result.
+///
+/// # Panics
+///
+/// Panics if the demo run fails, which indicates a model bug.
+pub fn demo_trace() -> (String, RunResult) {
+    let b = hfs_workloads::benchmark("fir").expect("fir benchmark exists");
+    let b = b.with_iterations(b.pair.iterations.min(QUICK_ITERATIONS));
+    let job = design_job("trace-demo", &b, DesignPoint::heavywt());
+    let tracer = Tracer::recording();
+    let result = hfs_harness::execute_once_with(&job, &tracer)
+        .unwrap_or_else(|e| panic!("trace demo run failed: {e}"));
+    (chrome_trace_json(&tracer.take_events()), result)
+}
+
+/// Honors the fig binaries' trace hook: when `--trace <path>` was passed
+/// on the command line or `HFS_TRACE=<path>` is set, writes the
+/// [`demo_trace`] Chrome JSON to that path and returns it.
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be written.
+pub fn maybe_write_demo_trace() -> Option<PathBuf> {
+    let mut cli = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            cli = args.next().map(PathBuf::from);
+        }
+    }
+    let path = cli.or_else(|| {
+        std::env::var_os(ENV_TRACE)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create trace output directory");
+    }
+    let (json, _) = demo_trace();
+    std::fs::write(&path, json).expect("write trace file");
+    Some(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +201,14 @@ mod tests {
         let b = benchmark("bzip2").unwrap().with_iterations(50);
         let cfg = MachineConfig::itanium2_cmp(DesignPoint::heavywt_with(1, 4));
         assert!(try_run_with_config(&b, &cfg).is_err());
+    }
+
+    #[test]
+    fn demo_trace_produces_chrome_json_with_metrics() {
+        let (json, r) = demo_trace();
+        assert!(json.starts_with("{\"traceEvents\":["), "chrome envelope");
+        let m = r.metrics.expect("traced run carries metrics");
+        assert!(m.get_counter("trace.produce").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use hfs_isa::{Addr, CoreId, QueueId};
 use hfs_mem::{Completion, CtlPayload, MemEvent, MemOp, MemSystem, MemToken, Submit};
 use hfs_sim::stats::StallComponent;
 use hfs_sim::Cycle;
+use hfs_trace::{TraceEvent, Tracer};
 
 use crate::design::{DesignPoint, HeavyWtConfig, SyncOptiConfig};
 
@@ -121,6 +122,15 @@ impl Backend {
             _ => None,
         }
     }
+
+    /// Hands the backend a shared tracer handle.
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        match self {
+            Backend::Software(b) => b.tracer = tracer,
+            Backend::SyncOpti(b) => b.tracer = tracer,
+            Backend::HeavyWt(b) => b.tracer = tracer,
+        }
+    }
 }
 
 impl StreamPort for Backend {
@@ -202,6 +212,7 @@ pub(crate) struct SoftwareBackend {
     qlu: u32,
     /// Byte distance between slots (128 / qlu, at least 16).
     stride: u64,
+    tracer: Tracer,
 }
 
 impl SoftwareBackend {
@@ -222,6 +233,7 @@ impl SoftwareBackend {
             check: QueueCheck::new(),
             qlu,
             stride: (LINE_BYTES / u64::from(qlu)).max(16),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -238,11 +250,25 @@ impl SoftwareBackend {
                     // release flag store enforces publication order).
                     let slot = off / self.stride;
                     self.check.on_produce_slot(q, slot, value, 32);
+                    // Data values carry their absolute sequence number, so
+                    // they double as the trace's produce/consume match key.
+                    self.tracer.emit(|| TraceEvent::Produce {
+                        core,
+                        queue: q,
+                        seq: value,
+                        at: now.as_u64(),
+                    });
                 } else if core == self.consumer && is_flag && value == 0 {
                     // Flag cleared: one slot consumed. The consumed value
                     // itself flows through a load the backend cannot see;
                     // conservation is still checked via counts.
                     let seen = self.check.consumed(q);
+                    self.tracer.emit(|| TraceEvent::Consume {
+                        core,
+                        queue: q,
+                        seq: seen,
+                        at: now.as_u64(),
+                    });
                     self.check.on_consume(q, seen, seen);
                 } else if core == self.producer && is_flag && value != 0 && self.forward {
                     let line = addr.as_u64() / LINE_BYTES;
@@ -325,6 +351,7 @@ pub(crate) struct SyncOptiBackend {
     next_token: u64,
     sc: Option<StreamCache>,
     check: QueueCheck,
+    tracer: Tracer,
 }
 
 impl SyncOptiBackend {
@@ -370,6 +397,7 @@ impl SyncOptiBackend {
             locations: HashMap::new(),
             next_token: 0,
             check: QueueCheck::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -407,9 +435,22 @@ impl SyncOptiBackend {
         // pipeline (PreL2).
         match mem.submit(core, MemOp::store(addr, value).gated(), now) {
             Submit::Accepted(tok) => {
+                let seq = s.prod_next;
                 s.prod_next += 1;
                 s.waiting_produces.push_back(tok);
+                let depth = s.prod_next - s.acked;
                 self.check.on_produce(q, value);
+                self.tracer.emit(|| TraceEvent::Produce {
+                    core,
+                    queue: q,
+                    seq,
+                    at: now.as_u64(),
+                });
+                self.tracer.emit(|| TraceEvent::QueueDepth {
+                    queue: q,
+                    at: now.as_u64(),
+                    depth,
+                });
                 StreamSubmit::Done {
                     at: now + 1,
                     value: None,
@@ -443,6 +484,16 @@ impl SyncOptiBackend {
                     mem.release(tok, now);
                 }
                 self.check.on_consume(q, slot, v);
+                self.tracer.emit(|| TraceEvent::ScHit {
+                    queue: q,
+                    at: now.as_u64(),
+                });
+                self.tracer.emit(|| TraceEvent::Consume {
+                    core,
+                    queue: q,
+                    seq: slot,
+                    at: now.as_u64() + 1,
+                });
                 // The shadow access keeps the L2 occupancy counters
                 // updated (§5), so line-completing consumes still emit
                 // their bulk ACK to the producer.
@@ -469,6 +520,11 @@ impl SyncOptiBackend {
                     stream_token: stok,
                     released: false,
                     early_released: false,
+                });
+                self.tracer.emit(|| TraceEvent::SyncWait {
+                    core,
+                    queue: q,
+                    at: now.as_u64(),
                 });
                 StreamSubmit::Pending(stok)
             }
@@ -500,6 +556,13 @@ impl SyncOptiBackend {
             let w = self.waiting_consumes.remove(pos).expect("position valid");
             let value = c.value.expect("consume completions carry values");
             self.check.on_consume(w.q, w.slot, value);
+            let consumer = self.consumer;
+            self.tracer.emit(|| TraceEvent::Consume {
+                core: consumer,
+                queue: w.q,
+                seq: w.slot,
+                at: c.at.as_u64(),
+            });
             self.locations.remove(&w.stream_token);
             self.completions.push(StreamCompletion {
                 token: w.stream_token,
@@ -552,6 +615,10 @@ impl SyncOptiBackend {
                         for slot in first.max(s.cons_next_completed)..s.forwarded {
                             let v = mem.func_mem().read(s.info.slot_addr(slot));
                             let _ = sc.fill(q, slot, v);
+                            self.tracer.emit(|| TraceEvent::ScFill {
+                                queue: q,
+                                at: now.as_u64(),
+                            });
                         }
                     }
                 }
@@ -662,6 +729,7 @@ pub(crate) struct HeavyWtBackend {
     depth: u64,
     transit: u64,
     sa_latency: u64,
+    tracer: Tracer,
 }
 
 impl HeavyWtBackend {
@@ -689,6 +757,7 @@ impl HeavyWtBackend {
             depth: u64::from(cfg.queue_depth),
             transit: cfg.transit,
             sa_latency: cfg.sa_latency,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -717,6 +786,13 @@ impl HeavyWtBackend {
                 let slot = self.check.consumed(q);
                 self.check.on_consume(q, slot, v);
                 self.acks_in_flight.push(now + self.transit, q);
+                let (consumer, at) = (self.consumer, now + self.sa_latency);
+                self.tracer.emit(|| TraceEvent::Consume {
+                    core: consumer,
+                    queue: q,
+                    seq: slot,
+                    at: at.as_u64(),
+                });
                 self.completions.push(StreamCompletion {
                     token: tok,
                     value: Some(v),
@@ -738,8 +814,20 @@ impl HeavyWtBackend {
             return StreamSubmit::Blocked;
         }
         if self.sa.try_inject(q, value) {
+            let seq = self.injected.get(&q).copied().unwrap_or(0);
             *self.injected.entry(q).or_insert(0) += 1;
             self.check.on_produce(q, value);
+            self.tracer.emit(|| TraceEvent::Produce {
+                core,
+                queue: q,
+                seq,
+                at: now.as_u64(),
+            });
+            self.tracer.emit(|| TraceEvent::QueueDepth {
+                queue: q,
+                at: now.as_u64(),
+                depth: occ + 1,
+            });
             StreamSubmit::Done {
                 at: now + 1,
                 value: None,
@@ -757,18 +845,27 @@ impl HeavyWtBackend {
                 let slot = self.check.consumed(q);
                 self.check.on_consume(q, slot, v);
                 self.acks_in_flight.push(now + self.transit, q);
+                let at = now + self.sa_latency;
+                self.tracer.emit(|| TraceEvent::Consume {
+                    core,
+                    queue: q,
+                    seq: slot,
+                    at: at.as_u64(),
+                });
                 // Consume-to-use = the backing store's access latency:
                 // 1 cycle for the distributed store (the §4.4 HEAVYWT
                 // advantage), more for a centralized one (§3.5.2).
-                return StreamSubmit::Done {
-                    at: now + self.sa_latency,
-                    value: Some(v),
-                };
+                return StreamSubmit::Done { at, value: Some(v) };
             }
         }
         let tok = StreamToken(self.next_token);
         self.next_token += 1;
         self.waiting.entry(q).or_default().push_back(tok);
+        self.tracer.emit(|| TraceEvent::SyncWait {
+            core,
+            queue: q,
+            at: now.as_u64(),
+        });
         StreamSubmit::Pending(tok)
     }
 

@@ -7,6 +7,7 @@ use hfs_cpu::{Core, CoreStats, NullStreamPort};
 use hfs_isa::{CoreId, Sequencer};
 use hfs_mem::{MemStats, MemSystem};
 use hfs_sim::{ConfigError, Cycle};
+use hfs_trace::{MetricsReport, Tracer};
 
 use crate::backend::Backend;
 use crate::config::MachineConfig;
@@ -72,6 +73,9 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Stream-cache (hits, misses, dropped fills), when present.
     pub stream_cache: Option<(u64, u64, u64)>,
+    /// Unified metrics report, present when the run was traced (see
+    /// [`Machine::set_tracer`]). Boxed to keep untraced results small.
+    pub metrics: Option<Box<MetricsReport>>,
 }
 
 impl RunResult {
@@ -121,6 +125,7 @@ pub struct Machine {
     /// (consumer) talk to `backends[i]`. Empty for single-core runs.
     backends: Vec<Backend>,
     now: Cycle,
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -212,6 +217,7 @@ impl Machine {
             backends,
             now: Cycle::ZERO,
             cfg,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -240,12 +246,35 @@ impl Machine {
             backends: Vec::new(),
             now: Cycle::ZERO,
             cfg,
+            tracer: Tracer::disabled(),
         })
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Attaches a tracer, distributing cloned handles to the memory
+    /// system, every core, and every streaming backend. Call before
+    /// [`Machine::run`]; with a recording tracer the caller can drain the
+    /// event stream afterwards via its own clone's
+    /// [`Tracer::take_events`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mem.set_tracer(tracer.clone());
+        for core in &mut self.cores {
+            core.set_tracer(tracer.clone());
+        }
+        for b in &mut self.backends {
+            b.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached with [`Machine::set_tracer`] (disabled by
+    /// default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Runs to completion.
@@ -357,27 +386,75 @@ impl Machine {
     }
 
     fn result(&self) -> RunResult {
+        let iterations = self
+            .seqs
+            .iter()
+            .map(Sequencer::iterations_completed)
+            .min()
+            .unwrap_or(0);
+        let stream_cache = self
+            .backends
+            .iter()
+            .filter_map(Backend::stream_cache)
+            .map(|sc| (sc.hits(), sc.misses(), sc.dropped_fills()))
+            .fold(None, |acc, (h, m2, d)| {
+                let (ah, am, ad) = acc.unwrap_or((0, 0, 0));
+                Some((ah + h, am + m2, ad + d))
+            });
+        let metrics = self
+            .tracer
+            .is_enabled()
+            .then(|| Box::new(self.metrics_report(iterations, stream_cache)));
         RunResult {
             design: self.cfg.design.label(),
             cycles: self.now.as_u64(),
             cores: self.cores.iter().map(|c| *c.stats()).collect(),
-            iterations: self
-                .seqs
-                .iter()
-                .map(Sequencer::iterations_completed)
-                .min()
-                .unwrap_or(0),
+            iterations,
             mem: self.mem.stats(),
-            stream_cache: self
-                .backends
-                .iter()
-                .filter_map(Backend::stream_cache)
-                .map(|sc| (sc.hits(), sc.misses(), sc.dropped_fills()))
-                .fold(None, |acc, (h, m2, d)| {
-                    let (ah, am, ad) = acc.unwrap_or((0, 0, 0));
-                    Some((ah + h, am + m2, ad + d))
-                }),
+            stream_cache,
+            metrics,
         }
+    }
+
+    /// Assembles the unified metrics report: machine-level and per-core
+    /// counters, every named memory-system counter, the tracer's event
+    /// totals, its latency/occupancy histograms, and the summed Figure 7
+    /// stall breakdown.
+    fn metrics_report(
+        &self,
+        iterations: u64,
+        stream_cache: Option<(u64, u64, u64)>,
+    ) -> MetricsReport {
+        let mut r = MetricsReport::new();
+        r.counter("machine.cycles", self.now.as_u64());
+        r.counter("machine.iterations", iterations);
+        let (mut app, mut comm, mut ozq, mut blocked) = (0u64, 0u64, 0u64, 0u64);
+        for c in &self.cores {
+            let s = c.stats();
+            app += s.app_instrs;
+            comm += s.comm_instrs;
+            ozq += s.ozq_stalls;
+            blocked += s.stream_blocked;
+            r.breakdown += s.breakdown;
+        }
+        r.counter("core.app_instrs", app);
+        r.counter("core.comm_instrs", comm);
+        r.counter("core.ozq_stalls", ozq);
+        r.counter("core.stream_blocked", blocked);
+        for c in self.mem.counters() {
+            r.counter(c.name(), c.value());
+        }
+        if let Some((hits, misses, dropped)) = stream_cache {
+            r.counter("sc.hits", hits);
+            r.counter("sc.misses", misses);
+            r.counter("sc.dropped_fills", dropped);
+        }
+        for (name, v) in self.tracer.event_counts() {
+            r.counter(format!("trace.{name}"), v);
+        }
+        r.histogram("consume_to_use_cycles", &self.tracer.consume_to_use());
+        r.histogram("queue_depth", &self.tracer.queue_depth());
+        r
     }
 }
 

@@ -6,6 +6,7 @@ use hfs_isa::{CoreId, DynInstr, DynOp, FuClass, InstrKind, Reg, Sequencer, SpinT
 use hfs_mem::{MemOp, MemSystem, MemToken, Submit};
 use hfs_sim::stats::{Breakdown, StallComponent};
 use hfs_sim::{Cycle, TimedQueue};
+use hfs_trace::{CoreActivity, TraceEvent, Tracer};
 
 use crate::config::CoreConfig;
 use crate::port::{StreamPort, StreamSubmit, StreamToken};
@@ -75,6 +76,7 @@ pub struct Core {
     window: VecDeque<InFlight>,
     spin_deliveries: TimedQueue<(SpinToken, u64)>,
     stats: CoreStats,
+    tracer: Tracer,
 }
 
 impl Core {
@@ -92,7 +94,13 @@ impl Core {
             window: VecDeque::new(),
             spin_deliveries: TimedQueue::new(),
             stats: CoreStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs a tracer handle.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This core's id.
@@ -173,10 +181,21 @@ impl Core {
             match self.window.front() {
                 Some(e) => match e.status {
                     Status::Done { done } if done <= now => {
-                        match e.instr.kind {
-                            InstrKind::App => self.stats.app_instrs += 1,
-                            InstrKind::Comm => self.stats.comm_instrs += 1,
-                        }
+                        let comm = match e.instr.kind {
+                            InstrKind::App => {
+                                self.stats.app_instrs += 1;
+                                false
+                            }
+                            InstrKind::Comm => {
+                                self.stats.comm_instrs += 1;
+                                true
+                            }
+                        };
+                        self.tracer.emit(|| TraceEvent::Issue {
+                            core: self.id,
+                            at: now.as_u64(),
+                            comm,
+                        });
                         let folded = self.cfg.free_queue_ops
                             && matches!(e.instr.op, DynOp::Produce { .. } | DynOp::Consume { .. });
                         self.window.pop_front();
@@ -325,9 +344,19 @@ impl Core {
         // 6. Stall attribution.
         if commits > 0 {
             self.stats.breakdown.charge_busy(1);
+            self.tracer.emit(|| TraceEvent::CoreState {
+                core: self.id,
+                at: now.as_u64(),
+                state: CoreActivity::Busy,
+            });
         } else {
             let component = self.stall_component(now, mem, stream);
             self.stats.breakdown.charge(component, 1);
+            self.tracer.emit(|| TraceEvent::CoreState {
+                core: self.id,
+                at: now.as_u64(),
+                state: CoreActivity::Stall(component),
+            });
         }
     }
 

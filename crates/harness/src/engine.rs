@@ -10,8 +10,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use hfs_core::SimError;
+use hfs_trace::{chrome_trace_json, MetricsReport, Tracer};
+
 use crate::cache::Cache;
-use crate::job::{execute, Job, JobOutcome};
+use crate::job::{execute, execute_once_with, Job, JobOutcome};
 use crate::json::Json;
 use crate::ser::outcome_to_json;
 
@@ -27,6 +30,11 @@ pub const ENV_RETRIES: &str = "HFS_RETRIES";
 pub const ENV_RESULTS_DIR: &str = "HFS_RESULTS_DIR";
 /// Set to suppress the per-job progress stream (`HFS_NO_PROGRESS=1`).
 pub const ENV_NO_PROGRESS: &str = "HFS_NO_PROGRESS";
+/// Set to attach metrics reports to every job result (`HFS_METRICS=1`).
+pub const ENV_METRICS: &str = "HFS_METRICS";
+/// Directory for per-job Chrome trace-event exports (`HFS_TRACE_DIR`).
+/// Setting it implies `HFS_METRICS=1`.
+pub const ENV_TRACE_DIR: &str = "HFS_TRACE_DIR";
 
 fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
@@ -67,6 +75,8 @@ pub struct Engine {
     workers: usize,
     cache: Option<Cache>,
     results_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    metrics: bool,
     default_retries: u32,
     progress: bool,
     counters: EngineCounters,
@@ -80,6 +90,8 @@ impl Engine {
             workers: workers.max(1),
             cache: None,
             results_dir: None,
+            trace_dir: None,
+            metrics: false,
             default_retries: 0,
             progress: false,
             counters: EngineCounters::default(),
@@ -91,7 +103,9 @@ impl Engine {
     /// cache in `HFS_CACHE_DIR` (default `results/cache`, disable with
     /// `HFS_NO_CACHE=1`), artifacts in `HFS_RESULTS_DIR` (default
     /// `results`), `HFS_RETRIES` retries (default 1), and a progress
-    /// stream on stderr unless `HFS_NO_PROGRESS=1`.
+    /// stream on stderr unless `HFS_NO_PROGRESS=1`. `HFS_METRICS=1`
+    /// attaches a metrics report to every result; `HFS_TRACE_DIR=<dir>`
+    /// additionally writes a Chrome trace-event JSON per executed job.
     pub fn from_env() -> Engine {
         let workers = std::env::var(ENV_JOBS)
             .ok()
@@ -115,6 +129,10 @@ impl Engine {
             workers,
             cache,
             results_dir,
+            trace_dir: std::env::var_os(ENV_TRACE_DIR)
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from),
+            metrics: env_flag(ENV_METRICS),
             default_retries,
             progress: !env_flag(ENV_NO_PROGRESS),
             counters: EngineCounters::default(),
@@ -150,9 +168,36 @@ impl Engine {
         self
     }
 
+    /// Attaches metrics reports to every job this engine runs.
+    #[must_use]
+    pub fn with_metrics(mut self, on: bool) -> Engine {
+        self.metrics = on;
+        self
+    }
+
+    /// Writes a Chrome trace-event JSON for every *executed* (non-cached)
+    /// job into `dir`, named `<batch>__<label>.trace.json`. Implies
+    /// metrics.
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Whether job results will carry metrics reports (set explicitly or
+    /// implied by a trace directory).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics || self.trace_dir.is_some()
+    }
+
+    /// The directory batch artifacts are written to, if any.
+    pub fn results_dir(&self) -> Option<&Path> {
+        self.results_dir.as_deref()
     }
 
     /// A snapshot of the aggregate counters.
@@ -190,6 +235,14 @@ impl Engine {
     /// before anyone panics. If a results directory is configured, the
     /// batch artifact `<dir>/<name>.json` is written before returning.
     pub fn run_batch(&self, name: &str, jobs: Vec<Job>) -> Batch {
+        // Metrics-carrying jobs key (and cache) separately from plain
+        // ones, so flipping `HFS_METRICS` never corrupts either cache
+        // population.
+        let jobs: Vec<Job> = if self.metrics_enabled() {
+            jobs.into_iter().map(|j| j.with_metrics(true)).collect()
+        } else {
+            jobs
+        };
         let total = jobs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -228,7 +281,10 @@ impl Engine {
         let (outcome, cached) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
             Some(hit) => (hit, true),
             None => {
-                let outcome = execute(job, self.default_retries);
+                let outcome = match &self.trace_dir {
+                    Some(dir) => self.execute_traced(batch, job, dir),
+                    None => execute(job, self.default_retries),
+                };
                 if let Some(cache) = &self.cache {
                     cache.store(&key, &outcome);
                 }
@@ -283,6 +339,56 @@ impl Engine {
             outcome,
         }
     }
+
+    /// Runs one job with a recording tracer and exports its event stream
+    /// as Chrome trace-event JSON. Retries are skipped on this path: the
+    /// simulator is deterministic, so a traced failure would recur.
+    fn execute_traced(&self, batch: &str, job: &Job, dir: &Path) -> JobOutcome {
+        let tracer = Tracer::recording();
+        let outcome = match execute_once_with(job, &tracer) {
+            Ok(r) => JobOutcome::Ok(r),
+            Err(SimError::Timeout { max_cycles }) => JobOutcome::Timeout { max_cycles },
+            Err(e) => JobOutcome::SimError(e.to_string()),
+        };
+        let json = chrome_trace_json(&tracer.take_events());
+        let path = dir.join(format!(
+            "{}__{}.trace.json",
+            sanitize_component(batch),
+            sanitize_component(&job.label)
+        ));
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+            eprintln!("harness: failed to write trace {}: {e}", path.display());
+        }
+        outcome
+    }
+
+    /// The harness's own execution metrics in the same [`MetricsReport`]
+    /// shape the simulator emits, so one toolchain reads both.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let s = self.stats();
+        let mut m = MetricsReport::new();
+        m.counter("harness.workers", self.workers as u64);
+        m.counter("harness.jobs", s.jobs);
+        m.counter("harness.cache_hits", s.cache_hits);
+        m.counter("harness.cache_misses", s.cache_misses);
+        m.counter("harness.failures", s.failures);
+        m.counter("harness.sim_cycles", s.sim_cycles);
+        m.counter("harness.exec_millis", s.exec_millis);
+        m
+    }
+}
+
+/// Makes a batch name or job label safe as a file-name component.
+fn sanitize_component(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// One job's execution record within a batch.
@@ -451,5 +557,54 @@ mod tests {
     fn summary_mentions_worker_count() {
         let engine = Engine::new(3);
         assert!(engine.summary().contains("3 workers"));
+    }
+
+    #[test]
+    fn metrics_engine_attaches_reports() {
+        let engine = Engine::new(2).with_metrics(true);
+        assert!(engine.metrics_enabled());
+        let batch = engine.run_batch("metrics", vec![job(2, 20), job(3, 20)]);
+        for r in batch.expect_results() {
+            let m = r.metrics.expect("metrics attached");
+            assert_eq!(m.get_counter("machine.cycles"), Some(r.cycles));
+        }
+    }
+
+    #[test]
+    fn trace_dir_writes_a_chrome_trace_per_executed_job() {
+        let dir = std::env::temp_dir().join(format!("hfs-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Cache-less engine: a warm cache would skip execution and write
+        // no traces.
+        let engine = Engine::new(2).with_trace_dir(&dir);
+        let batch = engine.run_batch("tr", vec![job(2, 20)]);
+        assert!(batch.all_ok());
+        let trace = dir.join("tr__w2-i20.trace.json");
+        let text = std::fs::read_to_string(&trace).expect("trace file written");
+        let parsed = crate::json::parse(&text).expect("trace is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Traced jobs also carry metrics.
+        assert!(batch.records[0].outcome.ok().unwrap().metrics.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_metrics_report_counts_jobs() {
+        let engine = Engine::new(1);
+        engine.run_batch("m", vec![job(2, 10)]);
+        let m = engine.metrics_report();
+        assert_eq!(m.get_counter("harness.jobs"), Some(1));
+        assert_eq!(m.get_counter("harness.cache_misses"), Some(1));
+        assert_eq!(m.get_counter("harness.workers"), Some(1));
+    }
+
+    #[test]
+    fn sanitize_component_replaces_path_separators() {
+        assert_eq!(sanitize_component("fig6/HEAVYWT d=1"), "fig6-HEAVYWT-d-1");
+        assert_eq!(sanitize_component("ok-name_1.2"), "ok-name_1.2");
     }
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use hfs_core::kernel::KernelPair;
 use hfs_core::{Machine, MachineConfig, RunResult, SimError};
+use hfs_trace::Tracer;
 
 /// Default per-job simulated-cycle budget; hitting it is a harness or
 /// model bug, surfaced as [`JobOutcome::Timeout`] by the watchdog.
@@ -46,6 +47,10 @@ pub struct Job {
     pub max_cycles: u64,
     /// Re-execution attempts after a transient harness failure.
     pub retries: u32,
+    /// Whether to attach a metrics-digesting tracer so the result carries
+    /// a [`hfs_trace::MetricsReport`]. Part of the cache key (traced and
+    /// untraced results serialize differently).
+    pub metrics: bool,
 }
 
 impl Job {
@@ -58,6 +63,7 @@ impl Job {
             mode: Mode::Pipeline,
             max_cycles: DEFAULT_MAX_CYCLES,
             retries: 0,
+            metrics: false,
         }
     }
 
@@ -91,6 +97,13 @@ impl Job {
         self
     }
 
+    /// Requests a metrics report in the result.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Job {
+        self.metrics = metrics;
+        self
+    }
+
     /// The stable, content-derived cache key (16 hex digits).
     ///
     /// Hashes everything that determines the simulation outcome: the
@@ -98,10 +111,15 @@ impl Job {
     /// configuration (memory hierarchy, core, design point, seed), the
     /// assembly mode, the cycle budget, and [`CACHE_SCHEMA`].
     pub fn key(&self) -> String {
-        let canonical = format!(
+        let mut canonical = format!(
             "schema={CACHE_SCHEMA}|mode={:?}|max_cycles={}|pair={:?}|cfg={:?}",
             self.mode, self.max_cycles, self.pair, self.cfg
         );
+        // Appended only when set, so pre-existing cache entries for
+        // untraced jobs keep their keys.
+        if self.metrics {
+            canonical.push_str("|metrics=1");
+        }
         format!("{:016x}", fnv1a64(canonical.as_bytes()))
     }
 }
@@ -175,6 +193,22 @@ impl fmt::Display for JobOutcome {
 ///
 /// Any [`SimError`] from machine construction or the run itself.
 pub fn execute_once(job: &Job) -> Result<RunResult, SimError> {
+    let tracer = if job.metrics {
+        Tracer::metrics_only()
+    } else {
+        Tracer::disabled()
+    };
+    execute_once_with(job, &tracer)
+}
+
+/// Runs `job` once with an explicit tracer attached to the machine —
+/// the entry point for callers that want the recorded event stream (the
+/// engine's `HFS_TRACE_DIR` export, the fig binaries' `--trace` demo).
+///
+/// # Errors
+///
+/// Any [`SimError`] from machine construction or the run itself.
+pub fn execute_once_with(job: &Job, tracer: &Tracer) -> Result<RunResult, SimError> {
     let mut machine = match job.mode {
         Mode::Pipeline => Machine::new_pipeline(&job.cfg, &job.pair)?,
         Mode::Single => Machine::new_single(&job.cfg, &job.pair)?,
@@ -183,6 +217,7 @@ pub fn execute_once(job: &Job) -> Result<RunResult, SimError> {
             Machine::new_multi_pipeline(&job.cfg, &pairs)?
         }
     };
+    machine.set_tracer(tracer.clone());
     machine.run(job.max_cycles)
 }
 
@@ -243,6 +278,24 @@ mod tests {
         assert_ne!(base.key(), single.key(), "mode changes the key");
         let budget = demo_job(50).with_max_cycles(1_000);
         assert_ne!(base.key(), budget.key(), "budget changes the key");
+    }
+
+    #[test]
+    fn metrics_flag_changes_key_and_attaches_report() {
+        let base = demo_job(40);
+        let traced = demo_job(40).with_metrics(true);
+        assert_ne!(base.key(), traced.key(), "metrics jobs cache separately");
+        let plain = execute(&base, 0);
+        let with = execute(&traced, 0);
+        let plain = plain.ok().expect("plain run ok");
+        let with = with.ok().expect("traced run ok");
+        assert!(plain.metrics.is_none());
+        let m = with.metrics.as_ref().expect("metrics attached");
+        assert_eq!(m.get_counter("machine.cycles"), Some(with.cycles));
+        assert!(m.get_counter("trace.produce").unwrap_or(0) > 0);
+        assert!(m.get_histogram("consume_to_use_cycles").unwrap().count > 0);
+        // Tracing must not perturb the simulation itself.
+        assert_eq!(plain.cycles, with.cycles);
     }
 
     #[test]

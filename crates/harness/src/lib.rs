@@ -15,8 +15,10 @@
 //!   (never panics mid-batch), with a per-job simulated-cycle watchdog
 //!   and configurable retries;
 //! - observability: per-job timing and live progress on stderr, engine
-//!   counters via [`Engine::stats`]/[`Engine::summary`], and
-//!   machine-readable `results/<experiment>.json` artifacts.
+//!   counters via [`Engine::stats`]/[`Engine::summary`], machine-readable
+//!   `results/<experiment>.json` artifacts, and — with `HFS_METRICS=1` /
+//!   `HFS_TRACE_DIR=<dir>` — per-run [`hfs_trace::MetricsReport`]s and
+//!   Chrome trace-event exports (see [`Engine::from_env`]).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,6 +31,12 @@ pub mod ser;
 
 pub use cache::Cache;
 pub use engine::{Batch, Engine, EngineStats, Record};
-pub use job::{execute, execute_once, Job, JobOutcome, Mode, CACHE_SCHEMA, DEFAULT_MAX_CYCLES};
+pub use job::{
+    execute, execute_once, execute_once_with, Job, JobOutcome, Mode, CACHE_SCHEMA,
+    DEFAULT_MAX_CYCLES,
+};
 pub use json::{parse, Json, ParseError};
-pub use ser::{outcome_from_json, outcome_to_json, run_result_from_json, run_result_to_json};
+pub use ser::{
+    metrics_from_json, metrics_to_json, outcome_from_json, outcome_to_json, run_result_from_json,
+    run_result_to_json,
+};

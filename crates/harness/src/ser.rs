@@ -8,6 +8,7 @@ use hfs_core::RunResult;
 use hfs_cpu::CoreStats;
 use hfs_mem::{BusStats, MemStats};
 use hfs_sim::stats::{Breakdown, StallComponent};
+use hfs_trace::{HistogramSummary, MetricsReport};
 
 use crate::job::JobOutcome;
 use crate::json::Json;
@@ -112,9 +113,90 @@ fn mem_from_json(v: &Json) -> Result<MemStats, DecodeError> {
     })
 }
 
-/// Serializes a [`RunResult`] to JSON.
-pub fn run_result_to_json(r: &RunResult) -> Json {
+fn summary_to_json(s: &HistogramSummary) -> Json {
     Json::obj(vec![
+        ("count", Json::U64(s.count)),
+        ("sum", Json::U64(s.sum)),
+        ("p50", Json::U64(s.p50)),
+        ("p95", Json::U64(s.p95)),
+        ("p99", Json::U64(s.p99)),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<HistogramSummary, DecodeError> {
+    Ok(HistogramSummary {
+        count: field(v, "count")?,
+        sum: field(v, "sum")?,
+        p50: field(v, "p50")?,
+        p95: field(v, "p95")?,
+        p99: field(v, "p99")?,
+    })
+}
+
+/// Serializes a [`MetricsReport`]. Counters and histograms keep their
+/// insertion order (the report's serialization contract).
+pub fn metrics_to_json(m: &MetricsReport) -> Json {
+    Json::obj(vec![
+        ("breakdown", breakdown_to_json(&m.breakdown)),
+        (
+            "counters",
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::U64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                m.histograms
+                    .iter()
+                    .map(|(n, s)| (n.clone(), summary_to_json(s)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Reconstructs a [`MetricsReport`] from JSON.
+///
+/// # Errors
+///
+/// [`DecodeError`] on missing or mistyped fields.
+pub fn metrics_from_json(v: &Json) -> Result<MetricsReport, DecodeError> {
+    let mut m = MetricsReport::new();
+    m.breakdown = breakdown_from_json(
+        v.get("breakdown")
+            .ok_or_else(|| DecodeError("missing metrics `breakdown`".into()))?,
+    )?;
+    match v.get("counters") {
+        Some(Json::Obj(pairs)) => {
+            for (n, val) in pairs {
+                let val = val
+                    .as_u64()
+                    .ok_or_else(|| DecodeError(format!("counter `{n}` is not a u64")))?;
+                m.counter(n.clone(), val);
+            }
+        }
+        _ => return Err(DecodeError("missing metrics `counters` object".into())),
+    }
+    match v.get("histograms") {
+        Some(Json::Obj(pairs)) => {
+            for (n, val) in pairs {
+                m.histograms.push((n.clone(), summary_from_json(val)?));
+            }
+        }
+        _ => return Err(DecodeError("missing metrics `histograms` object".into())),
+    }
+    Ok(m)
+}
+
+/// Serializes a [`RunResult`] to JSON. The optional `metrics` field is
+/// appended last and only when present, so untraced results keep their
+/// exact pre-metrics byte layout.
+pub fn run_result_to_json(r: &RunResult) -> Json {
+    let mut pairs = vec![
         ("design", Json::Str(r.design.clone())),
         ("cycles", Json::U64(r.cycles)),
         ("iterations", Json::U64(r.iterations)),
@@ -130,7 +212,11 @@ pub fn run_result_to_json(r: &RunResult) -> Json {
                 None => Json::Null,
             },
         ),
-    ])
+    ];
+    if let Some(m) = &r.metrics {
+        pairs.push(("metrics", metrics_to_json(m)));
+    }
+    Json::obj(pairs)
 }
 
 /// Reconstructs a [`RunResult`] from JSON.
@@ -182,6 +268,11 @@ pub fn run_result_from_json(v: &Json) -> Result<RunResult, DecodeError> {
                 .ok_or_else(|| DecodeError("missing `mem`".into()))?,
         )?,
         stream_cache,
+        metrics: v
+            .get("metrics")
+            .map(metrics_from_json)
+            .transpose()?
+            .map(Box::new),
     })
 }
 
@@ -265,7 +356,48 @@ mod tests {
                 forwards: 0,
             },
             stream_cache: Some((11, 2, 1)),
+            metrics: None,
         }
+    }
+
+    fn sample_metrics() -> MetricsReport {
+        let mut m = MetricsReport::new();
+        m.breakdown.charge_busy(70);
+        m.breakdown.charge(StallComponent::Bus, 30);
+        m.counter("mem.l1_hits", 50);
+        m.counter("trace.produce", 10);
+        let mut h = hfs_sim::stats::Histogram::new(16);
+        for v in [3u64, 3, 4, 9] {
+            h.record(v);
+        }
+        m.histogram("consume_to_use_cycles", &h);
+        m
+    }
+
+    #[test]
+    fn metrics_round_trip_preserves_order_and_values() {
+        let m = sample_metrics();
+        let text = metrics_to_json(&m).to_string();
+        let back = metrics_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(metrics_to_json(&back).to_string(), text);
+        assert_eq!(back.get_counter("trace.produce"), Some(10));
+        assert_eq!(back.get_histogram("consume_to_use_cycles").unwrap().p50, 3);
+    }
+
+    #[test]
+    fn result_with_metrics_round_trips_and_appends_last() {
+        let mut r = sample_result();
+        r.metrics = Some(Box::new(sample_metrics()));
+        let text = run_result_to_json(&r).to_string();
+        assert!(text.ends_with("}}}"), "metrics must be the last field");
+        let back = run_result_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.metrics, r.metrics);
+        // Untraced results carry no `metrics` key at all.
+        let plain = run_result_to_json(&sample_result()).to_string();
+        assert!(!plain.contains("\"metrics\""));
+        let back = run_result_from_json(&parse(&plain).unwrap()).unwrap();
+        assert_eq!(back.metrics, None);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use std::collections::VecDeque;
 
 use hfs_isa::CoreId;
+use hfs_sim::stats::Counter;
 use hfs_sim::{Cycle, TimedQueue};
+use hfs_trace::{TraceEvent, Tracer};
 
 use crate::config::BusConfig;
 use crate::msg::CtlPayload;
@@ -95,7 +97,11 @@ pub(crate) struct Bus {
     data_rr: usize,
     data_busy_until: Cycle,
     data_inflight: TimedQueue<DataTxn>,
-    stats: BusStats,
+    addr_phases: Counter,
+    data_transfers: Counter,
+    data_busy_cycles: Counter,
+    ctl_delivered: Counter,
+    tracer: Tracer,
 }
 
 impl Bus {
@@ -110,12 +116,35 @@ impl Bus {
             data_rr: 0,
             data_busy_until: Cycle::ZERO,
             data_inflight: TimedQueue::new(),
-            stats: BusStats::default(),
+            addr_phases: Counter::new("bus.addr_phases"),
+            data_transfers: Counter::new("bus.data_transfers"),
+            data_busy_cycles: Counter::new("bus.data_busy_cycles"),
+            ctl_delivered: Counter::new("bus.ctl_delivered"),
+            tracer: Tracer::disabled(),
         }
     }
 
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     pub(crate) fn stats(&self) -> BusStats {
-        self.stats
+        BusStats {
+            addr_phases: self.addr_phases.value(),
+            data_transfers: self.data_transfers.value(),
+            data_busy_cycles: self.data_busy_cycles.value(),
+            ctl_delivered: self.ctl_delivered.value(),
+        }
+    }
+
+    /// The bus's named counters, for the unified metrics report.
+    pub(crate) fn counters(&self) -> Vec<Counter> {
+        vec![
+            self.addr_phases.clone(),
+            self.data_transfers.clone(),
+            self.data_busy_cycles.clone(),
+            self.ctl_delivered.clone(),
+        ]
     }
 
     fn data_agent_index(&self, agent: Agent) -> usize {
@@ -161,13 +190,13 @@ impl Bus {
         let mut addr_out = Vec::new();
         while let Some(t) = self.addr_inflight.pop_ready(now) {
             if matches!(t, AddrTxn::Ctl { .. }) {
-                self.stats.ctl_delivered += 1;
+                self.ctl_delivered.inc();
             }
             addr_out.push(t);
         }
         let mut data_out = Vec::new();
         while let Some(t) = self.data_inflight.pop_ready(now) {
-            self.stats.data_transfers += 1;
+            self.data_transfers.inc();
             data_out.push(t);
         }
 
@@ -206,7 +235,12 @@ impl Bus {
                     };
                     if eligible {
                         let txn = self.addr_queues[idx].pop_front().expect("front checked");
-                        self.stats.addr_phases += 1;
+                        self.addr_phases.inc();
+                        self.tracer.emit(|| TraceEvent::BusGrant {
+                            core: CoreId(idx as u8),
+                            at: now.as_u64(),
+                            streaming: is_streaming(&txn),
+                        });
                         let deliver = now + self.cfg.pipeline_stages * self.cfg.clock_divider;
                         self.addr_inflight.push(deliver, txn);
                         self.addr_rr = (idx + 1) % n;
@@ -224,7 +258,11 @@ impl Bus {
                     let idx = (self.data_rr + i) % n;
                     if let Some((bytes, txn)) = self.data_queues[idx].pop_front() {
                         let busy = self.cfg.data_cycles(bytes) * self.cfg.clock_divider;
-                        self.stats.data_busy_cycles += busy;
+                        self.data_busy_cycles.add(busy);
+                        self.tracer.emit(|| TraceEvent::BusData {
+                            at: now.as_u64(),
+                            cycles: busy,
+                        });
                         self.data_busy_until = now + busy;
                         self.data_inflight.push(now + busy, txn);
                         self.data_rr = (idx + 1) % n;

@@ -1,5 +1,6 @@
 //! Set-associative cache arrays with LRU replacement and MSI line states.
 
+use hfs_sim::stats::Counter;
 use hfs_sim::ConfigError;
 
 /// Geometry of a set-associative cache.
@@ -99,8 +100,8 @@ pub struct CacheArray {
     geom: CacheGeometry,
     sets: Vec<Vec<Way>>,
     stamp: u64,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl CacheArray {
@@ -116,8 +117,8 @@ impl CacheArray {
             geom,
             sets,
             stamp: 0,
-            hits: 0,
-            misses: 0,
+            hits: Counter::new("hits"),
+            misses: Counter::new("misses"),
         })
     }
 
@@ -138,11 +139,11 @@ impl CacheArray {
         match self.sets[set].iter_mut().find(|w| w.line == line) {
             Some(w) => {
                 w.lru = stamp;
-                self.hits += 1;
+                self.hits.inc();
                 Some(w.state)
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -217,12 +218,12 @@ impl CacheArray {
 
     /// Lookup hits recorded by [`CacheArray::access`].
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.value()
     }
 
     /// Lookup misses recorded by [`CacheArray::access`].
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.value()
     }
 }
 

@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 
 use hfs_isa::{Addr, CoreId};
+use hfs_sim::stats::Counter;
 use hfs_sim::{ConfigError, Cycle};
+use hfs_trace::{TraceEvent, Tracer};
 
 use crate::cache::{CacheArray, CacheGeometry, LineState};
 use crate::msg::OpLocation;
@@ -137,7 +139,6 @@ pub(crate) struct ResolvedWaiter {
 
 #[derive(Debug)]
 pub(crate) struct L2Ctl {
-    #[allow(dead_code)] // identity kept for diagnostics
     core: CoreId,
     array: CacheArray,
     line_bytes: u64,
@@ -149,8 +150,9 @@ pub(crate) struct L2Ctl {
     next_id: u64,
     pending_lines: HashMap<u64, LineStage>,
     // Statistics.
-    pipe_accesses: u64,
-    port_conflicts: u64,
+    pipe_accesses: Counter,
+    port_conflicts: Counter,
+    tracer: Tracer,
 }
 
 impl L2Ctl {
@@ -173,9 +175,14 @@ impl L2Ctl {
             entries: Vec::new(),
             next_id: 0,
             pending_lines: HashMap::new(),
-            pipe_accesses: 0,
-            port_conflicts: 0,
+            pipe_accesses: Counter::new("mem.l2_accesses"),
+            port_conflicts: Counter::new("mem.l2_port_conflicts"),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     pub(crate) fn line_of(&self, addr: Addr) -> u64 {
@@ -346,7 +353,11 @@ impl L2Ctl {
             }
             if granted >= self.ports {
                 // Beaten in arbitration: recirculate after the interval.
-                self.port_conflicts += 1;
+                self.port_conflicts.inc();
+                self.tracer.emit(|| TraceEvent::OzqRecirc {
+                    core: self.core,
+                    at: now.as_u64(),
+                });
                 self.entries[i].state = EntryState::WaitPort {
                     retry_at: now + self.recirc,
                 };
@@ -355,7 +366,7 @@ impl L2Ctl {
             let line = self.entries[i].addr.line(self.line_bytes);
             let lat = self.latency_min + 2 * (line % 3);
             self.entries[i].state = EntryState::InPipe { done_at: now + lat };
-            self.pipe_accesses += 1;
+            self.pipe_accesses.inc();
             granted += 1;
         }
 
@@ -556,12 +567,22 @@ impl L2Ctl {
 
     /// Total pipe accesses granted (port bandwidth consumed).
     pub(crate) fn pipe_accesses(&self) -> u64 {
-        self.pipe_accesses
+        self.pipe_accesses.value()
     }
 
     /// Times an entry lost port arbitration and recirculated.
     pub(crate) fn port_conflicts(&self) -> u64 {
-        self.port_conflicts
+        self.port_conflicts.value()
+    }
+
+    /// Tag-array lookup hits (for aggregated L2 counters).
+    pub(crate) fn array_hits(&self) -> u64 {
+        self.array.hits()
+    }
+
+    /// Tag-array lookup misses (for aggregated L2 counters).
+    pub(crate) fn array_misses(&self) -> u64 {
+        self.array.misses()
     }
 }
 

@@ -1,6 +1,7 @@
 //! The shared L3 cache and its memory controller.
 
 use hfs_isa::CoreId;
+use hfs_sim::stats::Counter;
 use hfs_sim::{ConfigError, Cycle, TimedQueue};
 
 use crate::cache::{CacheArray, CacheGeometry, LineState};
@@ -40,7 +41,7 @@ pub(crate) struct L3 {
     lookups: TimedQueue<L3Req>,
     dram: TimedQueue<L3Req>,
     ready: Vec<L3Ready>,
-    dram_accesses: u64,
+    dram_accesses: Counter,
     dirty_evictions: u64,
 }
 
@@ -57,7 +58,7 @@ impl L3 {
             lookups: TimedQueue::new(),
             dram: TimedQueue::new(),
             ready: Vec::new(),
-            dram_accesses: 0,
+            dram_accesses: Counter::new("mem.dram_accesses"),
             dirty_evictions: 0,
         })
     }
@@ -97,7 +98,7 @@ impl L3 {
                     from_dram: false,
                 });
             } else {
-                self.dram_accesses += 1;
+                self.dram_accesses.inc();
                 self.dram.push(now + self.dram_latency, req);
             }
         }
@@ -134,7 +135,16 @@ impl L3 {
 
     /// DRAM accesses made.
     pub(crate) fn dram_accesses(&self) -> u64 {
-        self.dram_accesses
+        self.dram_accesses.value()
+    }
+
+    /// L3/DRAM named counters for the unified metrics report.
+    pub(crate) fn counters(&self) -> Vec<Counter> {
+        let mut l3_hits = Counter::new("mem.l3_hits");
+        l3_hits.add(self.array.hits());
+        let mut l3_misses = Counter::new("mem.l3_misses");
+        l3_misses.add(self.array.misses());
+        vec![l3_hits, l3_misses, self.dram_accesses.clone()]
     }
 }
 

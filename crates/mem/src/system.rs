@@ -4,7 +4,9 @@
 use std::collections::{HashMap, HashSet};
 
 use hfs_isa::{Addr, CoreId};
+use hfs_sim::stats::Counter;
 use hfs_sim::{ConfigError, Cycle, TimedQueue};
+use hfs_trace::{CacheLevel, TraceEvent, Tracer};
 
 use crate::bus::{AddrTxn, Agent, Bus, BusStats, DataTxn};
 use crate::cache::LineState;
@@ -144,6 +146,7 @@ pub struct MemSystem {
     /// Byte range of the streaming (queue) backing store, used to tag
     /// bus requests for the §4.2 application-traffic-priority arbiter.
     streaming_range: Option<(u64, u64)>,
+    tracer: Tracer,
 }
 
 impl MemSystem {
@@ -181,8 +184,18 @@ impl MemSystem {
             forward_track: Vec::new(),
             forwards_done: 0,
             streaming_range: None,
+            tracer: Tracer::disabled(),
             cfg,
         })
+    }
+
+    /// Installs a tracer, distributing handles to the bus and every L2.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.bus.set_tracer(tracer.clone());
+        for l2 in &mut self.l2s {
+            l2.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -206,7 +219,14 @@ impl MemSystem {
         assert!(c < self.l2s.len(), "core {core} out of range");
         if op.write.is_none() && !op.gated {
             // Demand load: try the L1 first.
-            if self.l1s[c].load_hit(op.addr) {
+            let hit = self.l1s[c].load_hit(op.addr);
+            self.tracer.emit(|| TraceEvent::CacheAccess {
+                core,
+                at: now.as_u64(),
+                level: CacheLevel::L1,
+                hit,
+            });
+            if hit {
                 return Submit::L1Hit {
                     value: self.func.read(op.addr),
                     at: now + self.cfg.l1_latency,
@@ -335,6 +355,39 @@ impl MemSystem {
         }
     }
 
+    /// The hierarchy's named counters for the unified metrics report:
+    /// aggregated L1/L2/L3 hit-miss, L2 port statistics, DRAM accesses,
+    /// bus channel activity, and write-forward completions — all sharing
+    /// [`hfs_sim::stats::Counter`] with [`MemStats`]'s sources.
+    pub fn counters(&self) -> Vec<Counter> {
+        fn agg(name: &'static str, value: u64) -> Counter {
+            let mut c = Counter::new(name);
+            c.add(value);
+            c
+        }
+        let mut out = vec![
+            agg("mem.l1_hits", self.l1s.iter().map(L1d::hits).sum()),
+            agg("mem.l1_misses", self.l1s.iter().map(L1d::misses).sum()),
+            agg("mem.l2_hits", self.l2s.iter().map(L2Ctl::array_hits).sum()),
+            agg(
+                "mem.l2_misses",
+                self.l2s.iter().map(L2Ctl::array_misses).sum(),
+            ),
+            agg(
+                "mem.l2_accesses",
+                self.l2s.iter().map(L2Ctl::pipe_accesses).sum(),
+            ),
+            agg(
+                "mem.l2_port_conflicts",
+                self.l2s.iter().map(L2Ctl::port_conflicts).sum(),
+            ),
+        ];
+        out.extend(self.l3.counters());
+        out.extend(self.bus.counters());
+        out.push(agg("mem.forwards", self.forwards_done));
+        out
+    }
+
     /// Whether `core`'s L2 currently holds the line containing `addr`.
     pub fn l2_has_line(&self, core: CoreId, addr: Addr) -> bool {
         let l2 = &self.l2s[core.index()];
@@ -370,6 +423,12 @@ impl MemSystem {
         // 2. L3: move lookups along; ship serviced lines onto the bus.
         self.l3.tick(now);
         for ready in self.l3.drain_ready() {
+            self.tracer.emit(|| TraceEvent::CacheAccess {
+                core: ready.req.requester,
+                at: now.as_u64(),
+                level: CacheLevel::L3,
+                hit: !ready.from_dram,
+            });
             self.l2s[ready.req.requester.index()].line_stage(ready.req.line, LineStage::Incoming);
             self.bus.request_data(
                 Agent::L3,
@@ -405,6 +464,25 @@ impl MemSystem {
 
     fn handle_l2_outcome(&mut self, core: CoreId, o: L2Outcome, now: Cycle) {
         let c = core.index();
+        match &o {
+            L2Outcome::LoadHit { .. } | L2Outcome::StorePerform { .. } => {
+                self.tracer.emit(|| TraceEvent::CacheAccess {
+                    core,
+                    at: now.as_u64(),
+                    level: CacheLevel::L2,
+                    hit: true,
+                });
+            }
+            L2Outcome::NeedLine { .. } => {
+                self.tracer.emit(|| TraceEvent::CacheAccess {
+                    core,
+                    at: now.as_u64(),
+                    level: CacheLevel::L2,
+                    hit: false,
+                });
+            }
+            _ => {}
+        }
         match o {
             L2Outcome::LoadHit {
                 id,
@@ -678,6 +756,10 @@ impl MemSystem {
                 self.l1s[from.index()].invalidate_span(line_addr, self.cfg.l2.line_bytes);
                 self.install_fill(to, line, true, true, now);
                 self.forwards_done += 1;
+                self.tracer.emit(|| TraceEvent::Forward {
+                    at: now.as_u64(),
+                    line,
+                });
                 self.events.push(MemEvent::ForwardDone {
                     from,
                     to,

@@ -309,6 +309,43 @@ impl Histogram {
     pub fn overflow(&self) -> u64 {
         self.overflow
     }
+
+    /// The nearest-rank `p`-th percentile (`0.0 < p <= 100.0`) of the
+    /// recorded samples, or `None` when the histogram is empty.
+    ///
+    /// Samples that landed in the overflow bucket are reported as the
+    /// first out-of-range value (`buckets.len()`), a lower bound on their
+    /// true magnitude.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hfs_sim::stats::Histogram;
+    ///
+    /// let mut h = Histogram::new(8);
+    /// for v in [1, 2, 2, 3] {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.percentile(50.0), Some(2));
+    /// assert_eq!(h.percentile(100.0), Some(3));
+    /// ```
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: the smallest value with at least ceil(p/100 * n)
+        // samples at or below it. Rank 0 (p == 0) degrades to rank 1.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(value as u64);
+            }
+        }
+        Some(self.buckets.len() as u64)
+    }
 }
 
 /// Geometric mean of a series of positive ratios, as used for the paper's
@@ -415,6 +452,54 @@ mod tests {
     #[test]
     fn histogram_empty_mean_is_zero() {
         assert_eq!(Histogram::new(1).mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(Histogram::new(4).percentile(50.0), None);
+        assert_eq!(Histogram::new(0).percentile(99.0), None);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut h = Histogram::new(10);
+        h.record(7);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::new(100);
+        for v in [15, 20, 35, 40, 50] {
+            h.record(v);
+        }
+        // Classic nearest-rank worked example.
+        assert_eq!(h.percentile(30.0), Some(20));
+        assert_eq!(h.percentile(40.0), Some(20));
+        assert_eq!(h.percentile(50.0), Some(35));
+        assert_eq!(h.percentile(100.0), Some(50));
+    }
+
+    #[test]
+    fn percentile_overflow_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(2);
+        h.record(1000); // overflow
+        h.record(2000); // overflow
+        assert_eq!(h.percentile(50.0), Some(2));
+        // Overflow samples clamp to the first out-of-range value.
+        assert_eq!(h.percentile(99.0), Some(4));
+        assert_eq!(h.percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn percentile_all_overflow() {
+        let mut h = Histogram::new(2);
+        h.record(9);
+        assert_eq!(h.percentile(50.0), Some(2));
     }
 
     #[test]

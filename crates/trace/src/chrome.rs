@@ -1,0 +1,364 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! The exporter is self-contained string building — the harness's JSON
+//! module lives above this crate in the dependency order, and the trace
+//! format is narrow enough (ASCII names, integer timestamps) that a tiny
+//! escaper suffices.
+//!
+//! Track layout (all under `pid` 0):
+//!
+//! * `tid` 0..N — one track per core, carrying coalesced Busy/Stall
+//!   duration spans plus cache-access, produce/consume, sync-wait and
+//!   OzQ-recirculation instants;
+//! * `tid` 100 — the shared bus: grant instants, data-phase occupancy
+//!   spans, and write-forward instants;
+//! * `tid` 200+q — one track per queue `q`: produce→consume latency
+//!   spans, stream-cache instants, and an occupancy counter series.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::event::{CoreActivity, TraceEvent};
+
+/// Bus track id.
+const BUS_TID: u64 = 100;
+/// First queue track id (queue `q` lands on `QUEUE_TID_BASE + q`).
+const QUEUE_TID_BASE: u64 = 200;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON event object under construction.
+struct Ev {
+    json: String,
+}
+
+impl Ev {
+    fn new(ph: char, name: &str, tid: u64, ts: u64) -> Ev {
+        Ev {
+            json: format!(
+                "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}",
+                escape(name)
+            ),
+        }
+    }
+
+    fn field(mut self, key: &str, value: String) -> Ev {
+        let _ = write!(self.json, ",\"{key}\":{value}");
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.json.push('}');
+        self.json
+    }
+}
+
+fn instant(name: &str, tid: u64, ts: u64) -> String {
+    Ev::new('i', name, tid, ts)
+        .field("s", "\"t\"".to_string())
+        .finish()
+}
+
+fn span(name: &str, tid: u64, ts: u64, dur: u64) -> String {
+    Ev::new('X', name, tid, ts)
+        .field("dur", dur.to_string())
+        .finish()
+}
+
+fn counter(name: &str, tid: u64, ts: u64, series: &str, value: u64) -> String {
+    Ev::new('C', name, tid, ts)
+        .field("args", format!("{{\"{series}\":{value}}}"))
+        .finish()
+}
+
+fn thread_name(tid: u64, name: &str) -> String {
+    Ev::new('M', "thread_name", tid, 0)
+        .field("args", format!("{{\"name\":\"{}\"}}", escape(name)))
+        .finish()
+}
+
+/// A run of identical per-cycle core states being coalesced into a span.
+struct StateRun {
+    state: CoreActivity,
+    start: u64,
+    /// Last cycle covered (inclusive).
+    end: u64,
+}
+
+/// Renders a recorded event stream as a complete Chrome trace-event JSON
+/// document (`{"traceEvents":[...]}`).
+///
+/// Timestamps are simulated cycles (1 "µs" per cycle in the viewer).
+/// Per-cycle [`TraceEvent::CoreState`] samples are coalesced into
+/// duration spans; [`TraceEvent::Issue`] events are metrics-only and not
+/// rendered. Output is byte-deterministic for a given event stream.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // Discover the tracks present, in deterministic order.
+    let mut cores: BTreeSet<u8> = BTreeSet::new();
+    let mut queues: BTreeSet<u16> = BTreeSet::new();
+    let mut has_bus = false;
+    for e in events {
+        match e {
+            TraceEvent::CoreState { core, .. }
+            | TraceEvent::Issue { core, .. }
+            | TraceEvent::CacheAccess { core, .. }
+            | TraceEvent::OzqRecirc { core, .. } => {
+                cores.insert(core.0);
+            }
+            TraceEvent::BusGrant { core, .. } => {
+                cores.insert(core.0);
+                has_bus = true;
+            }
+            TraceEvent::BusData { .. } | TraceEvent::Forward { .. } => has_bus = true,
+            TraceEvent::Produce { core, queue, .. } | TraceEvent::Consume { core, queue, .. } => {
+                cores.insert(core.0);
+                queues.insert(queue.0);
+            }
+            TraceEvent::SyncWait { core, queue, .. } => {
+                cores.insert(core.0);
+                queues.insert(queue.0);
+            }
+            TraceEvent::QueueDepth { queue, .. }
+            | TraceEvent::ScFill { queue, .. }
+            | TraceEvent::ScHit { queue, .. } => {
+                queues.insert(queue.0);
+            }
+        }
+    }
+
+    let mut out: Vec<String> = Vec::new();
+    for &c in &cores {
+        out.push(thread_name(u64::from(c), &format!("core{c}")));
+    }
+    if has_bus {
+        out.push(thread_name(BUS_TID, "bus"));
+    }
+    for &q in &queues {
+        out.push(thread_name(QUEUE_TID_BASE + u64::from(q), &format!("q{q}")));
+    }
+
+    // Coalesce CoreState samples into spans, per core.
+    let max_core = cores.iter().next_back().map_or(0, |&c| usize::from(c) + 1);
+    let mut runs: Vec<Option<StateRun>> = (0..max_core).map(|_| None).collect();
+    let flush = |run: &mut Option<StateRun>, tid: u64, out: &mut Vec<String>| {
+        if let Some(r) = run.take() {
+            out.push(span(&r.state.label(), tid, r.start, r.end - r.start + 1));
+        }
+    };
+
+    // Open produce spans per (queue, seq): matched on consume.
+    let mut open: std::collections::BTreeMap<(u16, u64), u64> = std::collections::BTreeMap::new();
+
+    for e in events {
+        match e {
+            TraceEvent::CoreState { core, at, state } => {
+                let i = core.index();
+                match &mut runs[i] {
+                    Some(r) if r.state == *state && *at == r.end + 1 => r.end = *at,
+                    r => {
+                        flush(r, u64::from(core.0), &mut out);
+                        *r = Some(StateRun {
+                            state: *state,
+                            start: *at,
+                            end: *at,
+                        });
+                    }
+                }
+            }
+            TraceEvent::Issue { .. } => {}
+            TraceEvent::CacheAccess {
+                core,
+                at,
+                level,
+                hit,
+            } => {
+                let name = format!("{} {}", level.label(), if *hit { "hit" } else { "miss" });
+                out.push(instant(&name, u64::from(core.0), *at));
+            }
+            TraceEvent::BusGrant {
+                core,
+                at,
+                streaming,
+            } => {
+                let name = if *streaming {
+                    format!("grant core{} (stream)", core.0)
+                } else {
+                    format!("grant core{}", core.0)
+                };
+                out.push(instant(&name, BUS_TID, *at));
+            }
+            TraceEvent::BusData { at, cycles } => {
+                out.push(span("data", BUS_TID, *at, (*cycles).max(1)));
+            }
+            TraceEvent::OzqRecirc { core, at } => {
+                out.push(instant("ozq-recirc", u64::from(core.0), *at));
+            }
+            TraceEvent::Produce {
+                core,
+                queue,
+                seq,
+                at,
+            } => {
+                open.insert((queue.0, *seq), *at);
+                out.push(instant(
+                    &format!("produce {queue}#{seq}"),
+                    u64::from(core.0),
+                    *at,
+                ));
+            }
+            TraceEvent::Consume {
+                core,
+                queue,
+                seq,
+                at,
+            } => {
+                if let Some(start) = open.remove(&(queue.0, *seq)) {
+                    out.push(span(
+                        &format!("{queue}#{seq}"),
+                        QUEUE_TID_BASE + u64::from(queue.0),
+                        start,
+                        at.saturating_sub(start).max(1),
+                    ));
+                }
+                out.push(instant(
+                    &format!("consume {queue}#{seq}"),
+                    u64::from(core.0),
+                    *at,
+                ));
+            }
+            TraceEvent::QueueDepth { queue, at, depth } => {
+                out.push(counter(
+                    &format!("{queue} depth"),
+                    QUEUE_TID_BASE + u64::from(queue.0),
+                    *at,
+                    "depth",
+                    *depth,
+                ));
+            }
+            TraceEvent::SyncWait { core, queue, at } => {
+                out.push(instant(&format!("wait {queue}"), u64::from(core.0), *at));
+            }
+            TraceEvent::ScFill { queue, at } => {
+                out.push(instant("sc-fill", QUEUE_TID_BASE + u64::from(queue.0), *at));
+            }
+            TraceEvent::ScHit { queue, at } => {
+                out.push(instant("sc-hit", QUEUE_TID_BASE + u64::from(queue.0), *at));
+            }
+            TraceEvent::Forward { at, line } => {
+                out.push(instant(&format!("forward line {line}"), BUS_TID, *at));
+            }
+        }
+    }
+    for (i, run) in runs.iter_mut().enumerate() {
+        flush(run, i as u64, &mut out);
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&out.join(",\n"));
+    doc.push_str("\n]}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_isa::{CoreId, QueueId};
+    use hfs_sim::stats::StallComponent;
+
+    #[test]
+    fn coalesces_core_state_runs() {
+        let events = vec![
+            TraceEvent::CoreState {
+                core: CoreId(0),
+                at: 0,
+                state: CoreActivity::Busy,
+            },
+            TraceEvent::CoreState {
+                core: CoreId(0),
+                at: 1,
+                state: CoreActivity::Busy,
+            },
+            TraceEvent::CoreState {
+                core: CoreId(0),
+                at: 2,
+                state: CoreActivity::Stall(StallComponent::Bus),
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"Busy\""));
+        assert!(json.contains("\"dur\":2"));
+        assert!(json.contains("\"name\":\"Stall:BUS\""));
+        // One metadata + two spans.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn produce_consume_becomes_a_queue_span() {
+        let events = vec![
+            TraceEvent::Produce {
+                core: CoreId(0),
+                queue: QueueId(3),
+                seq: 5,
+                at: 10,
+            },
+            TraceEvent::Consume {
+                core: CoreId(1),
+                queue: QueueId(3),
+                seq: 5,
+                at: 25,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"q3#5\",\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":203"));
+        assert!(json.contains("\"dur\":15"));
+        // Track names for both cores and the queue.
+        assert!(json.contains("\"name\":\"core0\""));
+        assert!(json.contains("\"name\":\"core1\""));
+        assert!(json.contains("\"name\":\"q3\""));
+    }
+
+    #[test]
+    fn counter_and_bus_events_render() {
+        let events = vec![
+            TraceEvent::QueueDepth {
+                queue: QueueId(0),
+                at: 4,
+                depth: 7,
+            },
+            TraceEvent::BusData { at: 6, cycles: 8 },
+            TraceEvent::BusGrant {
+                core: CoreId(1),
+                at: 5,
+                streaming: true,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("{\"depth\":7}"));
+        assert!(json.contains("\"name\":\"data\""));
+        assert!(json.contains("grant core1 (stream)"));
+        assert!(json.contains("\"name\":\"bus\""));
+    }
+
+    #[test]
+    fn empty_stream_is_valid_document() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

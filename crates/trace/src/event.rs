@@ -1,0 +1,365 @@
+//! The typed event taxonomy emitted by the simulator's hardware models.
+
+use hfs_isa::{CoreId, QueueId};
+use hfs_sim::stats::StallComponent;
+
+/// Cache hierarchy level of a [`TraceEvent::CacheAccess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// Private write-through L1 data cache.
+    L1,
+    /// Private L2 behind the OzQ.
+    L2,
+    /// Shared L3 behind the bus.
+    L3,
+}
+
+impl CacheLevel {
+    /// Short label ("L1"/"L2"/"L3").
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1 => "L1",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+        }
+    }
+}
+
+/// What a core did with one cycle, as charged by its Figure 7 accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreActivity {
+    /// At least one instruction committed.
+    Busy,
+    /// Nothing committed; the stall is charged to one machine region.
+    Stall(StallComponent),
+}
+
+impl CoreActivity {
+    /// Span label: `"Busy"` or `"Stall:<component>"`.
+    pub fn label(self) -> String {
+        match self {
+            CoreActivity::Busy => "Busy".to_string(),
+            CoreActivity::Stall(c) => format!("Stall:{}", c.label()),
+        }
+    }
+}
+
+/// One timed event from the simulated machine. `at` fields are simulated
+/// cycles ([`hfs_sim::Cycle::as_u64`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Per-cycle core activity sample (coalesced into spans at export).
+    CoreState {
+        /// The core.
+        core: CoreId,
+        /// Cycle the sample covers.
+        at: u64,
+        /// Busy or the attributed stall component.
+        state: CoreActivity,
+    },
+    /// An instruction committed.
+    Issue {
+        /// The committing core.
+        core: CoreId,
+        /// Commit cycle.
+        at: u64,
+        /// Whether it was a COMM-OP (queue communication) instruction.
+        comm: bool,
+    },
+    /// A cache lookup resolved.
+    CacheAccess {
+        /// Requesting core.
+        core: CoreId,
+        /// Resolution cycle.
+        at: u64,
+        /// Which cache level.
+        level: CacheLevel,
+        /// Hit (`true`) or miss.
+        hit: bool,
+    },
+    /// The bus address phase granted a core's transaction.
+    BusGrant {
+        /// The granted core.
+        core: CoreId,
+        /// Grant cycle.
+        at: u64,
+        /// Whether the transaction was classified as streaming traffic.
+        streaming: bool,
+    },
+    /// The bus data channel went busy for a transfer.
+    BusData {
+        /// Transfer start cycle.
+        at: u64,
+        /// Core cycles the channel stays occupied.
+        cycles: u64,
+    },
+    /// An OzQ entry lost L2 port arbitration and recirculated.
+    OzqRecirc {
+        /// The L2's core.
+        core: CoreId,
+        /// Recirculation cycle.
+        at: u64,
+    },
+    /// A produce committed element `seq` into a queue.
+    Produce {
+        /// Producing core.
+        core: CoreId,
+        /// Target queue.
+        queue: QueueId,
+        /// Element sequence number within the queue.
+        seq: u64,
+        /// Produce cycle.
+        at: u64,
+    },
+    /// A consume delivered element `seq` to the consuming core.
+    Consume {
+        /// Consuming core.
+        core: CoreId,
+        /// Source queue.
+        queue: QueueId,
+        /// Element sequence number within the queue.
+        seq: u64,
+        /// Delivery cycle.
+        at: u64,
+    },
+    /// Queue occupancy sampled at a produce.
+    QueueDepth {
+        /// The queue.
+        queue: QueueId,
+        /// Sample cycle.
+        at: u64,
+        /// Elements outstanding (produced, not yet acknowledged).
+        depth: u64,
+    },
+    /// A consume found the queue empty and began waiting.
+    SyncWait {
+        /// Waiting core.
+        core: CoreId,
+        /// The empty queue.
+        queue: QueueId,
+        /// Cycle the wait began.
+        at: u64,
+    },
+    /// The consumer-side stream cache captured a forwarded element.
+    ScFill {
+        /// The queue.
+        queue: QueueId,
+        /// Fill cycle.
+        at: u64,
+    },
+    /// A consume was satisfied from the stream cache.
+    ScHit {
+        /// The queue.
+        queue: QueueId,
+        /// Hit cycle.
+        at: u64,
+    },
+    /// The bus write-forward optimization delivered a line directly.
+    Forward {
+        /// Delivery cycle.
+        at: u64,
+        /// The forwarded line number.
+        line: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable names for each event kind, in [`TraceEvent::kind_index`]
+    /// order. Used for the `trace.*` counters in metrics reports.
+    pub const KIND_NAMES: [&'static str; 13] = [
+        "core_state",
+        "issue",
+        "cache_access",
+        "bus_grant",
+        "bus_data",
+        "ozq_recirc",
+        "produce",
+        "consume",
+        "queue_depth",
+        "sync_wait",
+        "sc_fill",
+        "sc_hit",
+        "forward",
+    ];
+
+    /// Index into [`TraceEvent::KIND_NAMES`] for this event's kind.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::CoreState { .. } => 0,
+            TraceEvent::Issue { .. } => 1,
+            TraceEvent::CacheAccess { .. } => 2,
+            TraceEvent::BusGrant { .. } => 3,
+            TraceEvent::BusData { .. } => 4,
+            TraceEvent::OzqRecirc { .. } => 5,
+            TraceEvent::Produce { .. } => 6,
+            TraceEvent::Consume { .. } => 7,
+            TraceEvent::QueueDepth { .. } => 8,
+            TraceEvent::SyncWait { .. } => 9,
+            TraceEvent::ScFill { .. } => 10,
+            TraceEvent::ScHit { .. } => 11,
+            TraceEvent::Forward { .. } => 12,
+        }
+    }
+
+    /// The event's cycle stamp.
+    pub fn at(&self) -> u64 {
+        match *self {
+            TraceEvent::CoreState { at, .. }
+            | TraceEvent::Issue { at, .. }
+            | TraceEvent::CacheAccess { at, .. }
+            | TraceEvent::BusGrant { at, .. }
+            | TraceEvent::BusData { at, .. }
+            | TraceEvent::OzqRecirc { at, .. }
+            | TraceEvent::Produce { at, .. }
+            | TraceEvent::Consume { at, .. }
+            | TraceEvent::QueueDepth { at, .. }
+            | TraceEvent::SyncWait { at, .. }
+            | TraceEvent::ScFill { at, .. }
+            | TraceEvent::ScHit { at, .. }
+            | TraceEvent::Forward { at, .. } => at,
+        }
+    }
+
+    /// A canonical single-line rendering, stable across runs and
+    /// processes, used by determinism tests to hash event streams.
+    pub fn canonical_line(&self) -> String {
+        match self {
+            TraceEvent::CoreState { core, at, state } => {
+                let s = match state {
+                    CoreActivity::Busy => "busy".to_string(),
+                    CoreActivity::Stall(c) => format!("stall:{}", c.label()),
+                };
+                format!("@{at} {core} {s}")
+            }
+            TraceEvent::Issue { core, at, comm } => {
+                format!("@{at} {core} issue comm={comm}")
+            }
+            TraceEvent::CacheAccess {
+                core,
+                at,
+                level,
+                hit,
+            } => {
+                format!(
+                    "@{at} {core} {} {}",
+                    level.label(),
+                    if *hit { "hit" } else { "miss" }
+                )
+            }
+            TraceEvent::BusGrant {
+                core,
+                at,
+                streaming,
+            } => format!("@{at} bus grant {core} streaming={streaming}"),
+            TraceEvent::BusData { at, cycles } => format!("@{at} bus data cycles={cycles}"),
+            TraceEvent::OzqRecirc { core, at } => format!("@{at} {core} ozq-recirc"),
+            TraceEvent::Produce {
+                core,
+                queue,
+                seq,
+                at,
+            } => format!("@{at} {core} produce {queue}#{seq}"),
+            TraceEvent::Consume {
+                core,
+                queue,
+                seq,
+                at,
+            } => format!("@{at} {core} consume {queue}#{seq}"),
+            TraceEvent::QueueDepth { queue, at, depth } => {
+                format!("@{at} {queue} depth={depth}")
+            }
+            TraceEvent::SyncWait { core, queue, at } => {
+                format!("@{at} {core} wait {queue}")
+            }
+            TraceEvent::ScFill { queue, at } => format!("@{at} {queue} sc-fill"),
+            TraceEvent::ScHit { queue, at } => format!("@{at} {queue} sc-hit"),
+            TraceEvent::Forward { at, line } => format!("@{at} bus forward line={line}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_names() {
+        let events = [
+            TraceEvent::CoreState {
+                core: CoreId(0),
+                at: 0,
+                state: CoreActivity::Busy,
+            },
+            TraceEvent::Issue {
+                core: CoreId(0),
+                at: 0,
+                comm: false,
+            },
+            TraceEvent::CacheAccess {
+                core: CoreId(0),
+                at: 0,
+                level: CacheLevel::L1,
+                hit: true,
+            },
+            TraceEvent::BusGrant {
+                core: CoreId(0),
+                at: 0,
+                streaming: false,
+            },
+            TraceEvent::BusData { at: 0, cycles: 1 },
+            TraceEvent::OzqRecirc {
+                core: CoreId(0),
+                at: 0,
+            },
+            TraceEvent::Produce {
+                core: CoreId(0),
+                queue: QueueId(0),
+                seq: 0,
+                at: 0,
+            },
+            TraceEvent::Consume {
+                core: CoreId(1),
+                queue: QueueId(0),
+                seq: 0,
+                at: 0,
+            },
+            TraceEvent::QueueDepth {
+                queue: QueueId(0),
+                at: 0,
+                depth: 0,
+            },
+            TraceEvent::SyncWait {
+                core: CoreId(1),
+                queue: QueueId(0),
+                at: 0,
+            },
+            TraceEvent::ScFill {
+                queue: QueueId(0),
+                at: 0,
+            },
+            TraceEvent::ScHit {
+                queue: QueueId(0),
+                at: 0,
+            },
+            TraceEvent::Forward { at: 0, line: 0 },
+        ];
+        assert_eq!(events.len(), TraceEvent::KIND_NAMES.len());
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.kind_index(), i, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_lines_are_distinct() {
+        let a = TraceEvent::ScFill {
+            queue: QueueId(3),
+            at: 7,
+        };
+        let b = TraceEvent::ScHit {
+            queue: QueueId(3),
+            at: 7,
+        };
+        assert_ne!(a.canonical_line(), b.canonical_line());
+        assert_eq!(a.at(), 7);
+    }
+}

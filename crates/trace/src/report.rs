@@ -1,0 +1,158 @@
+//! The unified machine-readable metrics report.
+
+use std::fmt;
+
+use hfs_sim::stats::{Breakdown, Histogram};
+
+/// Summary statistics of one [`Histogram`]: sample count, sum, and the
+/// nearest-rank 50th/95th/99th percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Median (0 when empty).
+    pub p50: u64,
+    /// 95th percentile (0 when empty).
+    pub p95: u64,
+    /// 99th percentile (0 when empty).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            p50: h.percentile(50.0).unwrap_or(0),
+            p95: h.percentile(95.0).unwrap_or(0),
+            p99: h.percentile(99.0).unwrap_or(0),
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The unified per-run metrics report: every named counter the machine
+/// kept, summaries of its latency/occupancy histograms, and the summed
+/// Figure 7 stall breakdown. The same shape is used for simulator runs
+/// and for the harness's own execution metrics.
+///
+/// Counters and histograms are stored as ordered `(name, value)` vectors
+/// — insertion order is the serialization order, so reports are
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Named event counters, e.g. `("mem.l1_hits", 812)`.
+    pub counters: Vec<(String, u64)>,
+    /// Named histogram summaries, e.g. `("consume_to_use_cycles", ...)`.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Summed stall breakdown across all cores.
+    pub breakdown: Breakdown,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> MetricsReport {
+        MetricsReport::default()
+    }
+
+    /// Appends a counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Appends a histogram summary.
+    pub fn histogram(&mut self, name: impl Into<String>, h: &Histogram) {
+        self.histograms.push((name.into(), HistogramSummary::of(h)));
+    }
+
+    /// Looks up a counter by name.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn get_histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "breakdown: {}", self.breakdown)?;
+        for (name, v) in &self.counters {
+            writeln!(f, "{name}={v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name}: n={} mean={:.1} p50={} p95={} p99={}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_histogram() {
+        let mut h = Histogram::new(100);
+        for v in 1..=100u64 {
+            h.record(v % 50);
+        }
+        let s = HistogramSummary::of(&h);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, h.percentile(50.0).unwrap());
+        assert_eq!(s.p99, h.percentile(99.0).unwrap());
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = HistogramSummary::of(&Histogram::new(4));
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn report_lookup_and_order() {
+        let mut r = MetricsReport::new();
+        r.counter("b", 2);
+        r.counter("a", 1);
+        let mut h = Histogram::new(4);
+        h.record(3);
+        r.histogram("lat", &h);
+        assert_eq!(r.get_counter("a"), Some(1));
+        assert_eq!(r.get_counter("missing"), None);
+        assert_eq!(r.get_histogram("lat").unwrap().p50, 3);
+        // Insertion order is preserved, not sorted.
+        assert_eq!(r.counters[0].0, "b");
+        let text = r.to_string();
+        assert!(text.contains("b=2"));
+        assert!(text.contains("lat: n=1"));
+    }
+}

@@ -26,4 +26,7 @@ else
     HFS_QUICK=1 cargo test --workspace -q
 fi
 
+echo "==> trace smoke (golden cycles + Chrome trace validity)"
+cargo run --release -p hfs-bench --bin trace_smoke
+
 echo "==> ci OK"

@@ -2,7 +2,7 @@
 //!
 //! See the individual crates for details:
 //! [`hfs_sim`], [`hfs_isa`], [`hfs_mem`], [`hfs_cpu`], [`hfs_core`],
-//! [`hfs_workloads`], [`hfs_harness`].
+//! [`hfs_trace`], [`hfs_workloads`], [`hfs_harness`].
 
 pub use hfs_core as core;
 pub use hfs_cpu as cpu;
@@ -10,4 +10,5 @@ pub use hfs_harness as harness;
 pub use hfs_isa as isa;
 pub use hfs_mem as mem;
 pub use hfs_sim as sim;
+pub use hfs_trace as trace;
 pub use hfs_workloads as workloads;

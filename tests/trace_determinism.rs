@@ -1,0 +1,129 @@
+//! Determinism of the tracing subsystem: recorded event streams are
+//! byte-identical across worker counts and across processes, and traced
+//! per-cycle core activity reproduces the Figure 7 accounting exactly.
+
+use std::collections::BTreeMap;
+
+use hfs::core::{DesignPoint, MachineConfig};
+use hfs::harness::{execute_once_with, Engine, Job};
+use hfs::trace::{event_stream_text, CoreActivity, TraceEvent, Tracer};
+use hfs::workloads::benchmark;
+
+/// FNV-1a (64-bit), the same hash the harness cache keys use; hand-rolled
+/// so the golden value below is reproducible anywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn small_syncopti_job(label: &str) -> Job {
+    let b = benchmark("fir").unwrap().with_iterations(50);
+    Job::pipeline(
+        label,
+        b.pair,
+        MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64()),
+    )
+}
+
+fn recorded_text(job: &Job) -> String {
+    let tracer = Tracer::recording();
+    execute_once_with(job, &tracer).expect("small traced run succeeds");
+    event_stream_text(&tracer.take_events())
+}
+
+/// The event stream for a fixed small SYNCOPTI pipeline must hash to the
+/// same value in every process — this constant was produced by running
+/// the test once and baking the value in, so any cross-process
+/// non-determinism (map iteration order, address-dependent state) shows
+/// up as a hash mismatch here.
+const GOLDEN_STREAM_FNV1A: u64 = 6_531_708_428_933_407_572;
+
+#[test]
+fn recorded_stream_matches_the_golden_hash() {
+    let text = recorded_text(&small_syncopti_job("det/fir/syncopti"));
+    assert!(!text.is_empty(), "stream has events");
+    assert_eq!(
+        fnv1a(text.as_bytes()),
+        GOLDEN_STREAM_FNV1A,
+        "recorded event stream drifted from the golden hash; first lines:\n{}",
+        text.lines().take(10).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn recorded_stream_identical_across_repeat_runs() {
+    let a = recorded_text(&small_syncopti_job("det/a"));
+    let b = recorded_text(&small_syncopti_job("det/b"));
+    assert_eq!(a, b, "same job must record the same stream");
+}
+
+#[test]
+fn trace_files_identical_across_worker_counts() {
+    let base = std::env::temp_dir().join(format!("hfs-trace-det-{}", std::process::id()));
+    let mut per_worker_bytes = Vec::new();
+    for workers in [1usize, 4] {
+        let dir = base.join(format!("w{workers}"));
+        let engine = Engine::new(workers)
+            .with_progress(false)
+            .with_trace_dir(dir.clone());
+        let jobs: Vec<Job> = ["fir", "wc", "mcf"]
+            .iter()
+            .map(|n| {
+                let b = benchmark(n).unwrap().with_iterations(30);
+                Job::pipeline(
+                    format!("det/{n}"),
+                    b.pair,
+                    MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64()),
+                )
+            })
+            .collect();
+        let batch = engine.run_batch("det", jobs);
+        assert!(batch.all_ok(), "all jobs succeed at {workers} workers");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("trace dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 3, "one trace per executed job");
+        per_worker_bytes.push(
+            files
+                .iter()
+                .map(|p| std::fs::read(p).expect("read trace"))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(
+        per_worker_bytes[0], per_worker_bytes[1],
+        "trace bytes must not depend on the worker count"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn core_state_events_sum_to_the_figure7_invariant() {
+    let job = small_syncopti_job("det/invariant");
+    let tracer = Tracer::recording();
+    let result = execute_once_with(&job, &tracer).expect("traced run succeeds");
+    let mut busy: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut stalls: BTreeMap<u8, u64> = BTreeMap::new();
+    for e in tracer.take_events() {
+        if let TraceEvent::CoreState { core, state, .. } = e {
+            match state {
+                CoreActivity::Busy => *busy.entry(core.0).or_insert(0) += 1,
+                CoreActivity::Stall(_) => *stalls.entry(core.0).or_insert(0) += 1,
+            }
+        }
+    }
+    for (i, stats) in result.cores.iter().enumerate() {
+        let id = u8::try_from(i).unwrap();
+        let b = busy.get(&id).copied().unwrap_or(0);
+        let s = stalls.get(&id).copied().unwrap_or(0);
+        assert_eq!(b, stats.breakdown.busy(), "core {i}: busy events");
+        assert_eq!(s, stats.breakdown.stall_total(), "core {i}: stall events");
+        assert_eq!(b + s, stats.cycles, "core {i}: busy + stalls == cycles");
+    }
+}
