@@ -1,0 +1,248 @@
+//! Wall-clock benchmark of the simulation hot loop.
+//!
+//! Runs a fixed set of (benchmark × design point) configurations through
+//! [`hfs_harness::execute_once`] (no engine, no cache — every simulated
+//! cycle is paid for) and reports **simulated cycles per wall-clock
+//! second** for each, measured with `std::time::Instant`. Each point is
+//! timed twice: once with the idle-cycle fast-forward enabled (the
+//! default) and once with it disabled via the `HFS_NO_FASTFWD` escape
+//! hatch, so the headline speedup of the event-driven loop is recorded
+//! alongside the absolute rate.
+//!
+//! The full run writes `BENCH_simloop.json` at the current directory
+//! (the repo root under `scripts/ci.sh`), recording the perf trajectory
+//! of the loop over time. `--quick` runs a reduced point set, writes to
+//! `target/BENCH_simloop_quick.json` instead (so the committed artifact
+//! stays clean), and prints an informational cycles/sec delta against
+//! the committed `BENCH_simloop.json` when one is present — container
+//! performance varies, so the delta is advisory, never a gate.
+
+use std::time::Instant;
+
+use hfs_core::{DesignPoint, MachineConfig};
+use hfs_harness::{execute_once, Job, Json};
+use hfs_workloads::benchmark;
+
+/// Environment variable that disables the fast-forward loop.
+const ENV_NO_FASTFWD: &str = "HFS_NO_FASTFWD";
+
+/// One benchmark × design configuration to time.
+struct Point {
+    bench: &'static str,
+    design: DesignPoint,
+    iterations: u64,
+}
+
+/// Result of timing one configuration in one loop mode.
+struct Sample {
+    sim_cycles: u64,
+    runs: u64,
+    wall_secs: f64,
+}
+
+impl Sample {
+    fn cycles_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sim_cycles as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full measurement set: the three golden designs on both a tight
+/// FP kernel (`fir`) and a memory-bound loop (`mcf`), iteration counts
+/// chosen so each point simulates a few hundred thousand cycles per run.
+fn full_points() -> Vec<Point> {
+    vec![
+        point("fir", DesignPoint::existing(), 20_000),
+        point("fir", DesignPoint::syncopti_sc_q64(), 20_000),
+        point("fir", DesignPoint::heavywt(), 20_000),
+        point("mcf", DesignPoint::existing(), 5_000),
+        point("mcf", DesignPoint::syncopti_sc_q64(), 5_000),
+        point("mcf", DesignPoint::heavywt(), 5_000),
+    ]
+}
+
+/// The `--quick` set: one streaming point per backend family, small
+/// iteration counts, for CI smoke use.
+fn quick_points() -> Vec<Point> {
+    vec![
+        point("fir", DesignPoint::syncopti_sc_q64(), 2_000),
+        point("fir", DesignPoint::heavywt(), 2_000),
+    ]
+}
+
+fn point(bench: &'static str, design: DesignPoint, iterations: u64) -> Point {
+    Point {
+        bench,
+        design,
+        iterations,
+    }
+}
+
+/// Runs `p` repeatedly until at least `min_secs` of wall time has
+/// accumulated, returning total simulated cycles and elapsed time.
+fn time_point(p: &Point, min_secs: f64) -> Sample {
+    let b = benchmark(p.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark `{}`", p.bench))
+        .with_iterations(p.iterations);
+    let cfg = MachineConfig::itanium2_cmp(p.design);
+    let job = Job::pipeline(
+        format!("simbench/{}/{}", p.bench, p.design),
+        b.pair,
+        cfg.clone(),
+    );
+    // Warm-up run: page in code, prime allocator arenas.
+    let warm = execute_once(&job).unwrap_or_else(|e| panic!("{}: {e}", job.label));
+    let mut sim_cycles = 0u64;
+    let mut runs = 0u64;
+    let start = Instant::now();
+    loop {
+        let r = execute_once(&job).unwrap_or_else(|e| panic!("{}: {e}", job.label));
+        assert_eq!(r.cycles, warm.cycles, "{}: nondeterministic run", job.label);
+        sim_cycles += r.cycles;
+        runs += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    Sample {
+        sim_cycles,
+        runs,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Times `p` with the fast-forward loop on and off.
+fn measure(p: &Point, min_secs: f64) -> (Sample, Sample) {
+    std::env::remove_var(ENV_NO_FASTFWD);
+    let ff = time_point(p, min_secs);
+    std::env::set_var(ENV_NO_FASTFWD, "1");
+    let no_ff = time_point(p, min_secs);
+    std::env::remove_var(ENV_NO_FASTFWD);
+    (ff, no_ff)
+}
+
+fn point_json(p: &Point, ff: &Sample, no_ff: &Sample) -> Json {
+    let speedup = if no_ff.cycles_per_sec() > 0.0 {
+        ff.cycles_per_sec() / no_ff.cycles_per_sec()
+    } else {
+        0.0
+    };
+    Json::obj(vec![
+        ("bench", Json::Str(p.bench.to_string())),
+        ("design", Json::Str(p.design.to_string())),
+        ("iterations", Json::U64(p.iterations)),
+        ("runs", Json::U64(ff.runs)),
+        ("sim_cycles", Json::U64(ff.sim_cycles)),
+        ("wall_secs", Json::F64(ff.wall_secs)),
+        ("cycles_per_sec", Json::F64(ff.cycles_per_sec().round())),
+        (
+            "cycles_per_sec_no_fastfwd",
+            Json::F64(no_ff.cycles_per_sec().round()),
+        ),
+        ("fastfwd_speedup", Json::F64(round2(speedup))),
+    ])
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Reads the committed artifact and prints per-point deltas against the
+/// current measurements (informational only).
+fn print_delta(current: &Json, committed_path: &str) {
+    let Ok(text) = std::fs::read_to_string(committed_path) else {
+        println!("simbench: no committed {committed_path}; skipping delta");
+        return;
+    };
+    let Ok(doc) = hfs_harness::parse(&text) else {
+        println!("simbench: committed {committed_path} is not valid JSON");
+        return;
+    };
+    let committed = doc.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    let points = current.get("points").and_then(Json::as_arr).unwrap_or(&[]);
+    for p in points {
+        let (bench, design) = (p.get("bench"), p.get("design"));
+        let Some(base) = committed
+            .iter()
+            .find(|c| (c.get("bench"), c.get("design")) == (bench, design))
+        else {
+            continue;
+        };
+        let cur = rate(p);
+        let old = rate(base);
+        if old > 0.0 {
+            println!(
+                "simbench: {}/{}: {:.2}x vs committed baseline ({:.0} vs {:.0} cyc/s; informational)",
+                p.get("bench").and_then(Json::as_str).unwrap_or("?"),
+                p.get("design").and_then(Json::as_str).unwrap_or("?"),
+                cur / old,
+                cur,
+                old,
+            );
+        }
+    }
+}
+
+fn rate(p: &Json) -> f64 {
+    match p.get("cycles_per_sec") {
+        Some(Json::F64(v)) => *v,
+        Some(Json::U64(v)) => *v as f64,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (points, min_secs, out_path) = if quick {
+        (quick_points(), 0.05, "target/BENCH_simloop_quick.json")
+    } else {
+        (full_points(), 0.5, "BENCH_simloop.json")
+    };
+
+    let mut rows = Vec::new();
+    for p in &points {
+        let (ff, no_ff) = measure(p, min_secs);
+        println!(
+            "simbench: {}/{} iters={} — {:.0} cyc/s fastfwd, {:.0} cyc/s no-fastfwd ({:.2}x), {} runs",
+            p.bench,
+            p.design,
+            p.iterations,
+            ff.cycles_per_sec(),
+            no_ff.cycles_per_sec(),
+            if no_ff.cycles_per_sec() > 0.0 {
+                ff.cycles_per_sec() / no_ff.cycles_per_sec()
+            } else {
+                0.0
+            },
+            ff.runs,
+        );
+        rows.push(point_json(p, &ff, &no_ff));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("simbench-v1".to_string())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("points", Json::Arr(rows)),
+    ]);
+    let text = doc.to_pretty();
+    // Self-check: the artifact must round-trip through the harness parser.
+    hfs_harness::parse(&text).expect("simbench artifact is well-formed JSON");
+
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(out_path, &text).expect("write benchmark artifact");
+    println!("simbench: wrote {out_path}");
+
+    if quick {
+        print_delta(&doc, "BENCH_simloop.json");
+    }
+}

@@ -107,6 +107,20 @@ impl Backend {
         }
     }
 
+    /// Conservative lower bound on the next cycle this backend could act
+    /// on its own: retry a queued forward, release a gated operation,
+    /// advance the sync-array network, fire the consume-timeout flush, or
+    /// surface a completion. `None` means the backend is purely
+    /// event-driven until another component changes state (those changes
+    /// are covered by the memory system's and cores' own bounds).
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self {
+            Backend::Software(b) => (!b.pending_forwards.is_empty()).then(|| now.next()),
+            Backend::SyncOpti(b) => b.next_event(now),
+            Backend::HeavyWt(b) => b.next_event(now),
+        }
+    }
+
     pub(crate) fn check(&self) -> &QueueCheck {
         match self {
             Backend::Software(b) => &b.check,
@@ -167,11 +181,19 @@ impl StreamPort for Backend {
         }
     }
 
-    fn poll(&mut self, core: CoreId, now: Cycle) -> Vec<StreamCompletion> {
+    fn poll(&mut self, core: CoreId, now: Cycle, out: &mut Vec<StreamCompletion>) {
         match self {
-            Backend::Software(_) => Vec::new(),
-            Backend::SyncOpti(b) => b.poll(core, now),
-            Backend::HeavyWt(b) => b.poll(core, now),
+            Backend::Software(_) => {}
+            Backend::SyncOpti(b) => b.poll(core, now, out),
+            Backend::HeavyWt(b) => b.poll(core, now, out),
+        }
+    }
+
+    fn charge_blocked(&mut self, core: CoreId, q: QueueId, produce: bool, n: u64) {
+        match self {
+            Backend::Software(_) => {}
+            Backend::SyncOpti(b) => b.charge_blocked(core, q, produce, n),
+            Backend::HeavyWt(b) => b.charge_blocked(core, q, produce, n),
         }
     }
 
@@ -533,11 +555,10 @@ impl SyncOptiBackend {
         }
     }
 
-    fn poll(&mut self, core: CoreId, _now: Cycle) -> Vec<StreamCompletion> {
-        if core != self.consumer {
-            return Vec::new();
+    fn poll(&mut self, core: CoreId, _now: Cycle, out: &mut Vec<StreamCompletion>) {
+        if core == self.consumer {
+            out.append(&mut self.completions);
         }
-        std::mem::take(&mut self.completions)
     }
 
     fn location(&self, token: StreamToken) -> StallComponent {
@@ -702,6 +723,54 @@ impl SyncOptiBackend {
             self.locations.insert(w.stream_token, comp);
         }
     }
+
+    /// See [`Backend::next_event`]. Releasable gated operations and
+    /// queued forwards retry every cycle (`now + 1`); a waiting consume on
+    /// produced-but-unforwarded data fires at the idle-flush deadline.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.next();
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            let t = t.max(floor);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if !self.completions.is_empty() || !self.pending_acks.is_empty() {
+            fold(floor);
+        }
+        for s in self.state.values() {
+            if !s.pending_forwards.is_empty() {
+                fold(floor);
+            }
+            if !s.waiting_produces.is_empty() && s.prod_released - s.acked < u64::from(s.info.depth)
+            {
+                fold(floor);
+            }
+        }
+        for w in &self.waiting_consumes {
+            if w.released {
+                continue;
+            }
+            let s = &self.state[&w.q];
+            if w.slot < s.forwarded {
+                fold(floor);
+            } else if w.slot < s.performed {
+                fold(s.last_perform + IDLE_FLUSH + 1);
+            }
+        }
+        best
+    }
+
+    /// See [`StreamPort::charge_blocked`]. A refused produce is a gated
+    /// store the OzQ rejected before touching anything; a refused
+    /// consume first probed the stream cache (and missed — a hit would
+    /// have completed), so only that miss counter needs replaying.
+    fn charge_blocked(&mut self, _core: CoreId, _q: QueueId, produce: bool, n: u64) {
+        if !produce {
+            if let Some(sc) = self.sc.as_mut() {
+                sc.charge_missed_takes(n);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -729,6 +798,9 @@ pub(crate) struct HeavyWtBackend {
     depth: u64,
     transit: u64,
     sa_latency: u64,
+    /// Per-cycle scratch for the sorted wake order, reused so the hot
+    /// loop allocates nothing in steady state.
+    wake_scratch: Vec<QueueId>,
     tracer: Tracer,
 }
 
@@ -757,6 +829,7 @@ impl HeavyWtBackend {
             depth: u64::from(cfg.queue_depth),
             transit: cfg.transit,
             sa_latency: cfg.sa_latency,
+            wake_scratch: Vec::new(),
             tracer: Tracer::disabled(),
         })
     }
@@ -770,14 +843,16 @@ impl HeavyWtBackend {
         // queue, while array ports remain. Queue order must be fixed:
         // ports are contended, so a map-iteration order here would leak
         // into cycle counts and break run-to-run determinism.
-        let mut queues: Vec<QueueId> = self
-            .waiting
-            .iter()
-            .filter(|(_, w)| !w.is_empty())
-            .map(|(q, _)| *q)
-            .collect();
+        let mut queues = std::mem::take(&mut self.wake_scratch);
+        queues.clear();
+        queues.extend(
+            self.waiting
+                .iter()
+                .filter(|(_, w)| !w.is_empty())
+                .map(|(q, _)| *q),
+        );
         queues.sort_unstable();
-        for q in queues {
+        for &q in &queues {
             while let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) {
                 let Some(v) = self.sa.try_consume(q) else {
                     break;
@@ -800,6 +875,7 @@ impl HeavyWtBackend {
                 });
             }
         }
+        self.wake_scratch = queues;
     }
 
     fn try_produce(&mut self, core: CoreId, q: QueueId, value: u64, now: Cycle) -> StreamSubmit {
@@ -869,11 +945,48 @@ impl HeavyWtBackend {
         StreamSubmit::Pending(tok)
     }
 
-    fn poll(&mut self, core: CoreId, _now: Cycle) -> Vec<StreamCompletion> {
-        if core != self.consumer {
-            return Vec::new();
+    fn poll(&mut self, core: CoreId, _now: Cycle, out: &mut Vec<StreamCompletion>) {
+        if core == self.consumer {
+            out.append(&mut self.completions);
         }
-        std::mem::take(&mut self.completions)
+    }
+
+    /// See [`Backend::next_event`]. In-flight ACKs wake at their arrival
+    /// stamp; anything moving through the network, a serviceable waiting
+    /// consume, or an undrained completion needs the very next cycle.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.next();
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            let t = t.max(floor);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if let Some(t) = self.acks_in_flight.next_ready() {
+            fold(t);
+        }
+        if self.sa.in_network() > 0 || !self.completions.is_empty() {
+            fold(floor);
+        }
+        for (q, w) in &self.waiting {
+            if !w.is_empty() && self.sa.occupancy(*q) > 0 {
+                fold(floor);
+            }
+        }
+        best
+    }
+
+    /// See [`StreamPort::charge_blocked`]. A produce refused by the
+    /// occupancy counter mutates nothing; one that passed the counter
+    /// but found injection stage 0 full bumped the array's inject-stall
+    /// counter on every attempt. Consumes never block on this design.
+    fn charge_blocked(&mut self, _core: CoreId, q: QueueId, produce: bool, n: u64) {
+        if produce {
+            let occ = self.injected.get(&q).copied().unwrap_or(0)
+                - self.acked.get(&q).copied().unwrap_or(0);
+            if occ < self.depth {
+                self.sa.charge_inject_stalls(n);
+            }
+        }
     }
 }
 
@@ -926,12 +1039,14 @@ mod tests {
             StreamSubmit::Pending(t) => t,
             other => panic!("expected pending, got {other:?}"),
         };
-        assert!(b.poll(CoreId(1), Cycle::new(0)).is_empty());
+        let mut done = Vec::new();
+        b.poll(CoreId(1), Cycle::new(0), &mut done);
+        assert!(done.is_empty());
         let _ = b.try_produce(CoreId(0), q, 0, Cycle::new(1));
         // Two network cycles later the waiting consume completes.
         b.process(Cycle::new(2));
         b.process(Cycle::new(3));
-        let done = b.poll(CoreId(1), Cycle::new(3));
+        b.poll(CoreId(1), Cycle::new(3), &mut done);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].token, tok);
         assert_eq!(done[0].value, Some(0));
@@ -971,8 +1086,12 @@ mod tests {
         for _ in 0..40 {
             t += 1;
             b.process(Cycle::new(t));
-            if consumed_at.is_none() && !b.poll(CoreId(1), Cycle::new(t)).is_empty() {
-                consumed_at = Some(t);
+            if consumed_at.is_none() {
+                let mut done = Vec::new();
+                b.poll(CoreId(1), Cycle::new(t), &mut done);
+                if !done.is_empty() {
+                    consumed_at = Some(t);
+                }
             }
             if consumed_at.is_some() {
                 if let StreamSubmit::Done { .. } = b.try_produce(CoreId(0), q, sent, Cycle::new(t))
@@ -1029,7 +1148,9 @@ mod tests {
         };
         // Nothing produced, nothing forwarded: stays pending.
         b.process(&mut m, &[], Cycle::new(1));
-        assert!(b.poll(CoreId(1), Cycle::new(1)).is_empty());
+        let mut done = Vec::new();
+        b.poll(CoreId(1), Cycle::new(1), &mut done);
+        assert!(done.is_empty());
         assert_eq!(b.location(tok), hfs_sim::stats::StallComponent::PreL2);
     }
 

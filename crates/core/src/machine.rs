@@ -3,9 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use hfs_cpu::{Core, CoreStats, NullStreamPort};
+use hfs_cpu::{BlockedAttempt, Core, CoreStats, NullStreamPort, StreamPort};
 use hfs_isa::{CoreId, Sequencer};
-use hfs_mem::{MemStats, MemSystem};
+use hfs_mem::{Completion, MemEvent, MemStats, MemSystem};
+use hfs_sim::stats::StallComponent;
 use hfs_sim::{ConfigError, Cycle};
 use hfs_trace::{MetricsReport, Tracer};
 
@@ -13,6 +14,14 @@ use crate::backend::Backend;
 use crate::config::MachineConfig;
 use crate::kernel::KernelPair;
 use crate::lower::{lower_at, lower_fused, Role};
+
+/// Cycles between deadlock-detector sweeps. Progress timestamps are
+/// tracked exactly (per core), so striding the sweep changes only when a
+/// deadlock is *noticed*, never the cycle it is declared at.
+const DEADLOCK_STRIDE: u64 = 64;
+
+/// The largest CMP the bus model supports (4 pipelines x 2 cores).
+const MAX_CORES: usize = 8;
 
 /// A simulation failure.
 #[derive(Debug)]
@@ -126,6 +135,18 @@ pub struct Machine {
     backends: Vec<Backend>,
     now: Cycle,
     tracer: Tracer,
+    /// Idle-cycle fast-forwarding (on unless `HFS_NO_FASTFWD` is set).
+    /// Results are bit-identical either way; only wall-clock changes.
+    fast_forward: bool,
+    /// Per-cycle scratch buffers, reused so the hot loop allocates
+    /// nothing in steady state.
+    events_scratch: Vec<MemEvent>,
+    drop_scratch: Vec<Completion>,
+}
+
+/// Whether the `HFS_NO_FASTFWD` escape hatch is set in the environment.
+fn fastfwd_enabled() -> bool {
+    std::env::var_os("HFS_NO_FASTFWD").is_none_or(|v| v.is_empty())
 }
 
 impl Machine {
@@ -218,6 +239,9 @@ impl Machine {
             now: Cycle::ZERO,
             cfg,
             tracer: Tracer::disabled(),
+            fast_forward: fastfwd_enabled(),
+            events_scratch: Vec::new(),
+            drop_scratch: Vec::new(),
         })
     }
 
@@ -247,7 +271,17 @@ impl Machine {
             now: Cycle::ZERO,
             cfg,
             tracer: Tracer::disabled(),
+            fast_forward: fastfwd_enabled(),
+            events_scratch: Vec::new(),
+            drop_scratch: Vec::new(),
         })
+    }
+
+    /// Enables or disables idle-cycle fast-forwarding (defaults to the
+    /// `HFS_NO_FASTFWD` environment variable being unset). Simulation
+    /// results are bit-identical either way; only wall-clock changes.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// The machine configuration.
@@ -301,8 +335,6 @@ impl Machine {
         interval: Option<u64>,
     ) -> Result<(RunResult, Vec<(u64, u64)>), SimError> {
         let mut samples = Vec::new();
-        let mut last_progress_count = 0u64;
-        let mut last_progress_cycle = self.now;
         loop {
             let now = self.now;
             if now.as_u64() > max_cycles {
@@ -310,18 +342,26 @@ impl Machine {
             }
             self.mem.tick(now);
             // Drain the event stream once; every backend filters it to
-            // its own queues.
-            let events = self.mem.drain_events();
+            // its own queues. The buffer is machine-owned and reused, so
+            // the hot loop allocates nothing in steady state.
+            let mut events = std::mem::take(&mut self.events_scratch);
+            self.mem.take_events(&mut events);
             for b in &mut self.backends {
                 b.process(&mut self.mem, &events, now);
             }
+            self.events_scratch = events;
             let mut all_done = true;
             for i in 0..self.cores.len() {
                 let core = &mut self.cores[i];
                 let seq = &mut self.seqs[i];
                 if core.finished(seq) {
-                    // Drain stray completions (e.g. late store acks).
-                    let _ = self.mem.drain_completions(core.id(), now);
+                    // Drain stray completions (e.g. late store acks); the
+                    // cheap probe skips the call on the common empty cycle.
+                    if self.mem.has_completions(core.id(), now) {
+                        self.drop_scratch.clear();
+                        self.mem
+                            .drain_completions_into(core.id(), now, &mut self.drop_scratch);
+                    }
                     continue;
                 }
                 all_done = false;
@@ -336,16 +376,18 @@ impl Machine {
             if all_done && self.mem.is_idle() && self.backends.iter().all(Backend::quiescent) {
                 break;
             }
-            // Deadlock detection: total committed instructions must grow.
-            let committed: u64 = self.cores.iter().map(|c| c.stats().total_instrs()).sum();
-            if committed > last_progress_count {
-                last_progress_count = committed;
-                last_progress_cycle = now;
-            } else if now.saturating_since(last_progress_cycle) > self.cfg.deadlock_cycles {
-                return Err(SimError::Deadlock {
-                    cycle: now.as_u64(),
-                    detail: self.diagnose(),
-                });
+            // Deadlock detection: some core must commit within the
+            // configured window. Commit stamps are exact, so the sweep
+            // runs every DEADLOCK_STRIDE cycles and still declares the
+            // cycle the live per-cycle check would have.
+            if now.as_u64().is_multiple_of(DEADLOCK_STRIDE) {
+                let last = self.last_progress();
+                if now.saturating_since(last) > self.cfg.deadlock_cycles {
+                    return Err(SimError::Deadlock {
+                        cycle: last.as_u64() + self.cfg.deadlock_cycles + 1,
+                        detail: self.diagnose(),
+                    });
+                }
             }
             if let Some(step) = interval {
                 if now.as_u64().is_multiple_of(step) {
@@ -358,12 +400,129 @@ impl Machine {
                     samples.push((now.as_u64(), iters));
                 }
             }
-            self.now = now.next();
+            self.now = self.advance(now, max_cycles, interval);
         }
         for b in &self.backends {
             b.check().finish().map_err(SimError::Verification)?;
         }
         Ok((self.result(), samples))
+    }
+
+    /// Last cycle any core committed an instruction.
+    fn last_progress(&self) -> Cycle {
+        self.cores
+            .iter()
+            .map(Core::last_commit)
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    /// The next value of `self.now`: normally `now + 1`, or a later cycle
+    /// when fast-forwarding proves no component can act in between. The
+    /// jump target is the minimum over every component's conservative
+    /// `next_event` bound plus the simulator's own scheduled events (the
+    /// deadlock sweep, the sampling grid, the timeout). Skipped cycles
+    /// are charged to each unfinished core exactly as live ticks would
+    /// have, including per-cycle trace events when tracing.
+    fn advance(&mut self, now: Cycle, max_cycles: u64, interval: Option<u64>) -> Cycle {
+        let next = now.next();
+        if !self.fast_forward {
+            return next;
+        }
+        // A core may have committed its last instruction during this very
+        // cycle; the termination check must run on the next one, so never
+        // jump once every program is done.
+        if self
+            .cores
+            .iter()
+            .zip(&self.seqs)
+            .all(|(c, s)| c.finished(s))
+        {
+            return next;
+        }
+        // A committing machine is busy: the next cycle almost certainly
+        // commits again, so skip the bound computation entirely rather
+        // than pay its cost every cycle of a compute-dense stretch.
+        if self.last_progress() == now {
+            return next;
+        }
+        // Timeout fires at max_cycles + 1.
+        let mut target = Cycle::new(max_cycles.saturating_add(1));
+        // Next deadlock sweep that could declare: the first stride
+        // multiple past the declaration point, and past `now`.
+        let declare = self.last_progress().as_u64() + self.cfg.deadlock_cycles + 1;
+        let sweep = (declare.div_ceil(DEADLOCK_STRIDE) * DEADLOCK_STRIDE)
+            .max((now.as_u64() / DEADLOCK_STRIDE + 1) * DEADLOCK_STRIDE);
+        target = target.min(Cycle::new(sweep));
+        if let Some(step) = interval {
+            target = target.min(Cycle::new((now.as_u64() / step + 1) * step));
+        }
+        if let Some(t) = self.mem.next_event(now) {
+            target = target.min(t);
+        }
+        for b in &self.backends {
+            if let Some(t) = b.next_event(now) {
+                target = target.min(t);
+            }
+        }
+        for i in 0..self.cores.len() {
+            if self.cores[i].finished(&self.seqs[i]) {
+                continue;
+            }
+            if let Some(t) = self.cores[i].next_event(now, &mut self.seqs[i]) {
+                target = target.min(t);
+            }
+        }
+        if target <= next {
+            return next;
+        }
+        // Charge the skipped window [now+1, target-1] to every unfinished
+        // core. No component changes state in a dead window, so the stall
+        // component is constant across it.
+        let skipped = target.as_u64() - next.as_u64();
+        let mut live = [false; MAX_CORES];
+        let mut comps = [StallComponent::PreL2; MAX_CORES];
+        for i in 0..self.cores.len() {
+            if self.cores[i].finished(&self.seqs[i]) {
+                continue;
+            }
+            live[i] = true;
+            comps[i] = match self.backends.get(i / 2) {
+                Some(b) => self.cores[i].idle_component(next, &self.mem, b),
+                None => self.cores[i].idle_component(next, &self.mem, &NullStreamPort),
+            };
+            self.cores[i].charge_idle(skipped, comps[i]);
+            // A structurally blocked issue stage would have repeated its
+            // refused attempt on every skipped cycle; replay the side
+            // effects that live outside the core (the L1 probe of a
+            // refused demand access, the backend's blocked-path
+            // counters) so statistics match per-cycle simulation.
+            match self.cores[i].blocked_attempt() {
+                Some(BlockedAttempt::OzqLoad(addr) | BlockedAttempt::OzqStore(addr)) => {
+                    let id = self.cores[i].id();
+                    self.mem.replay_blocked_probes(id, addr, skipped);
+                }
+                Some(BlockedAttempt::Stream { q, produce }) => {
+                    let id = self.cores[i].id();
+                    if let Some(b) = self.backends.get_mut(i / 2) {
+                        b.charge_blocked(id, q, produce, skipped);
+                    }
+                }
+                Some(BlockedAttempt::Fence) | None => {}
+            }
+        }
+        if self.tracer.is_enabled() {
+            // Replay the per-cycle stall events in live order: cycles
+            // outermost, cores in index order within each cycle.
+            for cy in next.as_u64()..target.as_u64() {
+                for i in 0..self.cores.len() {
+                    if live[i] {
+                        self.cores[i].trace_idle(Cycle::new(cy), comps[i]);
+                    }
+                }
+            }
+        }
+        target
     }
 
     fn diagnose(&self) -> String {

@@ -87,6 +87,13 @@ impl StreamCache {
         }
     }
 
+    /// Accounts `n` additional [`StreamCache::take`] misses in bulk —
+    /// the statistics effect of a blocked consume re-probing an absent
+    /// slot every cycle across a fast-forwarded window.
+    pub fn charge_missed_takes(&mut self, n: u64) {
+        self.misses += n;
+    }
+
     /// Consume hits.
     pub fn hits(&self) -> u64 {
         self.hits

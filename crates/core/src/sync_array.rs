@@ -140,6 +140,13 @@ impl SyncArray {
         true
     }
 
+    /// Accounts `n` additional failed injections in bulk — the counter
+    /// effect of a producer re-attempting into a full first stage every
+    /// cycle across a fast-forwarded window.
+    pub fn charge_inject_stalls(&mut self, n: u64) {
+        self.inject_stalls += n;
+    }
+
     /// Consumer-side read: pops the oldest value of `q` if present and an
     /// array port is available this cycle.
     pub fn try_consume(&mut self, q: QueueId) -> Option<u64> {

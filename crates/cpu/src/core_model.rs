@@ -2,7 +2,9 @@
 
 use std::collections::VecDeque;
 
-use hfs_isa::{CoreId, DynInstr, DynOp, FuClass, InstrKind, Reg, Sequencer, SpinToken};
+use hfs_isa::{
+    Addr, CoreId, DynInstr, DynOp, FuClass, InstrKind, QueueId, Reg, Sequencer, SpinToken,
+};
 use hfs_mem::{MemOp, MemSystem, MemToken, Submit};
 use hfs_sim::stats::{Breakdown, StallComponent};
 use hfs_sim::{Cycle, TimedQueue};
@@ -77,6 +79,40 @@ pub struct Core {
     spin_deliveries: TimedQueue<(SpinToken, u64)>,
     stats: CoreStats,
     tracer: Tracer,
+    /// Last cycle this core committed at least one instruction (folded
+    /// ones included) — drives the machine's strided deadlock detector.
+    last_commit: Cycle,
+    /// Per-tick scratch buffers, reused every cycle so draining
+    /// completions allocates nothing in steady state.
+    mem_scratch: Vec<hfs_mem::Completion>,
+    stream_scratch: Vec<crate::StreamCompletion>,
+    /// The structural block the issue stage hit on the last tick, if
+    /// any; lets fast-forward replicate the per-cycle side effects of
+    /// the re-attempts it skips.
+    blocked: Option<BlockedAttempt>,
+}
+
+/// An issue attempt refused by structural back-pressure. While the
+/// blocking state persists the core repeats the identical attempt every
+/// cycle, so each variant records what a re-attempt touches: the stall
+/// counters on the core plus (for OzQ-refused demand accesses) an L1
+/// probe, and (for stream operations) whatever the backend's blocked
+/// path mutates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedAttempt {
+    /// A demand load the OzQ refused; every attempt probes the L1 first.
+    OzqLoad(Addr),
+    /// A store the OzQ refused; every attempt touches the L1 first.
+    OzqStore(Addr),
+    /// A produce/consume the streaming hardware refused.
+    Stream {
+        /// The queue the operation targets.
+        q: QueueId,
+        /// True for produce, false for consume.
+        produce: bool,
+    },
+    /// A release fence waiting on outstanding stores (no side effects).
+    Fence,
 }
 
 impl Core {
@@ -95,6 +131,10 @@ impl Core {
             spin_deliveries: TimedQueue::new(),
             stats: CoreStats::default(),
             tracer: Tracer::disabled(),
+            last_commit: Cycle::ZERO,
+            mem_scratch: Vec::new(),
+            stream_scratch: Vec::new(),
+            blocked: None,
         })
     }
 
@@ -118,6 +158,61 @@ impl Core {
         seq.finished() && self.window.is_empty()
     }
 
+    /// Last cycle this core committed an instruction (folded queue
+    /// operations included). Feeds the machine's deadlock detector.
+    pub fn last_commit(&self) -> Cycle {
+        self.last_commit
+    }
+
+    /// Conservative lower bound on the next cycle this core could act on
+    /// its own: deliver a spin value, commit the window front, or attempt
+    /// an issue. `None` means progress depends entirely on external
+    /// completions, whose timing the memory system's and backend's own
+    /// bounds cover. Issue *attempts* count as events even when they end
+    /// up blocked, because blocked attempts bump stall counters — so the
+    /// bound never skips past a cycle where the sources are ready.
+    pub fn next_event(&self, now: Cycle, seq: &mut Sequencer) -> Option<Cycle> {
+        let floor = now.next();
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            let t = t.max(floor);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if let Some(t) = self.spin_deliveries.next_ready() {
+            fold(t);
+        }
+        if let Some(e) = self.window.front() {
+            if let Status::Done { done } = e.status {
+                fold(done);
+            }
+        }
+        if self.window.len() < self.cfg.window as usize {
+            if self.blocked.is_some() && !self.tracer.is_enabled() {
+                // The head instruction's last attempt hit structural
+                // back-pressure whose release is tracked by another
+                // component's bound; re-attempts repeat identically and
+                // fast-forward bulk-charges their side effects. Traced
+                // runs keep the conservative bound so the per-cycle
+                // event stream needs no replay of probe events.
+            } else if let Some(instr) = seq.peek() {
+                let mut ready = Cycle::ZERO;
+                let mut pending = false;
+                for r in instr.srcs.iter().flatten() {
+                    let t = self.reg_ready[r.index()];
+                    if t == PENDING {
+                        pending = true;
+                    } else {
+                        ready = ready.max(t);
+                    }
+                }
+                if !pending {
+                    fold(ready);
+                }
+            }
+        }
+        best
+    }
+
     /// Advances the core one cycle.
     pub fn tick(
         &mut self,
@@ -127,14 +222,19 @@ impl Core {
         stream: &mut dyn StreamPort,
     ) {
         self.stats.cycles += 1;
+        self.blocked = None;
 
         // 1. Deliver spin values whose load data is now available.
         while let Some((tok, val)) = self.spin_deliveries.pop_ready(now) {
             seq.deliver_spin(tok, val);
         }
 
-        // 2. Drain memory completions.
-        for c in mem.drain_completions(self.id, now) {
+        // 2. Drain memory completions into the core-owned scratch (taken
+        // out of `self` so the handling loop can borrow `self` mutably).
+        let mut mcs = std::mem::take(&mut self.mem_scratch);
+        mcs.clear();
+        mem.drain_completions_into(self.id, now, &mut mcs);
+        for &c in &mcs {
             if c.background {
                 // Background operations belong to the streaming hardware.
                 stream.on_mem_completion(c);
@@ -159,9 +259,13 @@ impl Core {
                 }
             }
         }
+        self.mem_scratch = mcs;
 
-        // 3. Drain streaming completions.
-        for c in stream.poll(self.id, now) {
+        // 3. Drain streaming completions, same scratch discipline.
+        let mut scs = std::mem::take(&mut self.stream_scratch);
+        scs.clear();
+        stream.poll(self.id, now, &mut scs);
+        for &c in &scs {
             if let Some(e) = self
                 .window
                 .iter_mut()
@@ -173,6 +277,7 @@ impl Core {
                 }
             }
         }
+        self.stream_scratch = scs;
 
         // 4. In-order commit. Register-mapped (folded) queue operations
         // ride other instructions, so they consume no commit bandwidth.
@@ -199,6 +304,7 @@ impl Core {
                         let folded = self.cfg.free_queue_ops
                             && matches!(e.instr.op, DynOp::Produce { .. } | DynOp::Consume { .. });
                         self.window.pop_front();
+                        self.last_commit = now;
                         if !folded {
                             commits += 1;
                         }
@@ -249,6 +355,7 @@ impl Core {
                     // prior *store* must have performed. Loads in flight
                     // do not block, preserving memory-level parallelism.
                     if mem.pending_stores(self.id) > 0 {
+                        self.blocked = Some(BlockedAttempt::Fence);
                         break;
                     }
                     Status::Done { done: now + 1 }
@@ -271,6 +378,7 @@ impl Core {
                     }
                     Submit::Rejected(_) => {
                         self.stats.ozq_stalls += 1;
+                        self.blocked = Some(BlockedAttempt::OzqLoad(addr));
                         break;
                     }
                 },
@@ -291,6 +399,7 @@ impl Core {
                         }
                         Submit::Rejected(_) => {
                             self.stats.ozq_stalls += 1;
+                            self.blocked = Some(BlockedAttempt::OzqStore(addr));
                             break;
                         }
                         Submit::L1Hit { .. } => unreachable!("stores never L1-hit-complete"),
@@ -302,6 +411,7 @@ impl Core {
                         StreamSubmit::Pending(token) => Status::WaitStream { token },
                         StreamSubmit::Blocked => {
                             self.stats.stream_blocked += 1;
+                            self.blocked = Some(BlockedAttempt::Stream { q, produce: true });
                             break;
                         }
                     }
@@ -321,6 +431,7 @@ impl Core {
                     }
                     StreamSubmit::Blocked => {
                         self.stats.stream_blocked += 1;
+                        self.blocked = Some(BlockedAttempt::Stream { q, produce: false });
                         break;
                     }
                 },
@@ -358,6 +469,52 @@ impl Core {
                 state: CoreActivity::Stall(component),
             });
         }
+    }
+
+    /// The stall component an idle (non-committing) cycle charges right
+    /// now; exposed so the machine can bulk-charge fast-forwarded
+    /// windows, during which the component cannot change.
+    pub fn idle_component(
+        &self,
+        now: Cycle,
+        mem: &MemSystem,
+        stream: &dyn StreamPort,
+    ) -> StallComponent {
+        self.stall_component(now, mem, stream)
+    }
+
+    /// Accounts `cycles` fast-forwarded idle cycles in one step: the
+    /// machine proved this core cannot commit or issue during them, so
+    /// they all charge `component`, exactly as ticking each would have.
+    pub fn charge_idle(&mut self, cycles: u64, component: StallComponent) {
+        self.stats.cycles += cycles;
+        self.stats.breakdown.charge(component, cycles);
+        // A blocked issue attempt would have repeated (and been refused)
+        // on every skipped cycle; account its stall counter in bulk.
+        match self.blocked {
+            Some(BlockedAttempt::OzqLoad(_) | BlockedAttempt::OzqStore(_)) => {
+                self.stats.ozq_stalls += cycles;
+            }
+            Some(BlockedAttempt::Stream { .. }) => self.stats.stream_blocked += cycles,
+            Some(BlockedAttempt::Fence) | None => {}
+        }
+    }
+
+    /// The structural block the issue stage hit on the last tick, if any
+    /// — the machine replicates its external side effects (L1 probes,
+    /// backend counters) across fast-forwarded windows.
+    pub fn blocked_attempt(&self) -> Option<BlockedAttempt> {
+        self.blocked
+    }
+
+    /// Emits the `CoreState` trace event a live idle cycle would have
+    /// produced at `at`, keeping fast-forwarded traces bit-identical.
+    pub fn trace_idle(&self, at: Cycle, component: StallComponent) {
+        self.tracer.emit(|| TraceEvent::CoreState {
+            core: self.id,
+            at: at.as_u64(),
+            state: CoreActivity::Stall(component),
+        });
     }
 
     fn sources_ready(&self, instr: &DynInstr, now: Cycle) -> bool {
@@ -596,8 +753,12 @@ mod tests {
             ) -> StreamSubmit {
                 unreachable!()
             }
-            fn poll(&mut self, _core: CoreId, _now: Cycle) -> Vec<crate::StreamCompletion> {
-                Vec::new()
+            fn poll(
+                &mut self,
+                _core: CoreId,
+                _now: Cycle,
+                _out: &mut Vec<crate::StreamCompletion>,
+            ) {
             }
             fn location(&self, _token: StreamToken) -> StallComponent {
                 StallComponent::PreL2

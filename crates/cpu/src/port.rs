@@ -66,11 +66,22 @@ pub trait StreamPort {
         now: Cycle,
     ) -> StreamSubmit;
 
-    /// Drains completions for operations previously accepted as pending.
-    fn poll(&mut self, core: CoreId, now: Cycle) -> Vec<StreamCompletion>;
+    /// Drains completions for operations previously accepted as pending,
+    /// appending them to the caller-owned `out` buffer (not cleared) so
+    /// the per-cycle poll allocates nothing.
+    fn poll(&mut self, core: CoreId, now: Cycle, out: &mut Vec<StreamCompletion>);
 
     /// Stall component charged while `token` is outstanding.
     fn location(&self, token: StreamToken) -> StallComponent;
+
+    /// Replays the side effects of `n` additional back-to-back refused
+    /// attempts of the given operation (true = produce). Fast-forward
+    /// calls this for a core whose issue stage was blocked on the
+    /// streaming hardware across skipped cycles; the default no-op
+    /// suits backends whose blocked path mutates nothing.
+    fn charge_blocked(&mut self, core: CoreId, q: QueueId, produce: bool, n: u64) {
+        let _ = (core, q, produce, n);
+    }
 
     /// Receives background memory completions (the core routes every
     /// completion whose `background` flag is set here). Streaming
@@ -115,9 +126,7 @@ impl StreamPort for NullStreamPort {
         panic!("{core} executed consume on {q} but no streaming hardware is configured");
     }
 
-    fn poll(&mut self, _core: CoreId, _now: Cycle) -> Vec<StreamCompletion> {
-        Vec::new()
-    }
+    fn poll(&mut self, _core: CoreId, _now: Cycle, _out: &mut Vec<StreamCompletion>) {}
 
     fn location(&self, _token: StreamToken) -> StallComponent {
         StallComponent::PreL2
@@ -131,7 +140,9 @@ mod tests {
     #[test]
     fn null_port_polls_empty() {
         let mut p = NullStreamPort;
-        assert!(p.poll(CoreId(0), Cycle::ZERO).is_empty());
+        let mut out = Vec::new();
+        p.poll(CoreId(0), Cycle::ZERO, &mut out);
+        assert!(out.is_empty());
         assert_eq!(p.location(StreamToken(0)), StallComponent::PreL2);
     }
 

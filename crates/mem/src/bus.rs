@@ -184,17 +184,21 @@ impl Bus {
         now.as_u64().is_multiple_of(self.cfg.clock_divider)
     }
 
-    /// Advances one CPU cycle. Returns the address phases and data
-    /// transfers delivered this cycle, in deterministic order.
-    pub(crate) fn tick(&mut self, now: Cycle) -> (Vec<AddrTxn>, Vec<DataTxn>) {
-        let mut addr_out = Vec::new();
+    /// Advances one CPU cycle. Address phases and data transfers
+    /// delivered this cycle are appended, in deterministic order, to the
+    /// caller-owned `addr_out` / `data_out` buffers.
+    pub(crate) fn tick(
+        &mut self,
+        now: Cycle,
+        addr_out: &mut Vec<AddrTxn>,
+        data_out: &mut Vec<DataTxn>,
+    ) {
         while let Some(t) = self.addr_inflight.pop_ready(now) {
             if matches!(t, AddrTxn::Ctl { .. }) {
                 self.ctl_delivered.inc();
             }
             addr_out.push(t);
         }
-        let mut data_out = Vec::new();
         while let Some(t) = self.data_inflight.pop_ready(now) {
             self.data_transfers.inc();
             data_out.push(t);
@@ -271,7 +275,37 @@ impl Bus {
                 }
             }
         }
-        (addr_out, data_out)
+    }
+
+    /// Conservative lower bound on the next cycle at which the bus can
+    /// deliver or grant anything: the head stamps of the two in-flight
+    /// queues (exact — FIFOs gated by their heads), plus the next bus
+    /// cycle boundary whenever any agent queue holds a request waiting
+    /// for a grant (conservative for the data channel, which may also be
+    /// busy until later; an early wake-up is a harmless no-op).
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if let Some(t) = self.addr_inflight.next_ready() {
+            fold(t.max(now.next()));
+        }
+        if let Some(t) = self.data_inflight.next_ready() {
+            fold(t.max(now.next()));
+        }
+        let queued = !self.addr_queues.iter().all(VecDeque::is_empty)
+            || !self.data_queues.iter().all(VecDeque::is_empty);
+        if queued {
+            let d = self.cfg.clock_divider;
+            let next_bus_cycle = if d <= 1 {
+                now.next()
+            } else {
+                Cycle::new((now.as_u64() / d + 1) * d)
+            };
+            fold(next_bus_cycle);
+        }
+        best
     }
 }
 
@@ -288,10 +322,11 @@ mod tests {
     fn run(bus: &mut Bus, from: u64, to: u64) -> (Stamped<AddrTxn>, Stamped<DataTxn>) {
         let mut a = Vec::new();
         let mut d = Vec::new();
+        let (mut ads, mut dts) = (Vec::new(), Vec::new());
         for c in from..to {
-            let (ads, dts) = bus.tick(Cycle::new(c));
-            a.extend(ads.into_iter().map(|t| (c, t)));
-            d.extend(dts.into_iter().map(|t| (c, t)));
+            bus.tick(Cycle::new(c), &mut ads, &mut dts);
+            a.extend(ads.drain(..).map(|t| (c, t)));
+            d.extend(dts.drain(..).map(|t| (c, t)));
         }
         (a, d)
     }
@@ -486,9 +521,9 @@ mod tests {
             },
         );
         let mut a2 = Vec::new();
+        let mut dts = Vec::new();
         for c in 0..10u64 {
-            let (ads, _) = fair.tick(Cycle::new(c));
-            a2.extend(ads);
+            fair.tick(Cycle::new(c), &mut a2, &mut dts);
         }
         let order2: Vec<u64> = a2
             .iter()

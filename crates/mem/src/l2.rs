@@ -8,15 +8,16 @@
 //! operations (SYNCOPTI produce/consume) instead wait *dormant* in their
 //! slot, consuming no ports, until the occupancy logic releases them.
 
-use std::collections::HashMap;
-
 use hfs_isa::{Addr, CoreId};
 use hfs_sim::stats::Counter;
-use hfs_sim::{ConfigError, Cycle};
+use hfs_sim::{ConfigError, Cycle, FnvMap};
 use hfs_trace::{TraceEvent, Tracer};
 
 use crate::cache::{CacheArray, CacheGeometry, LineState};
 use crate::msg::OpLocation;
+
+/// Sentinel wake time for "no timed work pending".
+const NEVER: Cycle = Cycle::new(u64::MAX);
 
 /// What an OzQ entry is doing right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,7 +149,15 @@ pub(crate) struct L2Ctl {
     recirc: u64,
     entries: Vec<OzqEntry>,
     next_id: u64,
-    pending_lines: HashMap<u64, LineStage>,
+    pending_lines: FnvMap<LineStage>,
+    /// Reused each tick for expired NACK backoffs (no per-cycle alloc).
+    reissue_scratch: Vec<(u64, bool)>,
+    /// Conservative earliest cycle with timed work for [`L2Ctl::tick`]
+    /// (pipe resolution due, port arbitration, NACK reissue) — ratcheted
+    /// down by every transition into a timed state, recomputed exactly by
+    /// each non-skipped tick. [`NEVER`] when no timed work exists, which
+    /// lets quiet ticks return without scanning the OzQ.
+    wake_at: Cycle,
     // Statistics.
     pipe_accesses: Counter,
     port_conflicts: Counter,
@@ -174,7 +183,9 @@ impl L2Ctl {
             recirc,
             entries: Vec::new(),
             next_id: 0,
-            pending_lines: HashMap::new(),
+            pending_lines: FnvMap::new(),
+            reissue_scratch: Vec::new(),
+            wake_at: NEVER,
             pipe_accesses: Counter::new("mem.l2_accesses"),
             port_conflicts: Counter::new("mem.l2_port_conflicts"),
             tracer: Tracer::disabled(),
@@ -187,6 +198,12 @@ impl L2Ctl {
 
     pub(crate) fn line_of(&self, addr: Addr) -> u64 {
         addr.line(self.line_bytes)
+    }
+
+    /// Records a transition into a timed state so the next [`L2Ctl::tick`]
+    /// at or after `t` runs the full scan.
+    fn note_wake(&mut self, t: Cycle) {
+        self.wake_at = self.wake_at.min(t);
     }
 
     /// Free OzQ slots.
@@ -223,6 +240,7 @@ impl L2Ctl {
         let state = if gated {
             EntryState::Dormant
         } else {
+            self.note_wake(now);
             EntryState::WaitPort { retry_at: now }
         };
         self.entries.push(OzqEntry {
@@ -241,6 +259,7 @@ impl L2Ctl {
         match self.entries.iter_mut().find(|e| e.id == id) {
             Some(e) if e.state == EntryState::Dormant => {
                 e.state = EntryState::WaitPort { retry_at: now };
+                self.wake_at = self.wake_at.min(now);
                 true
             }
             Some(_) => true,
@@ -257,7 +276,7 @@ impl L2Ctl {
             EntryState::InPipe { .. } => OpLocation::InL2,
             EntryState::ForwardInFlight => OpLocation::OnBus,
             EntryState::Done => OpLocation::Filling,
-            EntryState::WaitLine { line } => match self.pending_lines.get(&line) {
+            EntryState::WaitLine { line } => match self.pending_lines.get(line) {
                 Some(LineStage::WantIssue { .. }) | Some(LineStage::OnBus) => OpLocation::OnBus,
                 Some(LineStage::InL3) => OpLocation::InL3,
                 Some(LineStage::InDram) => OpLocation::InDram,
@@ -268,9 +287,17 @@ impl L2Ctl {
     }
 
     /// Advances one cycle: grants ports, resolves pipe accesses, and
-    /// re-issues NACKed line requests. Returns outcomes for the system.
-    pub(crate) fn tick(&mut self, now: Cycle) -> Vec<L2Outcome> {
-        let mut out = Vec::new();
+    /// re-issues NACKed line requests. Outcomes for the system are
+    /// appended to the caller-owned `out` buffer.
+    pub(crate) fn tick(&mut self, now: Cycle, out: &mut Vec<L2Outcome>) {
+        // Quiet tick: nothing is due — no pipe access resolves, no entry
+        // arbitrates, no reissue timer expired — so the full scan below
+        // would be a no-op. Entries in untimed states (dormant, waiting
+        // on a line or the bus) advance only via external calls, which
+        // ratchet `wake_at` back down.
+        if self.wake_at > now {
+            return;
+        }
 
         // 1. Resolve pipe accesses that finish this cycle.
         for i in 0..self.entries.len() {
@@ -306,7 +333,7 @@ impl L2Ctl {
                         }
                         None => {
                             self.entries[i].state = EntryState::WaitLine { line };
-                            self.want_line(line, false, false, now, &mut out);
+                            self.want_line(line, false, false, now, out);
                         }
                     },
                     EntryKind::Store { value, .. } => match present {
@@ -321,11 +348,11 @@ impl L2Ctl {
                         }
                         Some(LineState::Shared) => {
                             self.entries[i].state = EntryState::WaitLine { line };
-                            self.want_line(line, true, true, now, &mut out);
+                            self.want_line(line, true, true, now, out);
                         }
                         None => {
                             self.entries[i].state = EntryState::WaitLine { line };
-                            self.want_line(line, true, false, now, &mut out);
+                            self.want_line(line, true, false, now, out);
                         }
                     },
                 }
@@ -370,9 +397,12 @@ impl L2Ctl {
             granted += 1;
         }
 
-        // 3. Re-issue line requests whose NACK backoff expired.
-        let mut reissue = Vec::new();
-        for (&line, stage) in &self.pending_lines {
+        // 3. Re-issue line requests whose NACK backoff expired. Sorted by
+        // line number so the reissue order is a function of simulation
+        // state, not of the map's probe layout.
+        let mut reissue = std::mem::take(&mut self.reissue_scratch);
+        reissue.clear();
+        for (line, stage) in self.pending_lines.iter() {
             if let LineStage::WantIssue {
                 retry_at,
                 exclusive,
@@ -383,7 +413,8 @@ impl L2Ctl {
                 }
             }
         }
-        for (line, exclusive) in reissue {
+        reissue.sort_unstable_by_key(|&(line, _)| line);
+        for &(line, exclusive) in &reissue {
             let have_shared = self.array.probe(line) == Some(LineState::Shared);
             self.pending_lines.insert(line, LineStage::OnBus);
             out.push(L2Outcome::NeedLine {
@@ -392,10 +423,48 @@ impl L2Ctl {
                 have_shared,
             });
         }
+        self.reissue_scratch = reissue;
 
         // 4. Reclaim finished slots.
         self.entries.retain(|e| e.state != EntryState::Done);
-        out
+
+        // 5. Recompute the exact next wake time from the post-tick state.
+        let mut wake = NEVER;
+        for e in &self.entries {
+            match e.state {
+                EntryState::WaitPort { retry_at } => wake = wake.min(retry_at),
+                EntryState::InPipe { done_at } => wake = wake.min(done_at),
+                EntryState::Dormant
+                | EntryState::WaitLine { .. }
+                | EntryState::ForwardInFlight
+                | EntryState::Done => {}
+            }
+        }
+        for (_, stage) in self.pending_lines.iter() {
+            if let LineStage::WantIssue { retry_at, .. } = *stage {
+                wake = wake.min(retry_at);
+            }
+        }
+        self.wake_at = wake;
+    }
+
+    /// Conservative lower bound on the next cycle at which this
+    /// controller can make progress on its own (port grants, pipe
+    /// resolutions, NACK-backoff reissues). Entries driven purely by
+    /// external events — dormant gated operations, line waiters, forwards
+    /// on the bus — contribute nothing; their wake-ups show up through
+    /// the bus/L3 bounds instead. Returns `None` when every entry is
+    /// externally driven (or there are none).
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // `wake_at` is exactly the minimum this method used to scan for:
+        // WaitPort retry times (a held-back release store keeps its
+        // `retry_at <= now`, so the floor clamp forbids any skip while it
+        // waits), InPipe resolution times, and WantIssue reissue timers.
+        if self.wake_at == NEVER {
+            None
+        } else {
+            Some(self.wake_at.max(now.next()))
+        }
     }
 
     fn want_line(
@@ -406,9 +475,8 @@ impl L2Ctl {
         _now: Cycle,
         out: &mut Vec<L2Outcome>,
     ) {
-        use std::collections::hash_map::Entry;
-        match self.pending_lines.entry(line) {
-            Entry::Occupied(mut o) => {
+        match self.pending_lines.get_mut(line) {
+            Some(stage) => {
                 // Escalate a pending shared request to exclusive if a
                 // store arrived behind a load (handled at refetch: the
                 // store will re-discover state). Keep the stronger need.
@@ -416,14 +484,14 @@ impl L2Ctl {
                     if let LineStage::WantIssue {
                         exclusive: ex @ false,
                         ..
-                    } = o.get_mut()
+                    } = stage
                     {
                         *ex = true;
                     }
                 }
             }
-            Entry::Vacant(v) => {
-                v.insert(LineStage::OnBus);
+            None => {
+                self.pending_lines.insert(line, LineStage::OnBus);
                 out.push(L2Outcome::NeedLine {
                     line,
                     exclusive,
@@ -436,6 +504,7 @@ impl L2Ctl {
     /// The bus NACKed our request for `line` (another transaction on the
     /// line is in flight); back off and retry.
     pub(crate) fn nack_line(&mut self, line: u64, retry_at: Cycle, exclusive: bool) {
+        self.note_wake(retry_at);
         self.pending_lines.insert(
             line,
             LineStage::WantIssue {
@@ -447,8 +516,8 @@ impl L2Ctl {
 
     /// Progress notifications from the system for stall attribution.
     pub(crate) fn line_stage(&mut self, line: u64, stage: LineStage) {
-        if self.pending_lines.contains_key(&line) {
-            self.pending_lines.insert(line, stage);
+        if let Some(s) = self.pending_lines.get_mut(line) {
+            *s = stage;
         }
     }
 
@@ -460,7 +529,7 @@ impl L2Ctl {
     /// can livelock, each stealing it before the other's waiting access
     /// finishes its pipe pass.
     pub(crate) fn fill(&mut self, line: u64, state: LineState, _now: Cycle) -> Option<L2Victim> {
-        self.pending_lines.remove(&line);
+        self.pending_lines.remove(line);
         self.array.install(line, state).map(|v| L2Victim {
             line: v.line,
             dirty: v.state == LineState::Modified,
@@ -473,6 +542,7 @@ impl L2Ctl {
     /// Returns the resolved operations in OzQ (program) order.
     pub(crate) fn drain_line_waiters(&mut self, line: u64, now: Cycle) -> Vec<ResolvedWaiter> {
         let modified = self.array.probe(line) == Some(LineState::Modified);
+        let mut wake = NEVER;
         let mut out = Vec::new();
         for e in &mut self.entries {
             if e.state != (EntryState::WaitLine { line }) {
@@ -495,8 +565,10 @@ impl L2Ctl {
                 // Re-arbitrate (e.g. a store that only got a Shared copy
                 // and must upgrade).
                 e.state = EntryState::WaitPort { retry_at: now };
+                wake = wake.min(now);
             }
         }
+        self.wake_at = self.wake_at.min(wake);
         self.entries.retain(|e| e.state != EntryState::Done);
         out
     }
@@ -539,14 +611,14 @@ impl L2Ctl {
     /// grant. Call [`L2Ctl::drain_line_waiters`] afterwards to resolve the
     /// waiting stores atomically.
     pub(crate) fn grant_upgrade(&mut self, line: u64, _now: Cycle) {
-        self.pending_lines.remove(&line);
+        self.pending_lines.remove(line);
         self.array.set_state(line, LineState::Modified);
     }
 
     /// Whether a line request is pending (issued or awaiting reissue).
     #[cfg(test)]
     pub(crate) fn line_pending(&self, line: u64) -> bool {
-        self.pending_lines.contains_key(&line)
+        self.pending_lines.contains_key(line)
     }
 
     /// Renders entry states for deadlock diagnostics.
@@ -604,8 +676,10 @@ mod tests {
 
     fn drive(c: &mut L2Ctl, from: u64, to: u64) -> Vec<(u64, L2Outcome)> {
         let mut out = Vec::new();
+        let mut buf = Vec::new();
         for t in from..to {
-            for o in c.tick(Cycle::new(t)) {
+            c.tick(Cycle::new(t), &mut buf);
+            for o in buf.drain(..) {
                 out.push((t, o));
             }
         }
@@ -702,7 +776,7 @@ mod tests {
         for _ in 0..4 {
             c.allocate(Addr::new(0), EntryKind::Load, false, false, Cycle::new(0));
         }
-        c.tick(Cycle::new(0));
+        c.tick(Cycle::new(0), &mut Vec::new());
         assert_eq!(c.pipe_accesses(), 2);
         assert_eq!(c.port_conflicts(), 2);
     }

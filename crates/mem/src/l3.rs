@@ -89,7 +89,7 @@ impl L3 {
     }
 
     /// Advances one cycle; completed requests accumulate and are drained
-    /// with [`L3::drain_ready`].
+    /// with [`L3::take_ready`].
     pub(crate) fn tick(&mut self, now: Cycle) {
         while let Some(req) = self.lookups.pop_ready(now) {
             if self.array.access(req.line).is_some() {
@@ -115,17 +115,47 @@ impl L3 {
         }
     }
 
-    /// Requests serviced and awaiting the bus data channel.
-    pub(crate) fn drain_ready(&mut self) -> Vec<L3Ready> {
-        std::mem::take(&mut self.ready)
+    /// Moves serviced requests awaiting the bus data channel into `out`
+    /// (cleared first); both buffers keep their capacity.
+    pub(crate) fn take_ready(&mut self, out: &mut Vec<L3Ready>) {
+        out.clear();
+        std::mem::swap(out, &mut self.ready);
     }
 
-    /// Whether a request for `line` is currently at the DRAM stage
-    /// (for stall attribution).
+    /// Whether a request for `line` is currently at the DRAM stage.
+    #[cfg(test)]
     pub(crate) fn line_in_dram(&self, line: u64, requester: CoreId) -> bool {
         self.dram
             .iter()
             .any(|r| r.line == line && r.requester == requester)
+    }
+
+    /// Every `(line, requester)` currently at the DRAM stage — lets the
+    /// stall-attribution sweep walk the DRAM residents directly instead
+    /// of probing every busy line for every core.
+    pub(crate) fn in_dram(&self) -> impl Iterator<Item = (u64, CoreId)> + '_ {
+        self.dram.iter().map(|r| (r.line, r.requester))
+    }
+
+    /// Conservative lower bound on the L3's next state change: the head
+    /// stamps of the lookup and DRAM pipelines (exact), plus `now + 1`
+    /// defensively while serviced requests sit undrained.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            let t = t.max(now.next());
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if let Some(t) = self.lookups.next_ready() {
+            fold(t);
+        }
+        if let Some(t) = self.dram.next_ready() {
+            fold(t);
+        }
+        if !self.ready.is_empty() {
+            fold(now.next());
+        }
+        best
     }
 
     /// Whether the L3 has no in-flight work.
@@ -171,7 +201,8 @@ mod tests {
         let mut ready_at = None;
         for t in 0..200 {
             c.tick(Cycle::new(t));
-            let r = c.drain_ready();
+            let mut r = Vec::new();
+            c.take_ready(&mut r);
             if !r.is_empty() {
                 ready_at = Some((t, r[0]));
                 break;
@@ -187,7 +218,8 @@ mod tests {
         let mut hit_at = None;
         for t in 200..260 {
             c.tick(Cycle::new(t));
-            let r = c.drain_ready();
+            let mut r = Vec::new();
+            c.take_ready(&mut r);
             if !r.is_empty() {
                 hit_at = Some((t, r[0]));
                 break;
@@ -206,7 +238,9 @@ mod tests {
         c.request(req(42), Cycle::new(0));
         for t in 0..20 {
             c.tick(Cycle::new(t));
-            if let Some(r) = c.drain_ready().into_iter().next() {
+            let mut ready = Vec::new();
+            c.take_ready(&mut ready);
+            if let Some(r) = ready.into_iter().next() {
                 assert!(!r.from_dram);
                 return;
             }

@@ -1,11 +1,11 @@
 //! The assembled memory system: cores' L1/L2, shared bus, L3, DRAM,
 //! coherence glue, and the streaming hooks used by the machine model.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use hfs_isa::{Addr, CoreId};
 use hfs_sim::stats::Counter;
-use hfs_sim::{ConfigError, Cycle, TimedQueue};
+use hfs_sim::{ConfigError, Cycle, FnvMap, TimedQueue};
 use hfs_trace::{CacheLevel, TraceEvent, Tracer};
 
 use crate::bus::{AddrTxn, Agent, Bus, BusStats, DataTxn};
@@ -14,7 +14,7 @@ use crate::config::MemConfig;
 use crate::func::FuncMem;
 use crate::l1::L1d;
 use crate::l2::{EntryKind, L2Ctl, L2Outcome, LineStage, ResolvedWaiter};
-use crate::l3::L3;
+use crate::l3::{L3Ready, L3};
 use crate::msg::{Completion, CtlPayload, MemEvent, MemToken, OpLocation, RejectReason};
 
 /// Cycles between the L2 returning load data and the value being
@@ -137,9 +137,15 @@ pub struct MemSystem {
     bus: Bus,
     l3: L3,
     busy_lines: HashSet<u64>,
-    meta: Vec<HashMap<u64, TokenMeta>>,
+    meta: Vec<FnvMap<TokenMeta>>,
     completions: Vec<TimedQueue<Completion>>,
     events: Vec<MemEvent>,
+    /// Per-tick scratch buffers, reused every cycle so the hot loop
+    /// allocates nothing in steady state.
+    addr_scratch: Vec<AddrTxn>,
+    data_scratch: Vec<DataTxn>,
+    l3_scratch: Vec<L3Ready>,
+    l2_scratch: Vec<L2Outcome>,
     /// In-flight forward pushes: (line, producer core, OzQ entry id).
     forward_track: Vec<(u64, CoreId, u64)>,
     forwards_done: u64,
@@ -178,9 +184,13 @@ impl MemSystem {
             l1s,
             l2s,
             busy_lines: HashSet::new(),
-            meta: vec![HashMap::new(); cores],
+            meta: vec![FnvMap::new(); cores],
             completions: (0..cores).map(|_| TimedQueue::new()).collect(),
             events: Vec::new(),
+            addr_scratch: Vec::new(),
+            data_scratch: Vec::new(),
+            l3_scratch: Vec::new(),
+            l2_scratch: Vec::new(),
             forward_track: Vec::new(),
             forwards_done: 0,
             streaming_range: None,
@@ -329,17 +339,50 @@ impl MemSystem {
 
     /// Drains completions ready for `core` at `now`.
     pub fn drain_completions(&mut self, core: CoreId, now: Cycle) -> Vec<Completion> {
-        let q = &mut self.completions[core.index()];
         let mut out = Vec::new();
+        self.drain_completions_into(core, now, &mut out);
+        out
+    }
+
+    /// Appends completions ready for `core` at `now` to the caller-owned
+    /// `out` buffer (not cleared), avoiding a per-cycle allocation.
+    pub fn drain_completions_into(&mut self, core: CoreId, now: Cycle, out: &mut Vec<Completion>) {
+        let q = &mut self.completions[core.index()];
         while let Some(c) = q.pop_ready(now) {
             out.push(c);
         }
-        out
+    }
+
+    /// Whether any completion is ready for `core` at `now` — a cheap
+    /// probe so callers that would discard the completions anyway can
+    /// skip the drain entirely.
+    pub fn has_completions(&self, core: CoreId, now: Cycle) -> bool {
+        self.completions[core.index()]
+            .next_ready()
+            .is_some_and(|ready| ready <= now)
+    }
+
+    /// Replays the L1 side effects of `n` back-to-back submissions the
+    /// OzQ refused: a demand load probes the L1 (and misses — a hit
+    /// would have completed instead of being refused) and a store
+    /// touches it, before either sees the full OzQ. Fast-forward calls
+    /// this so skipped re-attempt cycles leave the L1 LRU state and
+    /// hit/miss statistics exactly as per-cycle simulation would.
+    pub fn replay_blocked_probes(&mut self, core: CoreId, addr: Addr, n: u64) {
+        self.l1s[core.index()].replay_probes(addr, n);
     }
 
     /// Drains the event stream accumulated since the last call.
     pub fn drain_events(&mut self) -> Vec<MemEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves the event stream accumulated since the last call into `out`
+    /// (cleared first); both buffers keep their capacity, so a caller
+    /// recycling the same buffer allocates nothing in steady state.
+    pub fn take_events(&mut self, out: &mut Vec<MemEvent>) {
+        out.clear();
+        std::mem::swap(out, &mut self.events);
     }
 
     /// Aggregate statistics.
@@ -412,17 +455,28 @@ impl MemSystem {
     /// Advances the hierarchy one cycle.
     pub fn tick(&mut self, now: Cycle) {
         // 1. Bus: deliver address phases (snoops) and data transfers.
-        let (addrs, datas) = self.bus.tick(now);
-        for a in addrs {
+        // The scratch buffers are taken out of `self` so the handler
+        // calls below can borrow the system mutably; they go back (with
+        // their capacity) at the end.
+        let mut addrs = std::mem::take(&mut self.addr_scratch);
+        let mut datas = std::mem::take(&mut self.data_scratch);
+        addrs.clear();
+        datas.clear();
+        self.bus.tick(now, &mut addrs, &mut datas);
+        for &a in &addrs {
             self.handle_addr(a, now);
         }
-        for d in datas {
+        for &d in &datas {
             self.handle_data(d, now);
         }
+        self.addr_scratch = addrs;
+        self.data_scratch = datas;
 
         // 2. L3: move lookups along; ship serviced lines onto the bus.
         self.l3.tick(now);
-        for ready in self.l3.drain_ready() {
+        let mut serviced = std::mem::take(&mut self.l3_scratch);
+        self.l3.take_ready(&mut serviced);
+        for ready in &serviced {
             self.tracer.emit(|| TraceEvent::CacheAccess {
                 core: ready.req.requester,
                 at: now.as_u64(),
@@ -440,26 +494,53 @@ impl MemSystem {
                 },
             );
         }
+        self.l3_scratch = serviced;
 
         // 3. L2s: ports, pipe resolutions, line-request (re)issues.
+        let mut outcomes = std::mem::take(&mut self.l2_scratch);
         for c in 0..self.l2s.len() {
-            let outcomes = self.l2s[c].tick(now);
-            for o in outcomes {
+            outcomes.clear();
+            self.l2s[c].tick(now, &mut outcomes);
+            for &o in &outcomes {
                 self.handle_l2_outcome(CoreId(c as u8), o, now);
             }
         }
+        self.l2_scratch = outcomes;
 
-        // 4. Track DRAM progression for stall attribution.
-        for c in 0..self.l2s.len() {
-            let core = CoreId(c as u8);
-            // Only lines we know to be at the L3 can move to DRAM.
-            let lines: Vec<u64> = self.busy_lines.iter().copied().collect();
-            for line in lines {
-                if self.l3.line_in_dram(line, core) {
-                    self.l2s[c].line_stage(line, LineStage::InDram);
-                }
-            }
+        // 4. Track DRAM progression for stall attribution: walk the DRAM
+        // residents directly — `line_stage` ignores lines with no pending
+        // request, so this marks exactly the busy lines the old per-line
+        // sweep did, in O(DRAM occupancy) instead of O(lines × cores).
+        for (line, core) in self.l3.in_dram() {
+            self.l2s[core.index()].line_stage(line, LineStage::InDram);
         }
+    }
+
+    /// Conservative lower bound on the next cycle at which the hierarchy
+    /// changes state on its own: bus deliveries/grants, L3 pipeline
+    /// heads, L2 port/pipe/reissue timers, and undelivered completions.
+    /// `None` when fully quiescent (nothing will ever happen without new
+    /// submissions).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut fold = |t: Option<Cycle>| {
+            if let Some(t) = t {
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        };
+        fold(self.bus.next_event(now));
+        fold(self.l3.next_event(now));
+        for l2 in &self.l2s {
+            fold(l2.next_event(now));
+        }
+        for q in &self.completions {
+            fold(q.next_ready().map(|t| t.max(now.next())));
+        }
+        if !self.events.is_empty() {
+            // Undrained events must reach the backends next cycle.
+            fold(Some(now.next()));
+        }
+        best
     }
 
     fn handle_l2_outcome(&mut self, core: CoreId, o: L2Outcome, now: Cycle) {
@@ -491,7 +572,7 @@ impl MemSystem {
             } => {
                 let value = self.func.read(addr);
                 let meta = self.meta[c]
-                    .remove(&id)
+                    .remove(id)
                     .unwrap_or(TokenMeta { gated: false });
                 // Gated (streaming) loads bypass the L1 and its fill
                 // latency; their data goes straight to the consumer.
@@ -518,7 +599,7 @@ impl MemSystem {
                 background,
             } => {
                 self.func.write(addr, value);
-                self.meta[c].remove(&id);
+                self.meta[c].remove(id);
                 self.events
                     .push(MemEvent::StorePerformed { core, addr, value });
                 self.completions[c].push(
@@ -581,7 +662,7 @@ impl MemSystem {
                 self.pending_forwards_insert(line, core, id);
             }
             L2Outcome::ForwardAbort { id } => {
-                self.meta[c].remove(&id);
+                self.meta[c].remove(id);
             }
         }
     }
@@ -750,7 +831,7 @@ impl MemSystem {
                 {
                     let (_, _, id) = self.forward_track.remove(pos);
                     self.l2s[from.index()].forward_complete(id, line);
-                    self.meta[from.index()].remove(&id);
+                    self.meta[from.index()].remove(id);
                 }
                 let line_addr = Addr::new(line * self.cfg.l2.line_bytes);
                 self.l1s[from.index()].invalidate_span(line_addr, self.cfg.l2.line_bytes);
@@ -823,7 +904,7 @@ impl MemSystem {
             match w.kind {
                 EntryKind::Store { value, .. } => {
                     self.func.write(w.addr, value);
-                    self.meta[c].remove(&w.id);
+                    self.meta[c].remove(w.id);
                     self.events.push(MemEvent::StorePerformed {
                         core,
                         addr: w.addr,
@@ -842,7 +923,7 @@ impl MemSystem {
                 EntryKind::Load => {
                     let value = self.func.read(w.addr);
                     let meta = self.meta[c]
-                        .remove(&w.id)
+                        .remove(w.id)
                         .unwrap_or(TokenMeta { gated: false });
                     let at = if meta.gated {
                         now

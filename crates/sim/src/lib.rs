@@ -11,6 +11,8 @@
 //!   (`PreL2` / `L2` / `BUS` / `L3` / `MEM` / `PostL2`),
 //! * [`Rng64`] — the workspace-wide deterministic PRNG (SplitMix64-seeded
 //!   xorshift64*) behind workload address randomness and randomized tests,
+//! * [`FnvMap`] — a `u64`-keyed FNV-1a open-addressing map for
+//!   per-transaction hot-path state (cheaper than SipHash `HashMap`),
 //! * [`ConfigError`] — validation errors for machine configuration.
 //!
 //! # Example
@@ -30,11 +32,13 @@
 
 mod cycle;
 mod error;
+mod map;
 mod queue;
 mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use error::ConfigError;
+pub use map::FnvMap;
 pub use queue::{Pipe, TimedQueue};
 pub use rng::Rng64;

@@ -65,6 +65,15 @@ impl<T> TimedQueue<T> {
         }
     }
 
+    /// The ready stamp of the head message, if any.
+    ///
+    /// Because the queue is a strict FIFO gated only by its head stamp,
+    /// this is the *exact* earliest cycle at which the next pop can
+    /// succeed — the building block for event-driven fast-forwarding.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.entries.front().map(|(ready, _)| *ready)
+    }
+
     /// Number of messages in flight (ready or not).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -144,6 +153,12 @@ impl<T> Pipe<T> {
         self.inner.peek_ready(now)
     }
 
+    /// The arrival stamp of the head message, if any (see
+    /// [`TimedQueue::next_ready`]).
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.inner.next_ready()
+    }
+
     /// Number of messages in flight.
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -176,6 +191,24 @@ mod tests {
         // "y" was stamped earlier but is strictly behind "x".
         assert_eq!(q.pop_ready(Cycle::new(10)), Some("y"));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_ready_reports_head_stamp() {
+        let mut q = TimedQueue::new();
+        assert_eq!(q.next_ready(), None);
+        q.push(Cycle::new(10), "x");
+        q.push(Cycle::new(2), "y");
+        // The head gates the whole queue, even when a later message has
+        // an earlier stamp.
+        assert_eq!(q.next_ready(), Some(Cycle::new(10)));
+        q.pop_ready(Cycle::new(10));
+        assert_eq!(q.next_ready(), Some(Cycle::new(2)));
+
+        let mut p = Pipe::new(4);
+        assert_eq!(p.next_ready(), None);
+        p.push(Cycle::new(1), ());
+        assert_eq!(p.next_ready(), Some(Cycle::new(5)));
     }
 
     #[test]

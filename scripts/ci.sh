@@ -29,4 +29,22 @@ fi
 echo "==> trace smoke (golden cycles + Chrome trace validity)"
 cargo run --release -p hfs-bench --bin trace_smoke
 
+echo "==> simbench --quick (hot-loop throughput sanity)"
+cargo run --release -p hfs-bench --bin simbench -- --quick
+QUICK_JSON=target/BENCH_simloop_quick.json
+[ -s "$QUICK_JSON" ] || { echo "simbench wrote no $QUICK_JSON"; exit 1; }
+# Well-formedness gate; simbench itself prints the informational delta
+# against the committed BENCH_simloop.json baseline.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$QUICK_JSON" <<'EOF'
+import json, sys
+quick = json.load(open(sys.argv[1]))
+assert quick["schema"] == "simbench-v1" and quick["points"], "malformed quick bench"
+for p in quick["points"]:
+    assert p["sim_cycles"] > 0 and p["cycles_per_sec"] > 0, f"degenerate point {p}"
+EOF
+else
+    grep -q '"schema": "simbench-v1"' "$QUICK_JSON" || { echo "malformed $QUICK_JSON"; exit 1; }
+fi
+
 echo "==> ci OK"

@@ -1,0 +1,148 @@
+//! Fast-forward equivalence: skipping dead cycles must be invisible in
+//! every architectural statistic, and the strided deadlock detector must
+//! declare at the same cycle per-cycle simulation would.
+
+use hfs::core::kernel::{KStep, Kernel, KernelPair};
+use hfs::core::{DesignPoint, Machine, MachineConfig, RunResult, SimError};
+use hfs::isa::QueueId;
+use hfs::sim::Rng64;
+
+const CASES: u64 = 8;
+
+/// Builds a random but valid two-thread pipeline (the same shape space
+/// as `proptest_pipeline`, different seed stream).
+fn arb_pair(rng: &mut Rng64) -> KernelPair {
+    let pwork = rng.range(1, 6) as u32;
+    let cchain = rng.range(1, 6) as u32;
+    let nq = rng.range(1, 3) as usize;
+    let iters = rng.range(10, 40);
+    let fp = rng.below(3) as u32;
+
+    let queues: Vec<QueueId> = (0..nq as u16).map(QueueId).collect();
+    let mut psteps = vec![KStep::Alu(pwork)];
+    if fp > 0 {
+        psteps.push(KStep::Fp(fp));
+    }
+    for &q in &queues {
+        psteps.push(KStep::Produce(q));
+    }
+    psteps.push(KStep::Branch);
+    let mut csteps: Vec<KStep> = queues.iter().map(|&q| KStep::Consume(q)).collect();
+    csteps.push(KStep::AluChain(cchain));
+    csteps.push(KStep::Branch);
+    KernelPair {
+        name: "ff-prop",
+        producer: Kernel::new(psteps),
+        consumer: Kernel::new(csteps),
+        iterations: iters,
+    }
+}
+
+fn designs() -> Vec<DesignPoint> {
+    vec![
+        DesignPoint::existing(),
+        DesignPoint::memopti(),
+        DesignPoint::syncopti(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+    ]
+}
+
+fn run_with_ff(cfg: &MachineConfig, pair: &KernelPair, ff: bool) -> RunResult {
+    let mut m = Machine::new_pipeline(cfg, pair).expect("machine builds");
+    m.set_fast_forward(ff);
+    m.run(20_000_000).expect("run completes")
+}
+
+/// Fast-forwarded runs must be bit-identical to per-cycle simulation:
+/// same total cycles, same per-core statistics (including the stall
+/// breakdown and the blocked-attempt counters the skip path replays in
+/// bulk), same memory-system counters, same stream-cache counters.
+#[test]
+fn fastforward_matches_percycle_on_random_configs() {
+    let mut rng = Rng64::new(0xFF_0001);
+    for case in 0..CASES {
+        let pair = arb_pair(&mut rng);
+        assert!(pair.validate().is_ok());
+        for design in designs() {
+            let cfg = MachineConfig::itanium2_cmp(design);
+            let fast = run_with_ff(&cfg, &pair, true);
+            let slow = run_with_ff(&cfg, &pair, false);
+            let label = format!("case {case}, {}", fast.design);
+            assert_eq!(fast.cycles, slow.cycles, "{label}: cycles");
+            assert_eq!(fast.cores, slow.cores, "{label}: core stats");
+            assert_eq!(fast.mem, slow.mem, "{label}: mem stats");
+            assert_eq!(fast.stream_cache, slow.stream_cache, "{label}: SC");
+            assert_eq!(fast.iterations, slow.iterations, "{label}: iters");
+        }
+    }
+}
+
+/// A pipeline that genuinely deadlocks under HEAVYWT: the producer must
+/// emit more items into `q0` than the queue, network, and consumer's
+/// instruction window can absorb before it ever produces `q1`, while
+/// the consumer's oldest in-flight consume waits on `q1`. Per-queue
+/// produce/consume counts still balance, so the pair validates.
+fn deadlocking_pair() -> KernelPair {
+    let q0 = QueueId(0);
+    let q1 = QueueId(1);
+    KernelPair {
+        name: "circular-wait",
+        producer: Kernel::new(vec![
+            KStep::Loop(vec![KStep::Produce(q0)], 200),
+            KStep::Produce(q1),
+            KStep::Branch,
+        ]),
+        consumer: Kernel::new(vec![
+            KStep::Consume(q1),
+            KStep::Loop(vec![KStep::Consume(q0)], 200),
+            KStep::Branch,
+        ]),
+        iterations: 4,
+    }
+}
+
+fn declared_cycle(deadlock_cycles: u64, ff: bool) -> u64 {
+    // The consumer's instruction window lets consumes *behind* the
+    // blocked q1 consume still issue, complete, and ACK, so the
+    // producer can push roughly window + queue-depth items of q0
+    // before back-pressure freezes it; 200 is far beyond that.
+    let mut cfg = MachineConfig::itanium2_cmp(DesignPoint::heavywt_with(2, 4));
+    cfg.deadlock_cycles = deadlock_cycles;
+    let pair = deadlocking_pair();
+    assert!(pair.validate().is_ok(), "balanced counts must validate");
+    let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_fast_forward(ff);
+    match m.run(10_000_000) {
+        Err(SimError::Deadlock { cycle, .. }) => cycle,
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+/// The deadlock detector only *sweeps* every `DEADLOCK_STRIDE` cycles,
+/// but the declared cycle is computed from progress timestamps, so it
+/// must shift by exactly one when the window grows by one — per-cycle
+/// declaration semantics, immune to the sweep quantization.
+#[test]
+fn strided_deadlock_declares_at_the_exact_cycle() {
+    let base = declared_cycle(1000, true);
+    let plus_one = declared_cycle(1001, true);
+    assert_eq!(
+        plus_one,
+        base + 1,
+        "declared cycle must track the window exactly, not the sweep grid"
+    );
+}
+
+/// Fast-forward must not change when a deadlock is declared: the skip
+/// target never jumps past a sweep that could declare.
+#[test]
+fn deadlock_cycle_identical_with_and_without_fastforward() {
+    for window in [777, 1000, 4096] {
+        assert_eq!(
+            declared_cycle(window, true),
+            declared_cycle(window, false),
+            "window {window}"
+        );
+    }
+}

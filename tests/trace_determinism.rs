@@ -54,6 +54,31 @@ fn recorded_stream_matches_the_golden_hash() {
     );
 }
 
+/// Traced machines fast-forward too (with a conservative bound that
+/// replays per-cycle stall events), so the recorded stream must be
+/// byte-identical whether or not fast-forwarding is enabled.
+#[test]
+fn recorded_stream_identical_with_and_without_fastforward() {
+    use hfs::core::Machine;
+    use hfs::workloads::benchmark;
+    let bench = benchmark("fir").unwrap().with_iterations(50);
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64());
+    let mut streams = Vec::new();
+    for ff in [true, false] {
+        let tracer = Tracer::recording();
+        let mut m = Machine::new_pipeline(&cfg, &bench.pair).expect("machine builds");
+        m.set_tracer(tracer.clone());
+        m.set_fast_forward(ff);
+        m.run(10_000_000).expect("traced run succeeds");
+        streams.push(event_stream_text(&tracer.take_events()));
+    }
+    assert!(!streams[0].is_empty(), "stream has events");
+    assert_eq!(
+        streams[0], streams[1],
+        "fast-forwarding must not change the traced event stream"
+    );
+}
+
 #[test]
 fn recorded_stream_identical_across_repeat_runs() {
     let a = recorded_text(&small_syncopti_job("det/a"));
