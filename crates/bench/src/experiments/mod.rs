@@ -94,6 +94,7 @@ mod tests {
             mem: MemStats::default(),
             stream_cache: None,
             metrics: None,
+            checked: false,
         }
     }
 

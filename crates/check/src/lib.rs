@@ -1,0 +1,891 @@
+//! Cycle-level machine checking for the `hfs` simulator.
+//!
+//! The simulator's headline numbers only mean something if the MSI
+//! coherence protocol, the split-transaction bus, and the queue backends
+//! are *correct*. This crate is the opt-in referee: a [`Checker`] handle
+//! is threaded through the whole machine in the same carried-handle style
+//! as `hfs_trace::Tracer`, and every component reports the events the
+//! invariants need. Violations are recorded (never panicked) so the
+//! machine loop can terminate the run with a structured error naming the
+//! offending cycle.
+//!
+//! Four invariant families are enforced:
+//!
+//! * **MSI coherence** — at most one Modified owner per line across the
+//!   private L2s, no Shared copy coexisting with a Modified one, and a
+//!   snoop-invalidated line never hits again before a refill;
+//! * **bus** — at most one grant per arbitration slot, every accepted
+//!   split-transaction request answered by exactly one response within
+//!   [`REQUEST_AGE_BOUND`] cycles, and bounded round-robin wait
+//!   ([`BUS_WAIT_BOUND`] slots) for any agent with a queued request;
+//! * **resource conservation** — OzQ occupancy ≤ capacity with
+//!   inserts = removals + resident, synchronization-array
+//!   `injected == delivered + in-network` with per-queue occupancy ≤
+//!   depth and no dropped consumer wake-ups, and stream-cache entries
+//!   that are both forwarded and value-coherent with memory;
+//! * **differential data** ([`CheckLevel::Full`]) — every committed
+//!   load/store is replayed against a second golden memory, so a
+//!   timing-model bug that corrupts a value is caught at the offending
+//!   cycle instead of as a wrong figure.
+//!
+//! The checker is *observation-only*: with no [`Mutation`] armed it never
+//! changes simulated state, so cycle counts are bit-identical with
+//! checking on or off. Mutations are the exception by design — they are
+//! test-only deliberate bugs used by the fault-injection suite to prove
+//! the checker is not vacuous.
+//!
+//! # Example
+//!
+//! ```
+//! use hfs_check::{CheckLevel, Checker};
+//! use hfs_sim::Cycle;
+//!
+//! let c = Checker::with_level(CheckLevel::Basic);
+//! c.on_bus_slot(Cycle::new(8));
+//! c.on_grant(Cycle::new(8), 0);
+//! c.on_grant(Cycle::new(8), 1); // second grant in the same slot
+//! assert_eq!(c.violations().len(), 1);
+//! assert_eq!(c.violations()[0].rule, "bus.double_grant");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use hfs_isa::{CoreId, QueueId};
+use hfs_sim::Cycle;
+
+/// Violations recorded past this cap are counted but not stored.
+const MAX_VIOLATIONS: usize = 32;
+
+/// Largest CMP the checker sizes its per-core tables for (matches the
+/// machine model's 8-core bus).
+const MAX_CORES: usize = 8;
+
+/// Maximum consecutive arbitration slots an agent with a queued address
+/// request may go ungranted before the round-robin is declared unfair.
+/// Generous: with 8 agents and two-pass app-priority arbitration, a legal
+/// head-of-queue wait is a few tens of slots.
+pub const BUS_WAIT_BOUND: u64 = 4096;
+
+/// Maximum age in cycles of an accepted-but-unanswered split-transaction
+/// request. A legal worst case (L3 + DRAM + bus queueing) is a few
+/// hundred cycles; well below the machine's deadlock window so a dropped
+/// response is attributed to the bus, not reported as a generic deadlock.
+pub const REQUEST_AGE_BOUND: u64 = 20_000;
+
+/// How much checking the machine performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckLevel {
+    /// No checking; every hook is a branch on a `None`.
+    #[default]
+    Off,
+    /// Structural invariants: MSI, bus, resource conservation.
+    Basic,
+    /// [`CheckLevel::Basic`] plus the differential data check against a
+    /// golden memory.
+    Full,
+}
+
+impl CheckLevel {
+    /// Reads the `HFS_CHECK` environment variable: unset, empty, or `0`
+    /// is [`CheckLevel::Off`]; `basic` is [`CheckLevel::Basic`]; any
+    /// other value (conventionally `1` or `full`) is
+    /// [`CheckLevel::Full`].
+    pub fn from_env() -> CheckLevel {
+        match std::env::var("HFS_CHECK") {
+            Err(_) => CheckLevel::Off,
+            Ok(v) if v.is_empty() || v == "0" => CheckLevel::Off,
+            Ok(v) if v.eq_ignore_ascii_case("basic") => CheckLevel::Basic,
+            Ok(_) => CheckLevel::Full,
+        }
+    }
+}
+
+/// A deliberate, test-only fault seeded into the machine to prove the
+/// checker detects it. The fault-injection suite arms each mutation in
+/// turn and asserts the corresponding invariant fires — a vacuous
+/// checker fails CI.
+///
+/// Mutations only take effect when armed on an enabled checker; an
+/// unarmed machine behaves identically with checking on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Skip one snoop invalidation on an RdX, leaving a stale Shared
+    /// copy coexisting with the new Modified owner.
+    SkipSnoopInvalidate,
+    /// Grant two address transactions in one arbitration slot.
+    DoubleGrantBus,
+    /// Permanently skip bus agent 1 in round-robin arbitration.
+    StarveBusAgent,
+    /// Drop one fill response on the bus data channel.
+    DropBusResponse,
+    /// Account an OzQ insert without actually occupying the slot.
+    LeakOzqSlot,
+    /// Lose one in-network item inside the synchronization array.
+    SyncArrayLoseItem,
+    /// Skip one cycle's consumer wake-ups at the synchronization array
+    /// while data is deliverable.
+    DropConsumerWake,
+    /// Corrupt one value as it fills the stream cache.
+    CorruptForwardValue,
+    /// Deliver one load completion with a corrupted value.
+    CorruptLoadValue,
+    /// Perform one store with a corrupted value (the architectural
+    /// event still reports the original).
+    CorruptStoreValue,
+}
+
+impl Mutation {
+    /// Every mutation, in a fixed order, for exhaustive fault-injection
+    /// sweeps.
+    pub const ALL: [Mutation; 10] = [
+        Mutation::SkipSnoopInvalidate,
+        Mutation::DoubleGrantBus,
+        Mutation::StarveBusAgent,
+        Mutation::DropBusResponse,
+        Mutation::LeakOzqSlot,
+        Mutation::SyncArrayLoseItem,
+        Mutation::DropConsumerWake,
+        Mutation::CorruptForwardValue,
+        Mutation::CorruptLoadValue,
+        Mutation::CorruptStoreValue,
+    ];
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle the violation was detected at.
+    pub at: u64,
+    /// Stable dotted rule name, e.g. `msi.multiple_modified`.
+    pub rule: &'static str,
+    /// Human-readable specifics (line, core, values involved).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[cycle {}] {}: {}", self.at, self.rule, self.detail)
+    }
+}
+
+/// The mutable state behind an enabled checker.
+#[derive(Debug)]
+struct CheckState {
+    level: CheckLevel,
+    violations: Vec<Violation>,
+    /// Violations recorded past [`MAX_VIOLATIONS`].
+    dropped: u64,
+    /// Golden word-granular memory for the differential data check.
+    golden: HashMap<u64, u64>,
+    /// `(core, line)` pairs snoop-invalidated and not refilled since.
+    invalidated: HashSet<(u8, u64)>,
+    /// Cycle of the current bus arbitration slot.
+    slot_at: u64,
+    /// Address grants issued in the current slot.
+    slot_grants: u32,
+    /// Consecutive ungranted slots per agent with a queued request.
+    waiting_slots: [u64; MAX_CORES],
+    /// Accepted address requests awaiting their data response:
+    /// `(line, core, accepted_at)`.
+    outstanding: Vec<(u64, u8, u64)>,
+    /// OzQ inserts per core since attach.
+    ozq_inserted: [u64; MAX_CORES],
+    /// OzQ entry removals per core since attach.
+    ozq_removed: [u64; MAX_CORES],
+    /// Armed fault, if any.
+    mutation: Option<Mutation>,
+    /// One-shot mutations that already fired.
+    fired: bool,
+}
+
+impl CheckState {
+    fn new(level: CheckLevel) -> Self {
+        CheckState {
+            level,
+            violations: Vec::new(),
+            dropped: 0,
+            golden: HashMap::new(),
+            invalidated: HashSet::new(),
+            slot_at: u64::MAX,
+            slot_grants: 0,
+            waiting_slots: [0; MAX_CORES],
+            outstanding: Vec::new(),
+            ozq_inserted: [0; MAX_CORES],
+            ozq_removed: [0; MAX_CORES],
+            mutation: None,
+            fired: false,
+        }
+    }
+
+    fn violate(&mut self, at: Cycle, rule: &'static str, detail: String) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            self.dropped += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            at: at.as_u64(),
+            rule,
+            detail,
+        });
+    }
+}
+
+/// A cloneable handle to a per-machine check sink, in the same
+/// carried-handle style as `hfs_trace::Tracer`: all clones share one
+/// state, the disabled path is a branch on a `None`, and handles are
+/// deliberately not `Send` (a machine lives on one worker thread).
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    inner: Option<Rc<RefCell<CheckState>>>,
+}
+
+impl Checker {
+    /// The no-op checker: every hook is a branch on a `None`.
+    pub fn disabled() -> Checker {
+        Checker { inner: None }
+    }
+
+    /// A checker at the given level ([`CheckLevel::Off`] yields the
+    /// disabled checker).
+    pub fn with_level(level: CheckLevel) -> Checker {
+        match level {
+            CheckLevel::Off => Checker::disabled(),
+            l => Checker {
+                inner: Some(Rc::new(RefCell::new(CheckState::new(l)))),
+            },
+        }
+    }
+
+    /// A checker configured from the `HFS_CHECK` environment variable
+    /// (see [`CheckLevel::from_env`]).
+    pub fn from_env() -> Checker {
+        Checker::with_level(CheckLevel::from_env())
+    }
+
+    /// Whether any checking is active.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the differential data check is active.
+    pub fn is_full(&self) -> bool {
+        self.level() == CheckLevel::Full
+    }
+
+    /// The active check level.
+    pub fn level(&self) -> CheckLevel {
+        match &self.inner {
+            Some(s) => s.borrow().level,
+            None => CheckLevel::Off,
+        }
+    }
+
+    /// Snapshot of the recorded violations.
+    pub fn violations(&self) -> Vec<Violation> {
+        match &self.inner {
+            Some(s) => s.borrow().violations.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total violations detected, including any dropped past the
+    /// storage cap.
+    pub fn violation_count(&self) -> u64 {
+        match &self.inner {
+            Some(s) => {
+                let s = s.borrow();
+                s.violations.len() as u64 + s.dropped
+            }
+            None => 0,
+        }
+    }
+
+    /// The first violation rendered as a one-line report, if any — what
+    /// the machine loop turns into its verification error.
+    pub fn first_violation(&self) -> Option<String> {
+        let s = self.inner.as_ref()?;
+        let s = s.borrow();
+        let first = s.violations.first()?;
+        let more = s.violations.len() as u64 + s.dropped - 1;
+        Some(if more == 0 {
+            format!("machine-check: {first}")
+        } else {
+            format!("machine-check: {first} (+{more} more)")
+        })
+    }
+
+    /// Records a violation directly — the escape hatch for component
+    /// checks with no dedicated hook.
+    pub fn report(&self, at: Cycle, rule: &'static str, f: impl FnOnce() -> String) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().violate(at, rule, f());
+        }
+    }
+
+    // ----- fault injection ---------------------------------------------
+
+    /// Arms a test-only mutation. Requires an enabled checker (the
+    /// fault-injection suite always checks while injecting).
+    pub fn set_mutation(&self, m: Mutation) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().mutation = Some(m);
+        }
+    }
+
+    /// Whether `m` is armed and has not fired yet; marks it fired.
+    /// Components call this at the exact site the fault applies, so each
+    /// one-shot mutation perturbs the machine exactly once.
+    pub fn fire_once(&self, m: Mutation) -> bool {
+        match &self.inner {
+            Some(s) => {
+                let mut s = s.borrow_mut();
+                if s.mutation == Some(m) && !s.fired {
+                    s.fired = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `m` is armed, without consuming it — for persistent
+    /// faults like [`Mutation::StarveBusAgent`].
+    pub fn mutation_active(&self, m: Mutation) -> bool {
+        match &self.inner {
+            Some(s) => s.borrow().mutation == Some(m),
+            None => false,
+        }
+    }
+
+    // ----- (a) MSI coherence -------------------------------------------
+
+    /// Reports the cross-L2 state census for `line` after a coherence
+    /// event: `modified`/`shared` are the numbers of private L2s holding
+    /// the line in each state.
+    pub fn coherence_states(&self, at: Cycle, line: u64, modified: u32, shared: u32) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        if modified > 1 {
+            s.violate(
+                at,
+                "msi.multiple_modified",
+                format!("line {line:#x} has {modified} Modified owners"),
+            );
+        }
+        if modified >= 1 && shared >= 1 {
+            s.violate(
+                at,
+                "msi.shared_with_modified",
+                format!("line {line:#x} is Modified in one L2 and Shared in {shared} other(s)"),
+            );
+        }
+    }
+
+    /// Records that `core`'s L2 copy of `line` was snoop-invalidated.
+    pub fn on_invalidate(&self, _at: Cycle, core: CoreId, line: u64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().invalidated.insert((core.0, line));
+        }
+    }
+
+    /// Records that `core`'s L2 (re)gained a valid copy of `line`.
+    pub fn on_line_filled(&self, core: CoreId, line: u64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().invalidated.remove(&(core.0, line));
+        }
+    }
+
+    /// Reports an L2 access that hit in `core`'s array; a hit on a line
+    /// the checker saw invalidated (and never refilled) is a stale-data
+    /// bug.
+    pub fn on_l2_hit(&self, at: Cycle, core: CoreId, line: u64) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        if s.invalidated.contains(&(core.0, line)) {
+            s.violate(
+                at,
+                "msi.hit_after_invalidate",
+                format!("core {} hit line {line:#x} after snoop-invalidate", core.0),
+            );
+        }
+    }
+
+    // ----- (b) bus ------------------------------------------------------
+
+    /// Opens a new arbitration slot at `at`.
+    pub fn on_bus_slot(&self, at: Cycle) {
+        if let Some(s) = &self.inner {
+            let mut s = s.borrow_mut();
+            s.slot_at = at.as_u64();
+            s.slot_grants = 0;
+        }
+    }
+
+    /// Reports an address-phase grant to `agent` in the current slot.
+    pub fn on_grant(&self, at: Cycle, agent: u8) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        s.slot_grants += 1;
+        if (agent as usize) < MAX_CORES {
+            s.waiting_slots[agent as usize] = 0;
+        }
+        if s.slot_grants > 1 {
+            let (n, slot) = (s.slot_grants, s.slot_at);
+            s.violate(
+                at,
+                "bus.double_grant",
+                format!("{n} grants in the arbitration slot at cycle {slot}"),
+            );
+        }
+    }
+
+    /// Reports that `agent` ended an arbitration slot with a queued
+    /// address request and no grant.
+    pub fn on_agent_waiting(&self, at: Cycle, agent: u8) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        let Some(w) = s.waiting_slots.get_mut(agent as usize) else {
+            return;
+        };
+        *w += 1;
+        if *w > BUS_WAIT_BOUND {
+            *w = 0;
+            s.violate(
+                at,
+                "bus.starvation",
+                format!("agent {agent} waited more than {BUS_WAIT_BOUND} arbitration slots"),
+            );
+        }
+    }
+
+    /// Registers an accepted split-transaction request (`core` asked for
+    /// `line`); it must be answered by exactly one response.
+    pub fn on_addr_request(&self, at: Cycle, core: CoreId, line: u64) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().outstanding.push((line, core.0, at.as_u64()));
+        }
+    }
+
+    /// Matches a data response (a line fill for `core`) against its
+    /// outstanding request; an unmatched response is a protocol bug.
+    pub fn on_addr_response(&self, at: Cycle, core: CoreId, line: u64) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        match s
+            .outstanding
+            .iter()
+            .position(|&(l, c, _)| l == line && c == core.0)
+        {
+            Some(i) => {
+                s.outstanding.remove(i);
+            }
+            None => s.violate(
+                at,
+                "bus.orphan_response",
+                format!(
+                    "fill of line {line:#x} for core {} matches no request",
+                    core.0
+                ),
+            ),
+        }
+    }
+
+    /// Ages the outstanding-request table; a request unanswered for more
+    /// than [`REQUEST_AGE_BOUND`] cycles means its response was lost.
+    pub fn audit_outstanding(&self, at: Cycle) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        let now = at.as_u64();
+        while let Some(i) = s
+            .outstanding
+            .iter()
+            .position(|&(_, _, since)| now.saturating_sub(since) > REQUEST_AGE_BOUND)
+        {
+            let (line, core, since) = s.outstanding.remove(i);
+            s.violate(
+                at,
+                "bus.lost_response",
+                format!("core {core} request for line {line:#x} (cycle {since}) never answered"),
+            );
+        }
+    }
+
+    // ----- (c) resource conservation -----------------------------------
+
+    /// Accounts one OzQ entry allocation on `core`.
+    pub fn on_ozq_insert(&self, core: CoreId) {
+        if let Some(s) = &self.inner {
+            if let Some(n) = s.borrow_mut().ozq_inserted.get_mut(core.0 as usize) {
+                *n += 1;
+            }
+        }
+    }
+
+    /// Accounts `n` OzQ entry removals (completion or cancellation) on
+    /// `core`.
+    pub fn on_ozq_removed(&self, core: CoreId, n: u64) {
+        if let Some(s) = &self.inner {
+            if let Some(t) = s.borrow_mut().ozq_removed.get_mut(core.0 as usize) {
+                *t += n;
+            }
+        }
+    }
+
+    /// Audits one core's OzQ: occupancy must not exceed capacity, and
+    /// inserts must equal removals plus resident entries.
+    pub fn ozq_audit(&self, at: Cycle, core: CoreId, occupancy: usize, capacity: usize) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        if occupancy > capacity {
+            s.violate(
+                at,
+                "ozq.overflow",
+                format!("core {} OzQ holds {occupancy}/{capacity} entries", core.0),
+            );
+        }
+        let idx = core.0 as usize;
+        if idx < MAX_CORES {
+            let (ins, rem) = (s.ozq_inserted[idx], s.ozq_removed[idx]);
+            if ins != rem + occupancy as u64 {
+                s.violate(
+                    at,
+                    "ozq.conservation",
+                    format!(
+                        "core {}: {ins} inserts != {rem} removals + {occupancy} resident",
+                        core.0
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Audits the synchronization array's global conservation law:
+    /// everything injected is either delivered or still in the network.
+    pub fn sync_array_audit(&self, at: Cycle, injected: u64, delivered: u64, in_network: u64) {
+        let Some(s) = &self.inner else { return };
+        if injected != delivered + in_network {
+            s.borrow_mut().violate(
+                at,
+                "sa.conservation",
+                format!("injected {injected} != delivered {delivered} + in-network {in_network}"),
+            );
+        }
+    }
+
+    /// Audits one synchronization-array ring: occupancy ≤ depth.
+    pub fn sync_array_queue(&self, at: Cycle, q: QueueId, occupancy: usize, depth: usize) {
+        let Some(s) = &self.inner else { return };
+        if occupancy > depth {
+            s.borrow_mut().violate(
+                at,
+                "sa.queue_overflow",
+                format!("queue {} holds {occupancy}/{depth} entries", q.0),
+            );
+        }
+    }
+
+    /// Audits wake liveness after the synchronization array's wake pass:
+    /// a consumer still parked on `q` while its ring has data and consume
+    /// budget remains means a wake-up was dropped.
+    pub fn sync_array_wake(&self, at: Cycle, q: QueueId, occupancy: usize, budget_left: u64) {
+        let Some(s) = &self.inner else { return };
+        if occupancy > 0 && budget_left > 0 {
+            s.borrow_mut().violate(
+                at,
+                "sa.dropped_wake",
+                format!(
+                    "queue {}: consumer parked with {occupancy} deliverable item(s) and budget left",
+                    q.0
+                ),
+            );
+        }
+    }
+
+    /// Audits one stream-cache entry: it must cover a forwarded slot and
+    /// its value must match memory (`expected`).
+    pub fn stream_cache_entry(
+        &self,
+        at: Cycle,
+        q: QueueId,
+        slot: u64,
+        value: u64,
+        expected: u64,
+        forwarded: u64,
+    ) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        if slot >= forwarded {
+            s.violate(
+                at,
+                "sc.not_forwarded",
+                format!(
+                    "queue {} slot {slot} cached but only {forwarded} forwarded",
+                    q.0
+                ),
+            );
+        }
+        if value != expected {
+            s.violate(
+                at,
+                "sc.stale_value",
+                format!(
+                    "queue {} slot {slot}: cached {value:#x}, memory has {expected:#x}",
+                    q.0
+                ),
+            );
+        }
+    }
+
+    // ----- (d) differential data ---------------------------------------
+
+    /// Seeds the golden memory from the functional memory's current
+    /// words; call once when attaching the checker to a machine.
+    pub fn seed_golden(&self, words: impl Iterator<Item = (u64, u64)>) {
+        if let Some(s) = &self.inner {
+            let mut s = s.borrow_mut();
+            if s.level == CheckLevel::Full {
+                s.golden.extend(words);
+            }
+        }
+    }
+
+    /// Replays a committed store against the golden memory.
+    pub fn on_store(&self, _at: Cycle, addr: u64, value: u64) {
+        if let Some(s) = &self.inner {
+            let mut s = s.borrow_mut();
+            if s.level == CheckLevel::Full {
+                s.golden.insert(addr & !7, value);
+            }
+        }
+    }
+
+    /// Checks a committed load's delivered value against the golden
+    /// memory.
+    pub fn on_load(&self, at: Cycle, addr: u64, value: u64) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        if s.level != CheckLevel::Full {
+            return;
+        }
+        let expected = s.golden.get(&(addr & !7)).copied().unwrap_or(0);
+        if value != expected {
+            s.violate(
+                at,
+                "data.load_mismatch",
+                format!("load {addr:#x} returned {value:#x}, golden has {expected:#x}"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(c: u64) -> Cycle {
+        Cycle::new(c)
+    }
+
+    #[test]
+    fn disabled_checker_records_nothing() {
+        let c = Checker::disabled();
+        assert!(!c.is_enabled());
+        c.on_grant(at(0), 0);
+        c.on_grant(at(0), 1);
+        c.on_load(at(0), 8, 42);
+        assert_eq!(c.violation_count(), 0);
+        assert!(c.first_violation().is_none());
+        assert!(!c.fire_once(Mutation::LeakOzqSlot));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        let c2 = c.clone();
+        c2.report(at(7), "test.rule", || "shared".into());
+        assert_eq!(c.violations().len(), 1);
+        assert!(c.first_violation().unwrap().contains("test.rule"));
+    }
+
+    #[test]
+    fn double_grant_detected() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_bus_slot(at(4));
+        c.on_grant(at(4), 0);
+        assert_eq!(c.violation_count(), 0);
+        c.on_grant(at(4), 2);
+        assert_eq!(c.violations()[0].rule, "bus.double_grant");
+        // A fresh slot resets the count.
+        c.on_bus_slot(at(8));
+        c.on_grant(at(8), 1);
+        assert_eq!(c.violation_count(), 1);
+    }
+
+    #[test]
+    fn starvation_bound_fires() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        for i in 0..=BUS_WAIT_BOUND {
+            c.on_agent_waiting(at(i), 3);
+        }
+        assert_eq!(c.violations()[0].rule, "bus.starvation");
+        // A grant resets the counter.
+        let c = Checker::with_level(CheckLevel::Basic);
+        for i in 0..BUS_WAIT_BOUND {
+            c.on_agent_waiting(at(i), 3);
+        }
+        c.on_grant(at(9_999), 3);
+        c.on_agent_waiting(at(10_000), 3);
+        assert_eq!(c.violation_count(), 0);
+    }
+
+    #[test]
+    fn request_response_matching() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_addr_request(at(10), CoreId(0), 0x40);
+        c.on_addr_response(at(200), CoreId(0), 0x40);
+        assert_eq!(c.violation_count(), 0);
+        c.on_addr_response(at(201), CoreId(0), 0x40);
+        assert_eq!(c.violations()[0].rule, "bus.orphan_response");
+    }
+
+    #[test]
+    fn lost_response_ages_out() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_addr_request(at(10), CoreId(1), 0x80);
+        c.audit_outstanding(at(10 + REQUEST_AGE_BOUND));
+        assert_eq!(c.violation_count(), 0);
+        c.audit_outstanding(at(11 + REQUEST_AGE_BOUND));
+        assert_eq!(c.violations()[0].rule, "bus.lost_response");
+        // Consumed: a second audit does not re-report.
+        c.audit_outstanding(at(12 + REQUEST_AGE_BOUND));
+        assert_eq!(c.violation_count(), 1);
+    }
+
+    #[test]
+    fn msi_census_rules() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.coherence_states(at(5), 0x100, 1, 0);
+        c.coherence_states(at(5), 0x100, 0, 3);
+        assert_eq!(c.violation_count(), 0);
+        c.coherence_states(at(6), 0x100, 2, 0);
+        c.coherence_states(at(7), 0x100, 1, 1);
+        let v = c.violations();
+        assert_eq!(v[0].rule, "msi.multiple_modified");
+        assert_eq!(v[1].rule, "msi.shared_with_modified");
+    }
+
+    #[test]
+    fn hit_after_invalidate_requires_no_refill() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_invalidate(at(10), CoreId(2), 0x40);
+        c.on_line_filled(CoreId(2), 0x40);
+        c.on_l2_hit(at(30), CoreId(2), 0x40);
+        assert_eq!(c.violation_count(), 0);
+        c.on_invalidate(at(40), CoreId(2), 0x40);
+        c.on_l2_hit(at(41), CoreId(2), 0x40);
+        assert_eq!(c.violations()[0].rule, "msi.hit_after_invalidate");
+    }
+
+    #[test]
+    fn ozq_conservation() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_ozq_insert(CoreId(0));
+        c.on_ozq_insert(CoreId(0));
+        c.on_ozq_removed(CoreId(0), 1);
+        c.ozq_audit(at(9), CoreId(0), 1, 16);
+        assert_eq!(c.violation_count(), 0);
+        c.ozq_audit(at(10), CoreId(0), 0, 16);
+        assert_eq!(c.violations()[0].rule, "ozq.conservation");
+        c.ozq_audit(at(11), CoreId(0), 17, 16);
+        assert!(c.violations().iter().any(|v| v.rule == "ozq.overflow"));
+    }
+
+    #[test]
+    fn sync_array_rules() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.sync_array_audit(at(3), 10, 6, 4);
+        c.sync_array_queue(at(3), QueueId(0), 4, 32);
+        c.sync_array_wake(at(3), QueueId(0), 0, 4);
+        c.sync_array_wake(at(3), QueueId(0), 2, 0);
+        assert_eq!(c.violation_count(), 0);
+        c.sync_array_audit(at(4), 10, 6, 3);
+        c.sync_array_queue(at(4), QueueId(1), 33, 32);
+        c.sync_array_wake(at(4), QueueId(1), 1, 4);
+        let rules: Vec<&str> = c.violations().iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["sa.conservation", "sa.queue_overflow", "sa.dropped_wake"]
+        );
+    }
+
+    #[test]
+    fn stream_cache_rules() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.stream_cache_entry(at(2), QueueId(0), 5, 42, 42, 8);
+        assert_eq!(c.violation_count(), 0);
+        c.stream_cache_entry(at(3), QueueId(0), 9, 42, 42, 8);
+        c.stream_cache_entry(at(4), QueueId(0), 5, 42, 43, 8);
+        let rules: Vec<&str> = c.violations().iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["sc.not_forwarded", "sc.stale_value"]);
+    }
+
+    #[test]
+    fn differential_data_check() {
+        let c = Checker::with_level(CheckLevel::Full);
+        assert!(c.is_full());
+        c.seed_golden([(0x100, 7)].into_iter());
+        c.on_load(at(1), 0x100, 7);
+        c.on_load(at(2), 0x104, 7); // same word (addr & !7)
+        c.on_store(at(3), 0x200, 9);
+        c.on_load(at(4), 0x200, 9);
+        c.on_load(at(5), 0x300, 0); // untouched words read as zero
+        assert_eq!(c.violation_count(), 0);
+        c.on_load(at(6), 0x200, 8);
+        assert_eq!(c.violations()[0].rule, "data.load_mismatch");
+    }
+
+    #[test]
+    fn basic_level_skips_differential() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.on_store(at(1), 0x8, 5);
+        c.on_load(at(2), 0x8, 999);
+        assert_eq!(c.violation_count(), 0);
+    }
+
+    #[test]
+    fn mutations_fire_once() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        assert!(!c.fire_once(Mutation::DropBusResponse));
+        c.set_mutation(Mutation::DropBusResponse);
+        assert!(!c.fire_once(Mutation::LeakOzqSlot));
+        assert!(c.fire_once(Mutation::DropBusResponse));
+        assert!(!c.fire_once(Mutation::DropBusResponse));
+        assert!(c.mutation_active(Mutation::DropBusResponse));
+        assert!(!c.mutation_active(Mutation::StarveBusAgent));
+    }
+
+    #[test]
+    fn violation_cap_counts_overflow() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        for i in 0..(MAX_VIOLATIONS as u64 + 5) {
+            c.report(at(i), "test.flood", String::new);
+        }
+        assert_eq!(c.violations().len(), MAX_VIOLATIONS);
+        assert_eq!(c.violation_count(), MAX_VIOLATIONS as u64 + 5);
+        assert!(c.first_violation().unwrap().contains("more"));
+    }
+
+    #[test]
+    fn level_from_env_values() {
+        // Only exercises the parser, not the process environment.
+        assert_eq!(CheckLevel::default(), CheckLevel::Off);
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use hfs_check::{Checker, Mutation};
 use hfs_cpu::{StreamCompletion, StreamPort, StreamSubmit, StreamToken};
 use hfs_isa::{Addr, CoreId, QueueId};
 use hfs_mem::{Completion, CtlPayload, MemEvent, MemOp, MemSystem, MemToken, Submit};
@@ -143,6 +144,17 @@ impl Backend {
             Backend::Software(b) => b.tracer = tracer,
             Backend::SyncOpti(b) => b.tracer = tracer,
             Backend::HeavyWt(b) => b.tracer = tracer,
+        }
+    }
+
+    /// Hands the backend a shared machine-checker handle. The software
+    /// backend's traffic is ordinary loads/stores, fully covered by the
+    /// memory system's own hooks, so it carries no handle.
+    pub(crate) fn set_checker(&mut self, checker: Checker) {
+        match self {
+            Backend::Software(_) => {}
+            Backend::SyncOpti(b) => b.checker = checker,
+            Backend::HeavyWt(b) => b.checker = checker,
         }
     }
 }
@@ -374,6 +386,7 @@ pub(crate) struct SyncOptiBackend {
     sc: Option<StreamCache>,
     check: QueueCheck,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl SyncOptiBackend {
@@ -420,6 +433,7 @@ impl SyncOptiBackend {
             next_token: 0,
             check: QueueCheck::new(),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         }
     }
 
@@ -634,7 +648,10 @@ impl SyncOptiBackend {
                         // early coherence path (stale entries would pin
                         // the cache full forever).
                         for slot in first.max(s.cons_next_completed)..s.forwarded {
-                            let v = mem.func_mem().read(s.info.slot_addr(slot));
+                            let mut v = mem.func_mem().read(s.info.slot_addr(slot));
+                            if self.checker.fire_once(Mutation::CorruptForwardValue) {
+                                v ^= 1;
+                            }
                             let _ = sc.fill(q, slot, v);
                             self.tracer.emit(|| TraceEvent::ScFill {
                                 queue: q,
@@ -722,6 +739,28 @@ impl SyncOptiBackend {
                 .unwrap_or(StallComponent::PostL2);
             self.locations.insert(w.stream_token, comp);
         }
+
+        // 7. Stream-cache inclusion audit: every still-takeable entry
+        // must cover a forwarded slot and match memory. Entries below the
+        // completion low-water mark are unreachable leftovers (their
+        // consume completed through coherence before the fill landed) and
+        // their backing word may legally be rewritten on wrap-around, so
+        // they are excluded.
+        if self.checker.is_enabled() {
+            if let Some(sc) = &self.sc {
+                let mut entries: Vec<_> = sc.entries().collect();
+                entries.sort_unstable_by_key(|&(q, slot, _)| (q.0, slot));
+                for (q, slot, v) in entries {
+                    let s = &self.state[&q];
+                    if slot < s.cons_next_completed {
+                        continue;
+                    }
+                    let expected = mem.func_mem().read(s.info.slot_addr(slot));
+                    self.checker
+                        .stream_cache_entry(now, q, slot, v, expected, s.forwarded);
+                }
+            }
+        }
     }
 
     /// See [`Backend::next_event`]. Releasable gated operations and
@@ -802,6 +841,7 @@ pub(crate) struct HeavyWtBackend {
     /// loop allocates nothing in steady state.
     wake_scratch: Vec<QueueId>,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl HeavyWtBackend {
@@ -831,12 +871,16 @@ impl HeavyWtBackend {
             sa_latency: cfg.sa_latency,
             wake_scratch: Vec::new(),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         })
     }
 
     fn process(&mut self, now: Cycle) {
         while let Some(q) = self.acks_in_flight.pop_ready(now) {
             *self.acked.entry(q).or_insert(0) += 1;
+        }
+        if self.sa.in_network() > 0 && self.checker.fire_once(Mutation::SyncArrayLoseItem) {
+            let _ = self.sa.lose_one_in_network();
         }
         self.sa.begin_cycle();
         // Wake consumes that were waiting for data, in FIFO order per
@@ -852,30 +896,63 @@ impl HeavyWtBackend {
                 .map(|(q, _)| *q),
         );
         queues.sort_unstable();
-        for &q in &queues {
-            while let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) {
-                let Some(v) = self.sa.try_consume(q) else {
-                    break;
-                };
-                self.waiting.get_mut(&q).expect("queue known").pop_front();
-                let slot = self.check.consumed(q);
-                self.check.on_consume(q, slot, v);
-                self.acks_in_flight.push(now + self.transit, q);
-                let (consumer, at) = (self.consumer, now + self.sa_latency);
-                self.tracer.emit(|| TraceEvent::Consume {
-                    core: consumer,
-                    queue: q,
-                    seq: slot,
-                    at: at.as_u64(),
-                });
-                self.completions.push(StreamCompletion {
-                    token: tok,
-                    value: Some(v),
-                    at: now + self.sa_latency,
-                });
+        let drop_wakes = !queues.is_empty()
+            && queues.iter().any(|&q| self.sa.occupancy(q) > 0)
+            && self.checker.fire_once(Mutation::DropConsumerWake);
+        if !drop_wakes {
+            for &q in &queues {
+                while let Some(&tok) = self.waiting.get(&q).and_then(VecDeque::front) {
+                    let Some(v) = self.sa.try_consume(q) else {
+                        break;
+                    };
+                    self.waiting.get_mut(&q).expect("queue known").pop_front();
+                    let slot = self.check.consumed(q);
+                    self.check.on_consume(q, slot, v);
+                    self.acks_in_flight.push(now + self.transit, q);
+                    let (consumer, at) = (self.consumer, now + self.sa_latency);
+                    self.tracer.emit(|| TraceEvent::Consume {
+                        core: consumer,
+                        queue: q,
+                        seq: slot,
+                        at: at.as_u64(),
+                    });
+                    self.completions.push(StreamCompletion {
+                        token: tok,
+                        value: Some(v),
+                        at: now + self.sa_latency,
+                    });
+                }
             }
         }
         self.wake_scratch = queues;
+        if self.checker.is_enabled() {
+            self.checker.sync_array_audit(
+                now,
+                self.sa.injected(),
+                self.sa.delivered(),
+                self.sa.in_network() as u64,
+            );
+            let depth = self.sa.config().depth as usize;
+            let mut qs: Vec<QueueId> = self.injected.keys().copied().collect();
+            qs.sort_unstable();
+            for q in qs {
+                self.checker
+                    .sync_array_queue(now, q, self.sa.occupancy(q), depth);
+            }
+            // Wake liveness: a consumer still parked after the wake pass
+            // while its ring has data and ports remain means the pass
+            // skipped it.
+            for &q in &self.wake_scratch {
+                if self.waiting.get(&q).is_some_and(|w| !w.is_empty()) {
+                    self.checker.sync_array_wake(
+                        now,
+                        q,
+                        self.sa.occupancy(q),
+                        u64::from(self.sa.budget_left()),
+                    );
+                }
+            }
+        }
     }
 
     fn try_produce(&mut self, core: CoreId, q: QueueId, value: u64, now: Cycle) -> StreamSubmit {

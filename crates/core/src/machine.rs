@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use hfs_check::{CheckLevel, Checker};
 use hfs_cpu::{BlockedAttempt, Core, CoreStats, NullStreamPort, StreamPort};
 use hfs_isa::{CoreId, Sequencer};
 use hfs_mem::{Completion, MemEvent, MemStats, MemSystem};
@@ -40,7 +41,8 @@ pub enum SimError {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
-    /// Queue FIFO/conservation verification failed after the run.
+    /// A correctness check failed: queue FIFO/conservation semantics or,
+    /// with the machine checker enabled, a cycle-level invariant.
     Verification(String),
 }
 
@@ -54,7 +56,7 @@ impl fmt::Display for SimError {
             SimError::Timeout { max_cycles } => {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
-            SimError::Verification(msg) => write!(f, "queue verification failed: {msg}"),
+            SimError::Verification(msg) => write!(f, "verification failed: {msg}"),
         }
     }
 }
@@ -85,6 +87,10 @@ pub struct RunResult {
     /// Unified metrics report, present when the run was traced (see
     /// [`Machine::set_tracer`]). Boxed to keep untraced results small.
     pub metrics: Option<Box<MetricsReport>>,
+    /// Whether the cycle-level machine checker was enabled for this run
+    /// (`HFS_CHECK` or [`Machine::set_check_level`]); a `true` here means
+    /// every cycle passed the invariant audits.
+    pub checked: bool,
 }
 
 impl RunResult {
@@ -135,6 +141,7 @@ pub struct Machine {
     backends: Vec<Backend>,
     now: Cycle,
     tracer: Tracer,
+    checker: Checker,
     /// Idle-cycle fast-forwarding (on unless `HFS_NO_FASTFWD` is set).
     /// Results are bit-identical either way; only wall-clock changes.
     fast_forward: bool,
@@ -231,7 +238,7 @@ impl Machine {
             crate::lower::QUEUE_BASE,
             crate::lower::QUEUE_BASE + 64 * crate::lower::QUEUE_SPAN,
         );
-        Ok(Machine {
+        let mut m = Machine {
             mem,
             cores,
             seqs,
@@ -239,10 +246,13 @@ impl Machine {
             now: Cycle::ZERO,
             cfg,
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
             fast_forward: fastfwd_enabled(),
             events_scratch: Vec::new(),
             drop_scratch: Vec::new(),
-        })
+        };
+        m.set_checker(Checker::from_env());
+        Ok(m)
     }
 
     /// Builds a single-core machine running the fused version of `pair`
@@ -263,7 +273,7 @@ impl Machine {
             cfg.seed,
         )?];
         let cores = vec![Core::new(CoreId(0), cfg.core)?];
-        Ok(Machine {
+        let mut m = Machine {
             mem: MemSystem::new(cfg.mem.clone())?,
             cores,
             seqs,
@@ -271,10 +281,13 @@ impl Machine {
             now: Cycle::ZERO,
             cfg,
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
             fast_forward: fastfwd_enabled(),
             events_scratch: Vec::new(),
             drop_scratch: Vec::new(),
-        })
+        };
+        m.set_checker(Checker::from_env());
+        Ok(m)
     }
 
     /// Enables or disables idle-cycle fast-forwarding (defaults to the
@@ -309,6 +322,33 @@ impl Machine {
     /// default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a machine checker, distributing cloned handles to the
+    /// memory system and every streaming backend. The constructors call
+    /// this with [`Checker::from_env`], so setting `HFS_CHECK=1` checks
+    /// every run; call explicitly (before [`Machine::run`]) to override.
+    /// An enabled checker also pins simulation to its per-cycle bound so
+    /// every cycle is audited (fast-forward windows are never dead to the
+    /// checker's aging rules).
+    pub fn set_checker(&mut self, checker: Checker) {
+        self.mem.set_checker(checker.clone());
+        for b in &mut self.backends {
+            b.set_checker(checker.clone());
+        }
+        self.checker = checker;
+    }
+
+    /// Convenience wrapper over [`Machine::set_checker`]: attaches a
+    /// fresh checker at `level` ([`CheckLevel::Off`] detaches).
+    pub fn set_check_level(&mut self, level: CheckLevel) {
+        self.set_checker(Checker::with_level(level));
+    }
+
+    /// The machine checker attached with [`Machine::set_checker`]
+    /// (configured from `HFS_CHECK` at construction).
+    pub fn checker(&self) -> &Checker {
+        &self.checker
     }
 
     /// Runs to completion.
@@ -373,6 +413,20 @@ impl Machine {
                     }
                 }
             }
+            // Fail loudly, at the offending cycle: a machine-check
+            // violation or a queue FIFO error terminates the run
+            // immediately instead of surfacing as a late timeout or a
+            // silently wrong figure.
+            if self.checker.is_enabled() {
+                if let Some(msg) = self.checker.first_violation() {
+                    return Err(SimError::Verification(msg));
+                }
+            }
+            for b in &self.backends {
+                if let Some(e) = b.check().errors().first() {
+                    return Err(SimError::Verification(format!("queue-check: {e}")));
+                }
+            }
             if all_done && self.mem.is_idle() && self.backends.iter().all(Backend::quiescent) {
                 break;
             }
@@ -402,6 +456,9 @@ impl Machine {
             }
             self.now = self.advance(now, max_cycles, interval);
         }
+        if let Some(msg) = self.checker.first_violation() {
+            return Err(SimError::Verification(msg));
+        }
         for b in &self.backends {
             b.check().finish().map_err(SimError::Verification)?;
         }
@@ -426,7 +483,11 @@ impl Machine {
     /// have, including per-cycle trace events when tracing.
     fn advance(&mut self, now: Cycle, max_cycles: u64, interval: Option<u64>) -> Cycle {
         let next = now.next();
-        if !self.fast_forward {
+        // An enabled checker forces the per-cycle bound: its audits and
+        // aging rules (bus starvation, request age, per-cycle occupancy
+        // checks) must observe every cycle, so fast-forward windows are
+        // disabled rather than reasoned about.
+        if !self.fast_forward || self.checker.is_enabled() {
             return next;
         }
         // A core may have committed its last instruction during this very
@@ -572,6 +633,7 @@ impl Machine {
             mem: self.mem.stats(),
             stream_cache,
             metrics,
+            checked: self.checker.is_enabled(),
         }
     }
 

@@ -108,6 +108,12 @@ impl StreamCache {
     pub fn dropped_fills(&self) -> u64 {
         self.dropped_fills
     }
+
+    /// Iterates over resident `((queue, slot), value)` entries in
+    /// arbitrary order — used by the machine checker's inclusion audit.
+    pub fn entries(&self) -> impl Iterator<Item = (QueueId, u64, u64)> + '_ {
+        self.entries.iter().map(|(&(q, s), &v)| (q, s, v))
+    }
 }
 
 impl Default for StreamCache {

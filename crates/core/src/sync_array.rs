@@ -187,6 +187,24 @@ impl SyncArray {
     pub fn inject_stalls(&self) -> u64 {
         self.inject_stalls
     }
+
+    /// Array ports still unused this cycle.
+    pub fn budget_left(&self) -> u32 {
+        self.budget
+    }
+
+    /// Test aid: silently discards one in-flight network item, simulating
+    /// a lost-item hardware fault. Returns whether anything was dropped.
+    /// The injected/delivered counters are *not* adjusted, so the machine
+    /// checker's conservation audit must flag the discrepancy.
+    pub fn lose_one_in_network(&mut self) -> bool {
+        for stage in &mut self.stages {
+            if stage.pop_front().is_some() {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

@@ -348,6 +348,7 @@ impl Engine {
         let outcome = match execute_once_with(job, &tracer) {
             Ok(r) => JobOutcome::Ok(r),
             Err(SimError::Timeout { max_cycles }) => JobOutcome::Timeout { max_cycles },
+            Err(SimError::Verification(msg)) => JobOutcome::CheckFailed(msg),
             Err(e) => JobOutcome::SimError(e.to_string()),
         };
         let json = chrome_trace_json(&tracer.take_events());

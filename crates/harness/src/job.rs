@@ -3,7 +3,7 @@
 use std::fmt;
 
 use hfs_core::kernel::KernelPair;
-use hfs_core::{Machine, MachineConfig, RunResult, SimError};
+use hfs_core::{Checker, Machine, MachineConfig, RunResult, SimError};
 use hfs_trace::Tracer;
 
 /// Default per-job simulated-cycle budget; hitting it is a harness or
@@ -144,6 +144,11 @@ pub enum JobOutcome {
     Ok(RunResult),
     /// The simulator reported an error (after exhausting retries).
     SimError(String),
+    /// The machine checker (`HFS_CHECK=1`) found an invariant violation
+    /// or a queue-accounting error. Never retried: the simulator is
+    /// deterministic, so a checked failure reproduces — it is a model
+    /// bug to fix, not a transient to absorb.
+    CheckFailed(String),
     /// The run exceeded its cycle budget.
     Timeout {
         /// The budget that was exceeded.
@@ -165,11 +170,13 @@ impl JobOutcome {
         matches!(self, JobOutcome::Ok(_))
     }
 
-    /// Short status tag: `"ok"`, `"sim_error"`, or `"timeout"`.
+    /// Short status tag: `"ok"`, `"sim_error"`, `"check_failed"`, or
+    /// `"timeout"`.
     pub fn status(&self) -> &'static str {
         match self {
             JobOutcome::Ok(_) => "ok",
             JobOutcome::SimError(_) => "sim_error",
+            JobOutcome::CheckFailed(_) => "check_failed",
             JobOutcome::Timeout { .. } => "timeout",
         }
     }
@@ -180,6 +187,7 @@ impl fmt::Display for JobOutcome {
         match self {
             JobOutcome::Ok(r) => write!(f, "ok ({} cycles)", r.cycles),
             JobOutcome::SimError(e) => write!(f, "sim error: {e}"),
+            JobOutcome::CheckFailed(e) => write!(f, "machine check failed: {e}"),
             JobOutcome::Timeout { max_cycles } => {
                 write!(f, "timeout: exceeded {max_cycles} cycles")
             }
@@ -209,6 +217,23 @@ pub fn execute_once(job: &Job) -> Result<RunResult, SimError> {
 ///
 /// Any [`SimError`] from machine construction or the run itself.
 pub fn execute_once_with(job: &Job, tracer: &Tracer) -> Result<RunResult, SimError> {
+    execute_once_instrumented(job, tracer, &Checker::disabled())
+}
+
+/// Runs `job` once with both a tracer and a machine-check handle. A
+/// disabled `checker` leaves the machine's own (env-derived) checker in
+/// place, so `HFS_CHECK=1` keeps working through every harness entry
+/// point; an enabled one overrides it — the hook the fault-injection
+/// tests use to arm [`hfs_core::Mutation`]s through the job path.
+///
+/// # Errors
+///
+/// Any [`SimError`] from machine construction or the run itself.
+pub fn execute_once_instrumented(
+    job: &Job,
+    tracer: &Tracer,
+    checker: &Checker,
+) -> Result<RunResult, SimError> {
     let mut machine = match job.mode {
         Mode::Pipeline => Machine::new_pipeline(&job.cfg, &job.pair)?,
         Mode::Single => Machine::new_single(&job.cfg, &job.pair)?,
@@ -218,22 +243,37 @@ pub fn execute_once_with(job: &Job, tracer: &Tracer) -> Result<RunResult, SimErr
         }
     };
     machine.set_tracer(tracer.clone());
+    if checker.is_enabled() {
+        machine.set_checker(checker.clone());
+    }
     machine.run(job.max_cycles)
 }
 
 /// Runs `job` with its retry policy, classifying failures.
 ///
-/// Timeouts are never retried (the simulator is deterministic, so a
-/// budget overrun will recur); other errors are retried up to
-/// `max(job.retries, default_retries)` times to absorb transient harness
-/// issues.
+/// Timeouts and machine-check violations are never retried (the
+/// simulator is deterministic, so both will recur); other errors are
+/// retried up to `max(job.retries, default_retries)` times to absorb
+/// transient harness issues.
 pub fn execute(job: &Job, default_retries: u32) -> JobOutcome {
+    execute_checked(job, default_retries, &Checker::disabled())
+}
+
+/// [`execute`] with an explicit machine-check handle (see
+/// [`execute_once_instrumented`] for how a disabled handle behaves).
+pub fn execute_checked(job: &Job, default_retries: u32, checker: &Checker) -> JobOutcome {
+    let tracer = if job.metrics {
+        Tracer::metrics_only()
+    } else {
+        Tracer::disabled()
+    };
     let attempts = 1 + job.retries.max(default_retries);
     let mut last_err = String::new();
     for _ in 0..attempts {
-        match execute_once(job) {
+        match execute_once_instrumented(job, &tracer, checker) {
             Ok(r) => return JobOutcome::Ok(r),
             Err(SimError::Timeout { max_cycles }) => return JobOutcome::Timeout { max_cycles },
+            Err(SimError::Verification(msg)) => return JobOutcome::CheckFailed(msg),
             Err(e) => last_err = e.to_string(),
         }
     }
@@ -314,6 +354,31 @@ mod tests {
             JobOutcome::Timeout { max_cycles } => assert_eq!(max_cycles, 100),
             other => panic!("expected timeout, got {other}"),
         }
+    }
+
+    #[test]
+    fn check_violations_fail_loudly_and_skip_retries() {
+        use hfs_core::{CheckLevel, Mutation};
+        // A machine-check violation must surface as its own outcome —
+        // not be misfiled as a generic sim error, not run to timeout,
+        // and not be retried (it is deterministic).
+        let checker = hfs_core::Checker::with_level(CheckLevel::Full);
+        checker.set_mutation(Mutation::DoubleGrantBus);
+        let job = Job {
+            cfg: MachineConfig::itanium2_cmp(DesignPoint::existing()),
+            ..demo_job(200)
+        };
+        match execute_checked(&job, 3, &checker) {
+            JobOutcome::CheckFailed(e) => {
+                assert!(e.contains("bus.double_grant"), "{e}");
+            }
+            other => panic!("expected check failure, got {other}"),
+        }
+        // The same job under a clean checker succeeds and reports it.
+        let clean = hfs_core::Checker::with_level(CheckLevel::Full);
+        let out = execute_checked(&job, 0, &clean);
+        assert_eq!(out.status(), "ok");
+        assert!(out.ok().expect("clean run ok").checked);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod ser;
 pub use cache::Cache;
 pub use engine::{Batch, Engine, EngineStats, Record};
 pub use job::{
-    execute, execute_once, execute_once_with, Job, JobOutcome, Mode, CACHE_SCHEMA,
-    DEFAULT_MAX_CYCLES,
+    execute, execute_checked, execute_once, execute_once_instrumented, execute_once_with, Job,
+    JobOutcome, Mode, CACHE_SCHEMA, DEFAULT_MAX_CYCLES,
 };
 pub use json::{parse, Json, ParseError};
 pub use ser::{

@@ -273,6 +273,10 @@ pub fn run_result_from_json(v: &Json) -> Result<RunResult, DecodeError> {
             .map(metrics_from_json)
             .transpose()?
             .map(Box::new),
+        // Not serialized: a cache hit reconstructs the numbers, not the
+        // fact that some past run was checked. CI re-runs checked
+        // configurations with the cache disabled.
+        checked: false,
     })
 }
 
@@ -285,6 +289,10 @@ pub fn outcome_to_json(o: &JobOutcome) -> Json {
         ]),
         JobOutcome::SimError(e) => Json::obj(vec![
             ("status", Json::Str("sim_error".into())),
+            ("error", Json::Str(e.clone())),
+        ]),
+        JobOutcome::CheckFailed(e) => Json::obj(vec![
+            ("status", Json::Str("check_failed".into())),
             ("error", Json::Str(e.clone())),
         ]),
         JobOutcome::Timeout { max_cycles } => Json::obj(vec![
@@ -306,6 +314,12 @@ pub fn outcome_from_json(v: &Json) -> Result<JobOutcome, DecodeError> {
                 .ok_or_else(|| DecodeError("missing `result`".into()))?,
         )?)),
         Some("sim_error") => Ok(JobOutcome::SimError(
+            v.get("error")
+                .and_then(Json::as_str)
+                .ok_or_else(|| DecodeError("missing `error`".into()))?
+                .to_string(),
+        )),
+        Some("check_failed") => Ok(JobOutcome::CheckFailed(
             v.get("error")
                 .and_then(Json::as_str)
                 .ok_or_else(|| DecodeError("missing `error`".into()))?
@@ -357,6 +371,7 @@ mod tests {
             },
             stream_cache: Some((11, 2, 1)),
             metrics: None,
+            checked: false,
         }
     }
 
@@ -428,6 +443,7 @@ mod tests {
         for o in [
             JobOutcome::Ok(sample_result()),
             JobOutcome::SimError("deadlock at cycle 5: stuck".into()),
+            JobOutcome::CheckFailed("machine-check: [cycle 9] bus.double_grant: x".into()),
             JobOutcome::Timeout { max_cycles: 42 },
         ] {
             let text = outcome_to_json(&o).to_string();
@@ -444,6 +460,7 @@ mod tests {
             r#"{"status":"nope"}"#,
             r#"{"status":"ok"}"#,
             r#"{"status":"timeout"}"#,
+            r#"{"status":"check_failed"}"#,
         ] {
             assert!(outcome_from_json(&parse(bad).unwrap()).is_err(), "{bad}");
         }

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use hfs_check::{Checker, Mutation};
 use hfs_isa::CoreId;
 use hfs_sim::stats::Counter;
 use hfs_sim::{Cycle, TimedQueue};
@@ -102,6 +103,7 @@ pub(crate) struct Bus {
     data_busy_cycles: Counter,
     ctl_delivered: Counter,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl Bus {
@@ -121,11 +123,16 @@ impl Bus {
             data_busy_cycles: Counter::new("bus.data_busy_cycles"),
             ctl_delivered: Counter::new("bus.ctl_delivered"),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         }
     }
 
     pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    pub(crate) fn set_checker(&mut self, checker: Checker) {
+        self.checker = checker;
     }
 
     pub(crate) fn stats(&self) -> BusStats {
@@ -205,6 +212,7 @@ impl Bus {
         }
 
         if self.on_bus_cycle(now) {
+            self.checker.on_bus_slot(now);
             // Address channel: grant one phase round-robin. With
             // favor_app_traffic, a first pass grants only agents whose
             // head request targets ordinary memory; streaming (queue)
@@ -230,11 +238,15 @@ impl Bus {
             } else {
                 &[true]
             };
+            // Fault injection: a starved agent is never eligible, so the
+            // checker's bounded-wait rule must eventually flag it.
+            let starve_armed = self.checker.mutation_active(Mutation::StarveBusAgent);
+            let starved = move |idx: usize| idx == 1 && starve_armed;
             'grant: for &allow_streaming in passes {
                 for i in 0..n {
                     let idx = (self.addr_rr + i) % n;
                     let eligible = match self.addr_queues[idx].front() {
-                        Some(t) => allow_streaming || !is_streaming(t),
+                        Some(t) => (allow_streaming || !is_streaming(t)) && !starved(idx),
                         None => false,
                     };
                     if eligible {
@@ -245,14 +257,45 @@ impl Bus {
                             at: now.as_u64(),
                             streaming: is_streaming(&txn),
                         });
+                        self.checker.on_grant(now, idx as u8);
                         let deliver = now + self.cfg.pipeline_stages * self.cfg.clock_divider;
                         self.addr_inflight.push(deliver, txn);
                         self.addr_rr = (idx + 1) % n;
+                        // Fault injection: grant a second phase in the
+                        // same arbitration slot.
+                        if self.checker.mutation_active(Mutation::DoubleGrantBus) {
+                            let second =
+                                (0..n).map(|j| (self.addr_rr + j) % n).find(|&j| {
+                                    match self.addr_queues[j].front() {
+                                        Some(t) => allow_streaming || !is_streaming(t),
+                                        None => false,
+                                    }
+                                });
+                            if let Some(idx2) = second {
+                                if self.checker.fire_once(Mutation::DoubleGrantBus) {
+                                    let txn2 =
+                                        self.addr_queues[idx2].pop_front().expect("front checked");
+                                    self.addr_phases.inc();
+                                    self.checker.on_grant(now, idx2 as u8);
+                                    self.addr_inflight.push(deliver, txn2);
+                                    self.addr_rr = (idx2 + 1) % n;
+                                }
+                            }
+                        }
                         break 'grant;
                     }
                 }
                 if !self.cfg.favor_app_traffic {
                     break;
+                }
+            }
+            // Bounded-wait audit: any agent that ends the slot with a
+            // queued address request went ungranted this slot.
+            if self.checker.is_enabled() {
+                for idx in 0..n {
+                    if !self.addr_queues[idx].is_empty() {
+                        self.checker.on_agent_waiting(now, idx as u8);
+                    }
                 }
             }
             // Data channel: start the next transfer if idle.
@@ -261,6 +304,15 @@ impl Bus {
                 for i in 0..n {
                     let idx = (self.data_rr + i) % n;
                     if let Some((bytes, txn)) = self.data_queues[idx].pop_front() {
+                        // Fault injection: silently drop one fill
+                        // response; the requester's split transaction is
+                        // never answered.
+                        if matches!(txn, DataTxn::FillL2 { .. })
+                            && self.checker.fire_once(Mutation::DropBusResponse)
+                        {
+                            self.data_rr = (idx + 1) % n;
+                            break;
+                        }
                         let busy = self.cfg.data_cycles(bytes) * self.cfg.clock_divider;
                         self.data_busy_cycles.add(busy);
                         self.tracer.emit(|| TraceEvent::BusData {

@@ -49,6 +49,12 @@ impl FuncMem {
     pub fn footprint_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Iterates over every `(word address, value)` pair ever written, in
+    /// arbitrary order — used to seed the machine checker's golden copy.
+    pub fn iter_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! operations (SYNCOPTI produce/consume) instead wait *dormant* in their
 //! slot, consuming no ports, until the occupancy logic releases them.
 
+use hfs_check::{Checker, Mutation};
 use hfs_isa::{Addr, CoreId};
 use hfs_sim::stats::Counter;
 use hfs_sim::{ConfigError, Cycle, FnvMap};
@@ -162,6 +163,7 @@ pub(crate) struct L2Ctl {
     pipe_accesses: Counter,
     port_conflicts: Counter,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl L2Ctl {
@@ -189,11 +191,16 @@ impl L2Ctl {
             pipe_accesses: Counter::new("mem.l2_accesses"),
             port_conflicts: Counter::new("mem.l2_port_conflicts"),
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         })
     }
 
     pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    pub(crate) fn set_checker(&mut self, checker: Checker) {
+        self.checker = checker;
     }
 
     pub(crate) fn line_of(&self, addr: Addr) -> u64 {
@@ -214,6 +221,11 @@ impl L2Ctl {
     /// Entries currently in flight (for fence draining).
     pub(crate) fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Total OzQ slots (for the machine checker's occupancy audit).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity as usize
     }
 
     /// Outstanding store entries (release-fence draining: `st.rel`
@@ -243,6 +255,12 @@ impl L2Ctl {
             self.note_wake(now);
             EntryState::WaitPort { retry_at: now }
         };
+        self.checker.on_ozq_insert(self.core);
+        // Fault injection: account the insert but never occupy the slot —
+        // the conservation audit must flag the phantom entry.
+        if self.checker.fire_once(Mutation::LeakOzqSlot) {
+            return id;
+        }
         self.entries.push(OzqEntry {
             id,
             addr,
@@ -426,7 +444,9 @@ impl L2Ctl {
         self.reissue_scratch = reissue;
 
         // 4. Reclaim finished slots.
+        let before = self.entries.len();
         self.entries.retain(|e| e.state != EntryState::Done);
+        self.note_removed(before);
 
         // 5. Recompute the exact next wake time from the post-tick state.
         let mut wake = NEVER;
@@ -569,7 +589,9 @@ impl L2Ctl {
             }
         }
         self.wake_at = self.wake_at.min(wake);
+        let before = self.entries.len();
         self.entries.retain(|e| e.state != EntryState::Done);
+        self.note_removed(before);
         out
     }
 
@@ -599,7 +621,18 @@ impl L2Ctl {
     /// moved to the destination) and complete the forward entry.
     pub(crate) fn forward_complete(&mut self, id: u64, line: u64) {
         self.array.invalidate(line);
+        let before = self.entries.len();
         self.entries.retain(|e| e.id != id);
+        self.note_removed(before);
+    }
+
+    /// Reports entry reclamations to the checker's OzQ conservation
+    /// accounting.
+    fn note_removed(&mut self, before: usize) {
+        let n = before - self.entries.len();
+        if n > 0 {
+            self.checker.on_ozq_removed(self.core, n as u64);
+        }
     }
 
     /// Direct state lookup (no LRU effect), for the system's decisions.

@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 
+use hfs_check::{Checker, Mutation};
 use hfs_isa::{Addr, CoreId};
 use hfs_sim::stats::Counter;
 use hfs_sim::{ConfigError, Cycle, FnvMap, TimedQueue};
@@ -153,6 +154,7 @@ pub struct MemSystem {
     /// bus requests for the §4.2 application-traffic-priority arbiter.
     streaming_range: Option<(u64, u64)>,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl MemSystem {
@@ -195,6 +197,7 @@ impl MemSystem {
             forwards_done: 0,
             streaming_range: None,
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
             cfg,
         })
     }
@@ -206,6 +209,21 @@ impl MemSystem {
             l2.set_tracer(tracer.clone());
         }
         self.tracer = tracer;
+    }
+
+    /// Installs a machine checker, distributing handles to the bus and
+    /// every L2 and seeding the differential golden memory from the
+    /// functional memory's current contents — call after any
+    /// pre-initialization writes.
+    pub fn set_checker(&mut self, checker: Checker) {
+        if checker.is_full() {
+            checker.seed_golden(self.func.iter_words());
+        }
+        self.bus.set_checker(checker.clone());
+        for l2 in &mut self.l2s {
+            l2.set_checker(checker.clone());
+        }
+        self.checker = checker;
     }
 
     /// The active configuration.
@@ -237,8 +255,13 @@ impl MemSystem {
                 hit,
             });
             if hit {
+                let mut value = self.func.read(op.addr);
+                if self.checker.fire_once(Mutation::CorruptLoadValue) {
+                    value ^= 1;
+                }
+                self.checker.on_load(now, op.addr.as_u64(), value);
                 return Submit::L1Hit {
-                    value: self.func.read(op.addr),
+                    value,
                     at: now + self.cfg.l1_latency,
                 };
             }
@@ -514,6 +537,15 @@ impl MemSystem {
         for (line, core) in self.l3.in_dram() {
             self.l2s[core.index()].line_stage(line, LineStage::InDram);
         }
+
+        // 5. Machine-check audits (no-ops when checking is off).
+        if self.checker.is_enabled() {
+            for (c, l2) in self.l2s.iter().enumerate() {
+                self.checker
+                    .ozq_audit(now, CoreId(c as u8), l2.occupancy(), l2.capacity());
+            }
+            self.checker.audit_outstanding(now);
+        }
     }
 
     /// Conservative lower bound on the next cycle at which the hierarchy
@@ -546,13 +578,17 @@ impl MemSystem {
     fn handle_l2_outcome(&mut self, core: CoreId, o: L2Outcome, now: Cycle) {
         let c = core.index();
         match &o {
-            L2Outcome::LoadHit { .. } | L2Outcome::StorePerform { .. } => {
+            L2Outcome::LoadHit { addr, .. } | L2Outcome::StorePerform { addr, .. } => {
                 self.tracer.emit(|| TraceEvent::CacheAccess {
                     core,
                     at: now.as_u64(),
                     level: CacheLevel::L2,
                     hit: true,
                 });
+                if self.checker.is_enabled() {
+                    let line = self.l2s[c].line_of(*addr);
+                    self.checker.on_l2_hit(now, core, line);
+                }
             }
             L2Outcome::NeedLine { .. } => {
                 self.tracer.emit(|| TraceEvent::CacheAccess {
@@ -570,7 +606,11 @@ impl MemSystem {
                 addr,
                 background,
             } => {
-                let value = self.func.read(addr);
+                let mut value = self.func.read(addr);
+                if self.checker.fire_once(Mutation::CorruptLoadValue) {
+                    value ^= 1;
+                }
+                self.checker.on_load(now, addr.as_u64(), value);
                 let meta = self.meta[c]
                     .remove(id)
                     .unwrap_or(TokenMeta { gated: false });
@@ -598,7 +638,15 @@ impl MemSystem {
                 value,
                 background,
             } => {
-                self.func.write(addr, value);
+                // Fault injection: the timing model writes a wrong value
+                // while the architectural event (and the checker's
+                // golden) keep the original.
+                let mut stored = value;
+                if self.checker.fire_once(Mutation::CorruptStoreValue) {
+                    stored ^= 1;
+                }
+                self.func.write(addr, stored);
+                self.checker.on_store(now, addr.as_u64(), value);
                 self.meta[c].remove(id);
                 self.events
                     .push(MemEvent::StorePerformed { core, addr, value });
@@ -689,6 +737,7 @@ impl MemSystem {
                     return;
                 }
                 self.busy_lines.insert(line);
+                self.checker.on_addr_request(now, requester, line);
                 let mut supplied = false;
                 for c in 0..self.l2s.len() {
                     if c == requester.index() {
@@ -731,13 +780,22 @@ impl MemSystem {
                     return;
                 }
                 self.busy_lines.insert(line);
+                self.checker.on_addr_request(now, requester, line);
                 let mut supplied = false;
                 for c in 0..self.l2s.len() {
                     if c == requester.index() {
                         continue;
                     }
+                    // Fault injection: skip one snoop invalidation,
+                    // leaving a stale copy behind the new owner.
+                    if self.l2s[c].probe(line).is_some()
+                        && self.checker.fire_once(Mutation::SkipSnoopInvalidate)
+                    {
+                        continue;
+                    }
                     let (had, had_m) = self.l2s[c].snoop_inv(line);
                     if had {
+                        self.checker.on_invalidate(now, CoreId(c as u8), line);
                         let line_addr = Addr::new(line * self.cfg.l2.line_bytes);
                         self.l1s[c].invalidate_span(line_addr, self.cfg.l2.line_bytes);
                         self.events.push(MemEvent::LineEvicted {
@@ -786,8 +844,14 @@ impl MemSystem {
                         if c == r {
                             continue;
                         }
+                        if self.l2s[c].probe(line).is_some()
+                            && self.checker.fire_once(Mutation::SkipSnoopInvalidate)
+                        {
+                            continue;
+                        }
                         let (had, _) = self.l2s[c].snoop_inv(line);
                         if had {
+                            self.checker.on_invalidate(now, CoreId(c as u8), line);
                             let line_addr = Addr::new(line * self.cfg.l2.line_bytes);
                             self.l1s[c].invalidate_span(line_addr, self.cfg.l2.line_bytes);
                             self.events.push(MemEvent::LineEvicted {
@@ -798,6 +862,7 @@ impl MemSystem {
                         }
                     }
                     self.l2s[r].grant_upgrade(line, now);
+                    self.audit_line_states(line, now);
                     self.resolve_waiters(requester, line, now);
                 } else {
                     // Our copy vanished while the upgrade was in flight:
@@ -889,7 +954,30 @@ impl MemSystem {
             line_addr: Addr::new(line * self.cfg.l2.line_bytes),
             forwarded,
         });
+        self.checker.on_line_filled(dest, line);
+        if !forwarded {
+            // Forward pushes are unsolicited; everything else answers a
+            // registered split-transaction request.
+            self.checker.on_addr_response(now, dest, line);
+        }
+        self.audit_line_states(line, now);
         self.resolve_waiters(dest, line, now);
+    }
+
+    /// Cross-L2 MSI census for `line`, reported to the machine checker.
+    fn audit_line_states(&self, line: u64, now: Cycle) {
+        if !self.checker.is_enabled() {
+            return;
+        }
+        let (mut modified, mut shared) = (0u32, 0u32);
+        for l2 in &self.l2s {
+            match l2.probe(line) {
+                Some(LineState::Modified) => modified += 1,
+                Some(LineState::Shared) => shared += 1,
+                None => {}
+            }
+        }
+        self.checker.coherence_states(now, line, modified, shared);
     }
 
     /// Satisfies operations that were waiting on `line` at fill/upgrade
@@ -903,7 +991,12 @@ impl MemSystem {
         for w in waiters {
             match w.kind {
                 EntryKind::Store { value, .. } => {
-                    self.func.write(w.addr, value);
+                    let mut stored = value;
+                    if self.checker.fire_once(Mutation::CorruptStoreValue) {
+                        stored ^= 1;
+                    }
+                    self.func.write(w.addr, stored);
+                    self.checker.on_store(now, w.addr.as_u64(), value);
                     self.meta[c].remove(w.id);
                     self.events.push(MemEvent::StorePerformed {
                         core,
@@ -921,7 +1014,11 @@ impl MemSystem {
                     );
                 }
                 EntryKind::Load => {
-                    let value = self.func.read(w.addr);
+                    let mut value = self.func.read(w.addr);
+                    if self.checker.fire_once(Mutation::CorruptLoadValue) {
+                        value ^= 1;
+                    }
+                    self.checker.on_load(now, w.addr.as_u64(), value);
                     let meta = self.meta[c]
                         .remove(w.id)
                         .unwrap_or(TokenMeta { gated: false });
@@ -1303,5 +1400,144 @@ mod tests {
         let owners =
             u32::from(m.l2_has_line(CoreId(0), a)) + u32::from(m.l2_has_line(CoreId(1), a));
         assert_eq!(owners, 1);
+    }
+
+    // --- snoop-supply dirty-data regressions (machine-check audited) ---
+
+    fn checked_sys() -> (MemSystem, Checker) {
+        let mut m = sys();
+        let checker = Checker::with_level(hfs_check::CheckLevel::Full);
+        m.set_checker(checker.clone());
+        (m, checker)
+    }
+
+    fn assert_clean(checker: &Checker) {
+        assert_eq!(
+            checker.violation_count(),
+            0,
+            "machine-check violations: {:?}",
+            checker.violations()
+        );
+    }
+
+    /// `snoop_rd` downgrades a dirty owner to Shared when it supplies the
+    /// line cache-to-cache. The owner must then *re-upgrade* before its
+    /// next store — a model that left the stale Modified tag in place
+    /// would let two incoherent writers coexist. The attached checker's
+    /// MSI census audits every intermediate state, and the differential
+    /// data check replays each load against the golden memory.
+    #[test]
+    fn snoop_supply_downgrade_forces_reupgrade() {
+        let (mut m, checker) = checked_sys();
+        let a = Addr::new(0xA000);
+        let t0 = match m.submit(CoreId(0), MemOp::store(a, 1), Cycle::new(0)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, _) = run_until_complete(&mut m, CoreId(0), t0, 0, 600);
+        // Dirty snoop-supply: core 1's load downgrades core 0 to Shared.
+        let t1 = match m.submit(CoreId(1), MemOp::load(a), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, v) = run_until_complete(&mut m, CoreId(1), t1, end + 1, 600);
+        assert_eq!(v, Some(1), "supplied data must be the dirty value");
+        assert!(m.l2_has_line(CoreId(0), a) && m.l2_has_line(CoreId(1), a));
+        // The downgraded owner stores again: must upgrade and invalidate
+        // the other Shared copy, not silently write as if still Modified.
+        let t2 = match m.submit(CoreId(0), MemOp::store(a, 2), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, _) = run_until_complete(&mut m, CoreId(0), t2, end + 1, 600);
+        assert!(
+            !m.l2_has_line(CoreId(1), a),
+            "Shared copy must be invalidated"
+        );
+        let t3 = match m.submit(CoreId(1), MemOp::load(a), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (_, v) = run_until_complete(&mut m, CoreId(1), t3, end + 1, 600);
+        assert_eq!(v, Some(2));
+        assert_clean(&checker);
+    }
+
+    /// The dirty snoop-supply's write-back must be *visible* toward the
+    /// outer hierarchy: when the owner supplies a Modified line, the L3
+    /// installs a clean shadow copy, so a later sharer is served on-chip
+    /// rather than reading a stale word from DRAM.
+    #[test]
+    fn snoop_supply_writes_back_into_l3() {
+        let mut cfg = MemConfig::itanium2_cmp();
+        cfg.cores = 4;
+        let mut m = MemSystem::new(cfg).unwrap();
+        let checker = Checker::with_level(hfs_check::CheckLevel::Full);
+        m.set_checker(checker.clone());
+        let a = Addr::new(0xB000);
+        let t0 = match m.submit(CoreId(0), MemOp::store(a, 7), Cycle::new(0)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, _) = run_until_complete(&mut m, CoreId(0), t0, 0, 600);
+        let t1 = match m.submit(CoreId(1), MemOp::load(a), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, v) = run_until_complete(&mut m, CoreId(1), t1, end + 1, 600);
+        assert_eq!(v, Some(7));
+        let drams = m.stats().dram_accesses;
+        // A third sharer: the line now lives in two L2s and (clean) in
+        // the L3. No path may need a fresh DRAM trip.
+        let t2 = match m.submit(CoreId(2), MemOp::load(a), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (_, v) = run_until_complete(&mut m, CoreId(2), t2, end + 1, 600);
+        assert_eq!(v, Some(7));
+        assert_eq!(m.stats().dram_accesses, drams, "write-back must be on-chip");
+        assert_clean(&checker);
+    }
+
+    /// `forward_complete` retires the producer-side OzQ entry when a
+    /// write-forward lands in the consumer's L2; the per-cycle OzQ
+    /// conservation audit proves no slot leaks, and the consumer's next
+    /// load of the line hits locally with the forwarded data.
+    #[test]
+    fn forward_complete_retires_ozq_and_delivers_data() {
+        let (mut m, checker) = checked_sys();
+        let a = Addr::new(0xC000);
+        let t0 = match m.submit(CoreId(0), MemOp::store(a, 99), Cycle::new(0)) {
+            Submit::Accepted(t) => t,
+            _ => panic!(),
+        };
+        let (end, _) = run_until_complete(&mut m, CoreId(0), t0, 0, 600);
+        assert!(m.forward_line(CoreId(0), CoreId(1), a.line_base(128), Cycle::new(end + 1)));
+        let mut done_at = None;
+        for t in end + 1..end + 600 {
+            m.tick(Cycle::new(t));
+            for e in m.drain_events() {
+                if matches!(e, MemEvent::ForwardDone { .. }) {
+                    done_at = Some(t);
+                }
+            }
+            if done_at.is_some() {
+                break;
+            }
+        }
+        let end = done_at.expect("forward completes");
+        assert!(m.l2_has_line(CoreId(1), a), "forward must install the line");
+        let t1 = match m.submit(CoreId(1), MemOp::load(a), Cycle::new(end + 1)) {
+            Submit::Accepted(t) => t,
+            Submit::L1Hit { value, .. } => {
+                assert_eq!(value, 99);
+                assert_clean(&checker);
+                return;
+            }
+            other => panic!("unexpected submit outcome {other:?}"),
+        };
+        let (_, v) = run_until_complete(&mut m, CoreId(1), t1, end + 1, 600);
+        assert_eq!(v, Some(99));
+        assert_clean(&checker);
     }
 }

@@ -246,6 +246,99 @@ mod tests {
         }
     }
 
+    /// Keys whose home slot in a 16-slot table is `>= lo`, in ascending
+    /// key order. Used to build probe chains that wrap past the last
+    /// slot back to index 0.
+    fn keys_homed_at(lo: usize, n: usize) -> Vec<u64> {
+        let mask = INITIAL_SLOTS - 1;
+        (0u64..)
+            .filter(|&k| (fnv1a(k) as usize) & mask >= lo)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn backward_shift_across_wraparound_chain() {
+        // Six keys homed in the table's top two slots must spill past
+        // the end into slots 0..: every removal order then forces
+        // backward shifts across the wrap boundary, where `remove`'s
+        // cyclic-interval test (home > i) decides which entries move.
+        // Try all 720 orders; survivors must stay reachable throughout.
+        let keys = keys_homed_at(INITIAL_SLOTS - 2, 6);
+        let mut full = FnvMap::new();
+        for &k in &keys {
+            full.insert(k, k ^ 0xdead);
+        }
+        assert_eq!(full.len(), keys.len());
+
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        permute(&mut order, 0, &mut |order| {
+            let mut m = full.clone();
+            let mut gone = vec![false; keys.len()];
+            for &idx in order {
+                assert_eq!(m.remove(keys[idx]), Some(keys[idx] ^ 0xdead));
+                gone[idx] = true;
+                for (j, &k) in keys.iter().enumerate() {
+                    let want = if gone[j] { None } else { Some(&(k ^ 0xdead)) };
+                    assert_eq!(m.get(k), want, "key {k:#x} after removing {idx}");
+                }
+            }
+            assert!(m.is_empty());
+        });
+    }
+
+    /// Calls `f` with every permutation of `v[at..]` (Heap-style swap
+    /// recursion); `v` is restored on return.
+    fn permute(v: &mut Vec<usize>, at: usize, f: &mut impl FnMut(&[usize])) {
+        if at == v.len() {
+            f(v);
+            return;
+        }
+        for i in at..v.len() {
+            v.swap(at, i);
+            permute(v, at + 1, f);
+            v.swap(at, i);
+        }
+    }
+
+    #[test]
+    fn wrapped_chain_churn_matches_std_hashmap() {
+        // Model test pinned to the wrap-around regime: every key homes
+        // in the top quarter of a 16-slot table and occupancy is held
+        // below the growth threshold, so probe chains routinely cross
+        // the end of the table and deletions shift entries back across
+        // it. The reference HashMap must agree after every operation.
+        let pool = keys_homed_at(INITIAL_SLOTS - INITIAL_SLOTS / 4, 40);
+        let mut rng = Rng64::new(0x3a7b);
+        let mut ours = FnvMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for step in 0..30_000u64 {
+            let key = pool[(rng.next_u64() % pool.len() as u64) as usize];
+            // Growth triggers at len * 4 >= slots * 3; stay under it.
+            let full = ours.len() == INITIAL_SLOTS * 3 / 4 - 1;
+            match rng.next_u64() % 4 {
+                0 | 1 if !full => {
+                    assert_eq!(ours.insert(key, step), reference.insert(key, step));
+                }
+                3 => {
+                    assert_eq!(ours.get(key), reference.get(&key));
+                    assert_eq!(ours.contains_key(key), reference.contains_key(&key));
+                }
+                _ => {
+                    assert_eq!(ours.remove(key), reference.remove(&key));
+                }
+            }
+            assert_eq!(ours.len(), reference.len());
+        }
+        // The table must never have grown: all churn stayed wrapped.
+        assert_eq!(ours.slots.len(), INITIAL_SLOTS);
+        let mut a: Vec<(u64, u64)> = ours.iter().map(|(k, v)| (k, *v)).collect();
+        a.sort_unstable();
+        let mut b: Vec<(u64, u64)> = reference.into_iter().collect();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
     #[test]
     fn random_ops_match_std_hashmap() {
         let mut rng = Rng64::new(0xf17e);

@@ -29,6 +29,22 @@ fi
 echo "==> trace smoke (golden cycles + Chrome trace validity)"
 cargo run --release -p hfs-bench --bin trace_smoke
 
+echo "==> machine check: fault injection (checker must catch every seeded bug)"
+cargo test --release -q --test check_faults
+
+echo "==> machine check: trace smoke under HFS_CHECK=1 (checked run, same goldens)"
+HFS_CHECK=1 cargo run --release -p hfs-bench --bin trace_smoke
+
+echo "==> machine check: quick fig6 sweep under HFS_CHECK=1"
+# Fresh results dir + cache off: cached entries would skip the checked
+# re-simulation this gate exists to run.
+HFS_CHECK=1 HFS_QUICK=1 HFS_NO_CACHE=1 HFS_NO_PROGRESS=1 \
+    HFS_RESULTS_DIR=target/check_results \
+    cargo run --release -p hfs-bench --bin fig6
+if grep -q '"status": *"check_failed"' target/check_results/*.json 2>/dev/null; then
+    echo "machine check reported violations in fig6 artifacts"; exit 1
+fi
+
 echo "==> simbench --quick (hot-loop throughput sanity)"
 cargo run --release -p hfs-bench --bin simbench -- --quick
 QUICK_JSON=target/BENCH_simloop_quick.json

@@ -2,8 +2,9 @@
 //!
 //! See the individual crates for details:
 //! [`hfs_sim`], [`hfs_isa`], [`hfs_mem`], [`hfs_cpu`], [`hfs_core`],
-//! [`hfs_trace`], [`hfs_workloads`], [`hfs_harness`].
+//! [`hfs_check`], [`hfs_trace`], [`hfs_workloads`], [`hfs_harness`].
 
+pub use hfs_check as check;
 pub use hfs_core as core;
 pub use hfs_cpu as cpu;
 pub use hfs_harness as harness;

@@ -3,7 +3,7 @@
 //! declare at the same cycle per-cycle simulation would.
 
 use hfs::core::kernel::{KStep, Kernel, KernelPair};
-use hfs::core::{DesignPoint, Machine, MachineConfig, RunResult, SimError};
+use hfs::core::{CheckLevel, DesignPoint, Machine, MachineConfig, RunResult, SimError};
 use hfs::isa::QueueId;
 use hfs::sim::Rng64;
 
@@ -74,6 +74,37 @@ fn fastforward_matches_percycle_on_random_configs() {
             assert_eq!(fast.mem, slow.mem, "{label}: mem stats");
             assert_eq!(fast.stream_cache, slow.stream_cache, "{label}: SC");
             assert_eq!(fast.iterations, slow.iterations, "{label}: iters");
+        }
+    }
+}
+
+/// The machine checker composes with fast-forward: enabling it forces
+/// per-cycle simulation (every invariant is re-audited each cycle), yet
+/// the architectural results must still match an unchecked run exactly —
+/// with `set_fast_forward(true)` or `false` alike. This is the
+/// FF-on == FF-off equivalence guarantee under `HFS_CHECK=1`.
+#[test]
+fn checker_preserves_results_and_pins_percycle() {
+    let mut rng = Rng64::new(0xFF_0002);
+    let pair = arb_pair(&mut rng);
+    for design in designs() {
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let baseline = run_with_ff(&cfg, &pair, true);
+        let label = format!("checked {}", baseline.design);
+        assert!(!baseline.checked, "{label}: baseline is unchecked");
+        for ff in [true, false] {
+            let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+            m.set_fast_forward(ff);
+            m.set_check_level(CheckLevel::Full);
+            let r = m.run(20_000_000).expect("checked run completes");
+            assert!(r.checked, "{label}: run reports itself checked");
+            assert_eq!(r.cycles, baseline.cycles, "{label}: cycles (ff={ff})");
+            assert_eq!(r.cores, baseline.cores, "{label}: core stats (ff={ff})");
+            assert_eq!(r.mem, baseline.mem, "{label}: mem stats (ff={ff})");
+            assert_eq!(
+                r.stream_cache, baseline.stream_cache,
+                "{label}: SC (ff={ff})"
+            );
         }
     }
 }
