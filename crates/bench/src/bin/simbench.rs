@@ -11,11 +11,17 @@
 //!
 //! The full run writes `BENCH_simloop.json` at the current directory
 //! (the repo root under `scripts/ci.sh`), recording the perf trajectory
-//! of the loop over time. `--quick` runs a reduced point set, writes to
-//! `target/BENCH_simloop_quick.json` instead (so the committed artifact
-//! stays clean), and prints an informational cycles/sec delta against
-//! the committed `BENCH_simloop.json` when one is present — container
-//! performance varies, so the delta is advisory, never a gate.
+//! of the loop over time. `--quick` runs a reduced point set and writes
+//! to `target/BENCH_simloop_quick.json` instead (so the committed
+//! artifact stays clean). The full set includes the quick points, so
+//! quick runs always have committed rows to compare against.
+//!
+//! `--check` turns the comparison into a gate: any point more than 10%
+//! slower than its committed `BENCH_simloop.json` row (matched by
+//! bench, design, *and* iteration count) is re-measured once with a 4×
+//! longer window to damp scheduler noise, and the run exits non-zero if
+//! the regression persists. Without `--check`, deltas are printed
+//! informationally.
 
 use std::time::Instant;
 
@@ -52,16 +58,20 @@ impl Sample {
 
 /// The full measurement set: the three golden designs on both a tight
 /// FP kernel (`fir`) and a memory-bound loop (`mcf`), iteration counts
-/// chosen so each point simulates a few hundred thousand cycles per run.
+/// chosen so each point simulates a few hundred thousand cycles per
+/// run — plus the `--quick` points, so the committed artifact always
+/// carries baseline rows for the CI quick gate.
 fn full_points() -> Vec<Point> {
-    vec![
+    let mut points = vec![
         point("fir", DesignPoint::existing(), 20_000),
         point("fir", DesignPoint::syncopti_sc_q64(), 20_000),
         point("fir", DesignPoint::heavywt(), 20_000),
         point("mcf", DesignPoint::existing(), 5_000),
         point("mcf", DesignPoint::syncopti_sc_q64(), 5_000),
         point("mcf", DesignPoint::heavywt(), 5_000),
-    ]
+    ];
+    points.extend(quick_points());
+    points
 }
 
 /// The `--quick` set: one streaming point per backend family, small
@@ -114,22 +124,86 @@ fn time_point(p: &Point, min_secs: f64) -> Sample {
     }
 }
 
-/// Times `p` with the fast-forward loop on and off.
-fn measure(p: &Point, min_secs: f64) -> (Sample, Sample) {
-    std::env::remove_var(ENV_NO_FASTFWD);
-    let ff = time_point(p, min_secs);
-    std::env::set_var(ENV_NO_FASTFWD, "1");
-    let no_ff = time_point(p, min_secs);
-    std::env::remove_var(ENV_NO_FASTFWD);
-    (ff, no_ff)
+/// Measurement windows per mode; the fastest per mode is kept for the
+/// absolute rates. Scheduler interference only ever *slows* a window
+/// down, so the max-rate window is the least-contaminated estimate of
+/// the true throughput.
+const BEST_OF: usize = 5;
+
+fn keep_best(best: &mut Option<Sample>, s: Sample) {
+    if best
+        .as_ref()
+        .is_none_or(|b| s.cycles_per_sec() > b.cycles_per_sec())
+    {
+        *best = Some(s);
+    }
 }
 
-fn point_json(p: &Point, ff: &Sample, no_ff: &Sample) -> Json {
-    let speedup = if no_ff.cycles_per_sec() > 0.0 {
-        ff.cycles_per_sec() / no_ff.cycles_per_sec()
+/// One configuration measured in both loop modes. `speedup` is the
+/// paired-ratio estimate, not `ff`/`no_ff` of the best windows: the two
+/// maxima are contaminated independently, so their ratio carries twice
+/// the noise of a back-to-back pair.
+struct Measurement {
+    ff: Sample,
+    no_ff: Sample,
+    speedup: f64,
+}
+
+/// Times one window of `p` in the given loop mode.
+fn time_mode(p: &Point, min_secs: f64, fastfwd: bool) -> Sample {
+    if fastfwd {
+        std::env::remove_var(ENV_NO_FASTFWD);
     } else {
+        std::env::set_var(ENV_NO_FASTFWD, "1");
+    }
+    let s = time_point(p, min_secs);
+    std::env::remove_var(ENV_NO_FASTFWD);
+    s
+}
+
+/// Times `p` with the fast-forward loop on and off: [`BEST_OF`] window
+/// *pairs*, each pair run back-to-back with the mode order alternating.
+/// Adjacent windows share the interference environment, so slow drift
+/// (CPU frequency ramps, noisy neighbors) cancels inside each pair's
+/// ratio, and alternating the order cancels what linear drift remains.
+/// The reported speedup is the *median* pair ratio — robust to a
+/// contaminated pair in a way the ratio of two independent best-of
+/// maxima is not. Absolute rates still report each mode's best window.
+fn measure(p: &Point, min_secs: f64) -> Measurement {
+    let mut ff: Option<Sample> = None;
+    let mut no_ff: Option<Sample> = None;
+    let mut ratios: Vec<f64> = Vec::with_capacity(BEST_OF);
+    for i in 0..BEST_OF {
+        let (f, n) = if i % 2 == 0 {
+            let f = time_mode(p, min_secs, true);
+            let n = time_mode(p, min_secs, false);
+            (f, n)
+        } else {
+            let n = time_mode(p, min_secs, false);
+            let f = time_mode(p, min_secs, true);
+            (f, n)
+        };
+        if n.cycles_per_sec() > 0.0 {
+            ratios.push(f.cycles_per_sec() / n.cycles_per_sec());
+        }
+        keep_best(&mut ff, f);
+        keep_best(&mut no_ff, n);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let speedup = if ratios.is_empty() {
         0.0
+    } else {
+        ratios[ratios.len() / 2]
     };
+    Measurement {
+        ff: ff.unwrap(),
+        no_ff: no_ff.unwrap(),
+        speedup,
+    }
+}
+
+fn point_json(p: &Point, m: &Measurement) -> Json {
+    let (ff, no_ff) = (&m.ff, &m.no_ff);
     Json::obj(vec![
         ("bench", Json::Str(p.bench.to_string())),
         ("design", Json::Str(p.design.to_string())),
@@ -142,7 +216,7 @@ fn point_json(p: &Point, ff: &Sample, no_ff: &Sample) -> Json {
             "cycles_per_sec_no_fastfwd",
             Json::F64(no_ff.cycles_per_sec().round()),
         ),
-        ("fastfwd_speedup", Json::F64(round2(speedup))),
+        ("fastfwd_speedup", Json::F64(round2(m.speedup))),
     ])
 }
 
@@ -150,25 +224,32 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
+/// Loads the committed baseline's points array, if present and valid.
+fn load_committed(committed_path: &str) -> Option<Vec<Json>> {
+    let text = std::fs::read_to_string(committed_path).ok()?;
+    let doc = hfs_harness::parse(&text).ok()?;
+    Some(doc.get("points").and_then(Json::as_arr)?.to_vec())
+}
+
+/// Finds the committed row matching a current point — by bench, design,
+/// *and* iteration count, since cycles/sec varies with run length.
+fn baseline_for<'a>(committed: &'a [Json], p: &Json) -> Option<&'a Json> {
+    committed.iter().find(|c| {
+        (c.get("bench"), c.get("design"), c.get("iterations"))
+            == (p.get("bench"), p.get("design"), p.get("iterations"))
+    })
+}
+
 /// Reads the committed artifact and prints per-point deltas against the
 /// current measurements (informational only).
 fn print_delta(current: &Json, committed_path: &str) {
-    let Ok(text) = std::fs::read_to_string(committed_path) else {
+    let Some(committed) = load_committed(committed_path) else {
         println!("simbench: no committed {committed_path}; skipping delta");
         return;
     };
-    let Ok(doc) = hfs_harness::parse(&text) else {
-        println!("simbench: committed {committed_path} is not valid JSON");
-        return;
-    };
-    let committed = doc.get("points").and_then(Json::as_arr).unwrap_or(&[]);
     let points = current.get("points").and_then(Json::as_arr).unwrap_or(&[]);
     for p in points {
-        let (bench, design) = (p.get("bench"), p.get("design"));
-        let Some(base) = committed
-            .iter()
-            .find(|c| (c.get("bench"), c.get("design")) == (bench, design))
-        else {
+        let Some(base) = baseline_for(&committed, p) else {
             continue;
         };
         let cur = rate(p);
@@ -186,6 +267,75 @@ fn print_delta(current: &Json, committed_path: &str) {
     }
 }
 
+/// Throughput floor relative to the committed baseline: below
+/// `cur >= CHECK_FLOOR * old`, a point counts as a regression.
+const CHECK_FLOOR: f64 = 0.9;
+
+/// Gates the current measurements against the committed baseline.
+/// A point slower than [`CHECK_FLOOR`]× its committed rate is
+/// re-measured once with a 4× window (damping transient scheduler
+/// noise), updating its row in `rows`; persistent regressions are
+/// returned as failure messages.
+fn run_check(
+    points: &[Point],
+    rows: &mut [Json],
+    min_secs: f64,
+    committed_path: &str,
+) -> Vec<String> {
+    let Some(committed) = load_committed(committed_path) else {
+        println!("simbench: no committed {committed_path}; nothing to check against");
+        return Vec::new();
+    };
+    let mut failures = Vec::new();
+    for (p, row) in points.iter().zip(rows.iter_mut()) {
+        let Some(base) = baseline_for(&committed, row) else {
+            println!(
+                "simbench: {}/{} iters={} has no committed baseline; skipping",
+                p.bench, p.design, p.iterations
+            );
+            continue;
+        };
+        let old = rate(base);
+        if old <= 0.0 {
+            continue;
+        }
+        let mut cur = rate(row);
+        if cur < CHECK_FLOOR * old {
+            println!(
+                "simbench: {}/{}: {:.0} cyc/s is below {:.0}% of committed {:.0}; re-measuring",
+                p.bench,
+                p.design,
+                cur,
+                CHECK_FLOOR * 100.0,
+                old,
+            );
+            let m = measure(p, min_secs * 4.0);
+            *row = point_json(p, &m);
+            cur = rate(row);
+        }
+        if cur < CHECK_FLOOR * old {
+            failures.push(format!(
+                "{}/{} iters={}: {:.0} cyc/s vs committed {:.0} ({:.2}x, floor {:.2}x)",
+                p.bench,
+                p.design,
+                p.iterations,
+                cur,
+                old,
+                cur / old,
+                CHECK_FLOOR,
+            ));
+        } else {
+            println!(
+                "simbench: {}/{}: {:.2}x vs committed baseline — ok",
+                p.bench,
+                p.design,
+                cur / old,
+            );
+        }
+    }
+    failures
+}
+
 fn rate(p: &Json) -> f64 {
     match p.get("cycles_per_sec") {
         Some(Json::F64(v)) => *v,
@@ -196,6 +346,7 @@ fn rate(p: &Json) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
     let (points, min_secs, out_path) = if quick {
         (quick_points(), 0.05, "target/BENCH_simloop_quick.json")
     } else {
@@ -204,23 +355,25 @@ fn main() {
 
     let mut rows = Vec::new();
     for p in &points {
-        let (ff, no_ff) = measure(p, min_secs);
+        let m = measure(p, min_secs);
         println!(
             "simbench: {}/{} iters={} — {:.0} cyc/s fastfwd, {:.0} cyc/s no-fastfwd ({:.2}x), {} runs",
             p.bench,
             p.design,
             p.iterations,
-            ff.cycles_per_sec(),
-            no_ff.cycles_per_sec(),
-            if no_ff.cycles_per_sec() > 0.0 {
-                ff.cycles_per_sec() / no_ff.cycles_per_sec()
-            } else {
-                0.0
-            },
-            ff.runs,
+            m.ff.cycles_per_sec(),
+            m.no_ff.cycles_per_sec(),
+            m.speedup,
+            m.ff.runs,
         );
-        rows.push(point_json(p, &ff, &no_ff));
+        rows.push(point_json(p, &m));
     }
+
+    let failures = if check {
+        run_check(&points, &mut rows, min_secs, "BENCH_simloop.json")
+    } else {
+        Vec::new()
+    };
 
     let doc = Json::obj(vec![
         ("schema", Json::Str("simbench-v1".to_string())),
@@ -242,7 +395,18 @@ fn main() {
     std::fs::write(out_path, &text).expect("write benchmark artifact");
     println!("simbench: wrote {out_path}");
 
-    if quick {
+    if quick && !check {
         print_delta(&doc, "BENCH_simloop.json");
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "simbench: {} point(s) regressed more than {:.0}% vs the committed baseline:",
+            failures.len(),
+            (1.0 - CHECK_FLOOR) * 100.0,
+        );
+        for f in &failures {
+            eprintln!("simbench:   {f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -18,7 +18,7 @@ use hfs_core::{DesignPoint, MachineConfig};
 use hfs_harness::Job;
 use hfs_workloads::benchmark;
 
-use crate::runner::{engine, pipeline_job};
+use crate::runner::{pipeline_job, run_batch};
 use crate::table::{f2, TextTable};
 
 /// A pipeline job for the named benchmark with a mutated configuration.
@@ -37,8 +37,7 @@ fn job(
 /// Runs one sweep's jobs as an engine batch and returns their cycle
 /// counts in submission order.
 fn cycles_batch(batch: &str, jobs: Vec<Job>) -> Vec<u64> {
-    engine()
-        .run_batch(batch, jobs)
+    run_batch(batch, jobs)
         .expect_results()
         .iter()
         .map(|r| r.cycles)

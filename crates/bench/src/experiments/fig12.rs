@@ -8,7 +8,7 @@ use hfs_core::{DesignPoint, RunResult};
 use hfs_workloads::all_benchmarks;
 
 use crate::experiments::{breakdown_table, column_geomean};
-use crate::runner::{design_job, engine};
+use crate::runner::{design_job, run_batch};
 use crate::table::f2;
 
 /// The variant order: HEAVYWT, SC+Q64, SC, Q64, plain SYNCOPTI
@@ -40,7 +40,7 @@ pub fn run() -> Fig12 {
         .iter()
         .flat_map(|b| vs.iter().map(|&v| design_job("fig12", b, v)))
         .collect();
-    let results = engine().run_batch("fig12", jobs).expect_results();
+    let results = run_batch("fig12", jobs).expect_results();
     let rows = benches
         .iter()
         .zip(results.chunks_exact(vs.len()))

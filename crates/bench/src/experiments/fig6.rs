@@ -12,7 +12,7 @@ use hfs_core::DesignPoint;
 use hfs_sim::stats::geomean;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::{design_job, engine};
+use crate::runner::{design_job, run_batch};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's normalized execution times.
@@ -33,20 +33,26 @@ pub struct Fig6 {
     pub rows: Vec<Fig6Row>,
 }
 
-/// Runs the three HEAVYWT variants over all benchmarks (one engine
-/// batch: 3 jobs per benchmark, gathered in submission order).
-pub fn run() -> Fig6 {
-    let benches = all_benchmarks();
+/// The figure's job list: three HEAVYWT variants per benchmark, in
+/// submission order. Exposed so `fig6 --dump-jobs` can write the sweep
+/// spec for `hfs-client submit` without simulating anything.
+pub fn jobs() -> Vec<hfs_harness::Job> {
     let variants = [
         DesignPoint::heavywt_with(1, 32),
         DesignPoint::heavywt_with(10, 32),
         DesignPoint::heavywt_with(10, 64),
     ];
-    let jobs = benches
+    all_benchmarks()
         .iter()
         .flat_map(|b| variants.iter().map(|&v| design_job("fig6", b, v)))
-        .collect();
-    let results = engine().run_batch("fig6", jobs).expect_results();
+        .collect()
+}
+
+/// Runs the three HEAVYWT variants over all benchmarks (one engine
+/// batch: 3 jobs per benchmark, gathered in submission order).
+pub fn run() -> Fig6 {
+    let benches = all_benchmarks();
+    let results = run_batch("fig6", jobs()).expect_results();
     let rows = benches
         .iter()
         .zip(results.chunks_exact(3))

@@ -5,7 +5,7 @@ use hfs_core::{DesignPoint, MachineConfig, RunResult};
 use hfs_workloads::all_benchmarks;
 
 use crate::experiments::{breakdown_table, column_geomean};
-use crate::runner::{engine, pipeline_job};
+use crate::runner::{pipeline_job, run_batch};
 use crate::table::f2;
 
 /// The design order used by Figures 7/10/11: HEAVYWT, SYNCOPTI,
@@ -42,7 +42,7 @@ pub fn run_with(batch: &str, tweak: impl Fn(MachineConfig) -> MachineConfig) -> 
                 .map(|&d| pipeline_job(batch, b, tweak(MachineConfig::itanium2_cmp(d))))
         })
         .collect();
-    let results = engine().run_batch(batch, jobs).expect_results();
+    let results = run_batch(batch, jobs).expect_results();
     let rows = benches
         .iter()
         .zip(results.chunks_exact(ds.len()))

@@ -8,7 +8,7 @@
 use hfs_core::DesignPoint;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::{design_job, engine};
+use crate::runner::{design_job, run_batch};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's measured ratios.
@@ -38,7 +38,7 @@ pub fn run() -> Fig8 {
         .iter()
         .map(|b| design_job("fig8", b, DesignPoint::heavywt()))
         .collect();
-    let results = engine().run_batch("fig8", jobs).expect_results();
+    let results = run_batch("fig8", jobs).expect_results();
     let rows = benches
         .iter()
         .zip(&results)

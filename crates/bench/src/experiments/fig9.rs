@@ -8,7 +8,7 @@ use hfs_core::DesignPoint;
 use hfs_sim::stats::geomean;
 use hfs_workloads::all_benchmarks;
 
-use crate::runner::{design_job, engine, single_job};
+use crate::runner::{design_job, run_batch, single_job};
 use crate::table::{f2, TextTable};
 
 /// One benchmark's speedup.
@@ -44,7 +44,7 @@ pub fn run() -> Fig9 {
             ]
         })
         .collect();
-    let results = engine().run_batch("fig9", jobs).expect_results();
+    let results = run_batch("fig9", jobs).expect_results();
     let rows = benches
         .iter()
         .zip(results.chunks_exact(2))

@@ -11,7 +11,7 @@
 use hfs_core::DesignPoint;
 use hfs_workloads::benchmark;
 
-use crate::runner::{engine, multi_job};
+use crate::runner::{multi_job, run_batch};
 use crate::table::{f2, TextTable};
 
 /// The designs compared in the scaling sweep.
@@ -49,7 +49,7 @@ pub fn run_on(bench_name: &str) -> Vec<ScalingRow> {
         .iter()
         .flat_map(|&design| (1..=4u8).map(move |pairs| multi_job("scaling", b, design, pairs)))
         .collect();
-    let results = engine().run_batch("scaling", jobs).expect_results();
+    let results = run_batch("scaling", jobs).expect_results();
     ds.iter()
         .zip(results.chunks_exact(4))
         .map(|(design, runs)| {

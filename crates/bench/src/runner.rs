@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use hfs_core::{DesignPoint, MachineConfig, RunResult, SimError};
-use hfs_harness::{Engine, Job};
+use hfs_harness::{Batch, Engine, Job};
 use hfs_trace::{chrome_trace_json, Tracer};
 use hfs_workloads::Benchmark;
 
@@ -25,12 +25,66 @@ pub const QUICK_ITERATIONS: u64 = 300;
 /// (equivalent to the `--trace <path>` flag on the fig binaries).
 pub const ENV_TRACE: &str = "HFS_TRACE";
 
+/// Set to route experiment batches through a running `hfs-serve`
+/// instance (`HFS_VIA_SERVER=1`; endpoint from `HFS_SOCK`/`HFS_ADDR`)
+/// instead of the in-process engine. Artifacts stay byte-identical.
+pub const ENV_VIA_SERVER: &str = "HFS_VIA_SERVER";
+
 /// The process-wide experiment engine, configured from the `HFS_*`
 /// environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
 /// `HFS_RETRIES`, `HFS_RESULTS_DIR`, `HFS_NO_PROGRESS`) on first use.
 pub fn engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(Engine::from_env)
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Whether batches route through an `hfs-serve` instance.
+pub fn via_server() -> bool {
+    env_flag(ENV_VIA_SERVER)
+}
+
+/// Runs an experiment batch — the single entry point every experiment
+/// uses. Locally this is [`Engine::run_batch`]; with `HFS_VIA_SERVER=1`
+/// the batch is instead submitted to the `hfs-serve` instance named by
+/// `HFS_SOCK`/`HFS_ADDR`, streaming progress back and writing the same
+/// byte-identical `results/<name>.json` artifact.
+///
+/// # Panics
+///
+/// In server mode, panics when the server is unreachable or rejects the
+/// batch — silently falling back to local execution would defeat the
+/// point of routing through the shared cache/dedup service.
+pub fn run_batch(name: &str, jobs: Vec<Job>) -> Batch {
+    if !via_server() {
+        return engine().run_batch(name, jobs);
+    }
+    // Mirror Engine::run_batch's metrics handling so cache keys and
+    // artifact bytes match whichever path executes the sweep.
+    let jobs: Vec<Job> = if engine().metrics_enabled() {
+        jobs.into_iter().map(|j| j.with_metrics(true)).collect()
+    } else {
+        jobs
+    };
+    let progress = !env_flag("HFS_NO_PROGRESS");
+    let mut client = hfs_serve::Client::from_env()
+        .unwrap_or_else(|e| panic!("HFS_VIA_SERVER=1 but cannot reach hfs-serve: {e}"));
+    let batch = client
+        .submit(name, jobs, |u| {
+            if progress {
+                hfs_serve::print_update(name, u);
+            }
+        })
+        .unwrap_or_else(|e| panic!("server batch `{name}` failed: {e}"));
+    if let Some(dir) = engine().results_dir() {
+        if let Err(e) = batch.write_artifact(dir) {
+            eprintln!("harness: failed to write {name} artifact: {e}");
+        }
+    }
+    batch
 }
 
 /// Returns the benchmark with quick-mode iteration capping applied.

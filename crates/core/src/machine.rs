@@ -8,7 +8,7 @@ use hfs_cpu::{BlockedAttempt, Core, CoreStats, NullStreamPort, StreamPort};
 use hfs_isa::{CoreId, Sequencer};
 use hfs_mem::{Completion, MemEvent, MemStats, MemSystem};
 use hfs_sim::stats::StallComponent;
-use hfs_sim::{ConfigError, Cycle};
+use hfs_sim::{CancelToken, ConfigError, Cycle};
 use hfs_trace::{MetricsReport, Tracer};
 
 use crate::backend::Backend;
@@ -23,6 +23,32 @@ const DEADLOCK_STRIDE: u64 = 64;
 
 /// The largest CMP the bus model supports (4 pipelines x 2 cores).
 const MAX_CORES: usize = 8;
+
+/// Fast-forward auto-disable: evaluate the skip rate every this many
+/// *elapsed cycles*. Windowing on cycles rather than bound computations
+/// matters on compute-dense workloads: they rarely reach a bound
+/// computation at all, so a bound-counted window would take most of the
+/// run to fill while every cycle kept paying the fast-forward checks.
+const FF_CYCLE_WINDOW: u64 = 4096;
+
+/// Fast-forward auto-disable: absolute minimum cycles a window must
+/// skip to keep fast-forwarding — below this the per-cycle checks alone
+/// outweigh the skips, however cheap the bounds were.
+const FF_MIN_WINDOW_SKIP: u64 = 64;
+
+/// Fast-forward auto-disable: cost of one bound computation, expressed
+/// in skipped-cycle equivalents (a bound walks every component's
+/// `next_event`, roughly half the price of stepping a live cycle). A
+/// window must skip at least `window_bounds / FF_BOUND_COST_DIV` cycles
+/// to have paid for its bounds; workloads that compute a bound almost
+/// every cycle but jump only occasionally (e.g. streaming loops with
+/// sub-cycle average skips) net out slower than plain stepping.
+const FF_BOUND_COST_DIV: u64 = 2;
+
+/// Consecutive low-skip windows required before latching off, so a
+/// dense warm-up phase alone doesn't forfeit skips in a later
+/// memory-bound phase.
+const FF_LOW_WINDOWS: u32 = 2;
 
 /// A simulation failure.
 #[derive(Debug)]
@@ -44,6 +70,12 @@ pub enum SimError {
     /// A correctness check failed: queue FIFO/conservation semantics or,
     /// with the machine checker enabled, a cycle-level invariant.
     Verification(String),
+    /// The run was abandoned because its [`CancelToken`] fired (e.g. the
+    /// client that requested it disconnected).
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +89,9 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
             SimError::Verification(msg) => write!(f, "verification failed: {msg}"),
+            SimError::Cancelled { cycle } => {
+                write!(f, "simulation cancelled at cycle {cycle}")
+            }
         }
     }
 }
@@ -125,6 +160,28 @@ impl RunResult {
     }
 }
 
+/// Skip-rate accounting for idle-cycle fast-forwarding (see
+/// [`Machine::fast_forward_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastForwardStats {
+    /// Jump-target (bound) computations performed so far this run.
+    pub bound_computations: u64,
+    /// Total cycles skipped across all fast-forward jumps this run.
+    pub skipped_cycles: u64,
+    /// Whether the low-skip-rate auto-disable latched fast-forward off
+    /// for the remainder of the run.
+    pub auto_disabled: bool,
+    /// First cycle of the current evaluation window.
+    window_start: u64,
+    /// Cycles skipped in the current evaluation window.
+    window_skipped: u64,
+    /// Bound computations in the current evaluation window.
+    window_bounds: u64,
+    /// Consecutive windows that skipped too little to pay for
+    /// themselves.
+    low_windows: u32,
+}
+
 /// The simulated machine, ready to run one workload to completion.
 ///
 /// Construct with [`Machine::new_pipeline`] (two cores, one design point)
@@ -145,6 +202,10 @@ pub struct Machine {
     /// Idle-cycle fast-forwarding (on unless `HFS_NO_FASTFWD` is set).
     /// Results are bit-identical either way; only wall-clock changes.
     fast_forward: bool,
+    /// Skip-rate accounting behind the fast-forward auto-disable.
+    ff: FastForwardStats,
+    /// Cooperative cancellation, polled once per simulated cycle.
+    cancel: Option<CancelToken>,
     /// Per-cycle scratch buffers, reused so the hot loop allocates
     /// nothing in steady state.
     events_scratch: Vec<MemEvent>,
@@ -248,6 +309,8 @@ impl Machine {
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
             fast_forward: fastfwd_enabled(),
+            ff: FastForwardStats::default(),
+            cancel: None,
             events_scratch: Vec::new(),
             drop_scratch: Vec::new(),
         };
@@ -283,6 +346,8 @@ impl Machine {
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
             fast_forward: fastfwd_enabled(),
+            ff: FastForwardStats::default(),
+            cancel: None,
             events_scratch: Vec::new(),
             drop_scratch: Vec::new(),
         };
@@ -293,8 +358,45 @@ impl Machine {
     /// Enables or disables idle-cycle fast-forwarding (defaults to the
     /// `HFS_NO_FASTFWD` environment variable being unset). Simulation
     /// results are bit-identical either way; only wall-clock changes.
+    /// Re-enabling clears a previous skip-rate auto-disable latch.
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
+        self.ff.window_start = self.now.as_u64();
+        self.ff.window_skipped = 0;
+        self.ff.window_bounds = 0;
+        self.ff.low_windows = 0;
+        if on {
+            self.ff.auto_disabled = false;
+        }
+    }
+
+    /// Whether idle-cycle fast-forwarding is currently active. May flip
+    /// from `true` to `false` mid-run when the skip-rate auto-disable
+    /// latches (see [`Machine::fast_forward_stats`]).
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Skip-rate accounting for this run's fast-forwarding: how many jump
+    /// targets were computed, how many cycles they actually skipped, and
+    /// whether the low-skip-rate auto-disable fired. On workloads whose
+    /// skips don't pay for the bounds that found them, the fast-forward
+    /// machinery is net overhead, so after `FF_LOW_WINDOWS` consecutive
+    /// `FF_CYCLE_WINDOW`-cycle windows each skipping less than its
+    /// bound computations cost (or an absolute floor), the machine
+    /// latches back to plain per-cycle stepping for the rest of the
+    /// run. Results are bit-identical either way; only wall-clock
+    /// changes.
+    pub fn fast_forward_stats(&self) -> FastForwardStats {
+        self.ff
+    }
+
+    /// Attaches a cooperative cancellation token, polled once per
+    /// simulated cycle in [`Machine::run`]. When the token fires the run
+    /// aborts with [`SimError::Cancelled`]; the machine's partial state
+    /// is left in place but no [`RunResult`] is produced.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// The machine configuration.
@@ -379,6 +481,13 @@ impl Machine {
             let now = self.now;
             if now.as_u64() > max_cycles {
                 return Err(SimError::Timeout { max_cycles });
+            }
+            if let Some(c) = &self.cancel {
+                if c.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: now.as_u64(),
+                    });
+                }
             }
             self.mem.tick(now);
             // Drain the event stream once; every backend filters it to
@@ -490,6 +599,26 @@ impl Machine {
         if !self.fast_forward || self.checker.is_enabled() {
             return next;
         }
+        // Skip-rate auto-disable, evaluated on elapsed cycles so that
+        // compute-dense stretches — which rarely even reach a bound
+        // computation below — latch within a few windows instead of
+        // paying the fast-forward checks for the whole run.
+        if now.as_u64() - self.ff.window_start >= FF_CYCLE_WINDOW {
+            let pay_floor = (self.ff.window_bounds / FF_BOUND_COST_DIV).max(FF_MIN_WINDOW_SKIP);
+            if self.ff.window_skipped < pay_floor {
+                self.ff.low_windows += 1;
+                if self.ff.low_windows >= FF_LOW_WINDOWS {
+                    self.fast_forward = false;
+                    self.ff.auto_disabled = true;
+                    return next;
+                }
+            } else {
+                self.ff.low_windows = 0;
+            }
+            self.ff.window_start = now.as_u64();
+            self.ff.window_skipped = 0;
+            self.ff.window_bounds = 0;
+        }
         // A core may have committed its last instruction during this very
         // cycle; the termination check must run on the next one, so never
         // jump once every program is done.
@@ -534,6 +663,14 @@ impl Machine {
                 target = target.min(t);
             }
         }
+        // Skip-rate accounting feeding the cycle-window auto-disable
+        // above (bit-identical results either way; only wall-clock
+        // changes when the latch fires).
+        let skipped_by_jump = target.as_u64().saturating_sub(next.as_u64());
+        self.ff.bound_computations += 1;
+        self.ff.skipped_cycles += skipped_by_jump;
+        self.ff.window_skipped += skipped_by_jump;
+        self.ff.window_bounds += 1;
         if target <= next {
             return next;
         }

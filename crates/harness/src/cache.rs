@@ -1,4 +1,12 @@
-//! On-disk result cache: `<dir>/<key>.json`, one file per job outcome.
+//! On-disk result cache, sharded 16 ways by key prefix:
+//! `<dir>/<k[0]>/<key>.json`, one file per job outcome.
+//!
+//! Sharding keeps per-directory entry counts manageable when a
+//! long-running `hfs-serve` instance accumulates a large design-space
+//! cache, and spreads rename traffic across directories. Caches written
+//! by older harnesses stored entries flat (`<dir>/<key>.json`); a
+//! migration shim in [`Cache::load`] still finds those and moves each
+//! one into its shard on first touch.
 //!
 //! Only successful outcomes are persisted — failures are worth retrying
 //! on the next run, and a partial `all_figures` pass therefore resumes
@@ -34,14 +42,43 @@ impl Cache {
         &self.dir
     }
 
+    /// The shard subdirectory for `key`: its first hex digit, giving 16
+    /// shards for the 16-hex-digit FNV keys.
+    fn shard_dir(&self, key: &str) -> PathBuf {
+        let shard = key
+            .chars()
+            .next()
+            .filter(char::is_ascii_hexdigit)
+            .unwrap_or('0');
+        self.dir.join(shard.to_string())
+    }
+
     fn path_for(&self, key: &str) -> PathBuf {
+        self.shard_dir(key).join(format!("{key}.json"))
+    }
+
+    /// The pre-sharding flat location of `key` (`<dir>/<key>.json`).
+    fn legacy_path_for(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
 
     /// Loads the outcome cached under `key`, if present and decodable.
-    /// Corrupt or unreadable entries are treated as misses.
+    /// Corrupt or unreadable entries are treated as misses. Entries found
+    /// at the pre-sharding flat path still hit, and are moved into their
+    /// shard (best-effort) so the next lookup is direct.
     pub fn load(&self, key: &str) -> Option<JobOutcome> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
+        let path = self.path_for(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                let legacy = self.legacy_path_for(key);
+                let t = fs::read_to_string(&legacy).ok()?;
+                if fs::create_dir_all(self.shard_dir(key)).is_ok() {
+                    let _ = fs::rename(&legacy, &path);
+                }
+                t
+            }
+        };
         outcome_from_json(&parse(&text).ok()?).ok()
     }
 
@@ -52,11 +89,12 @@ impl Cache {
         if !outcome.is_ok() {
             return;
         }
-        if fs::create_dir_all(&self.dir).is_err() {
+        let shard = self.shard_dir(key);
+        if fs::create_dir_all(&shard).is_err() {
             return;
         }
         let body = outcome_to_json(outcome).to_pretty();
-        let tmp = self.dir.join(format!(
+        let tmp = shard.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
@@ -80,17 +118,20 @@ mod tests {
         d
     }
 
-    #[test]
-    fn store_then_load_round_trips() {
-        let dir = tmp_dir("roundtrip");
-        let cache = Cache::new(&dir);
+    fn demo_outcome() -> (String, JobOutcome) {
         let job = Job::pipeline(
             "t",
             KernelPair::simple("demo", 2, 30),
             MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
         );
-        let out = execute(&job, 0);
-        let key = job.key();
+        (job.key(), execute(&job, 0))
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = Cache::new(&dir);
+        let (key, out) = demo_outcome();
         assert!(cache.load(&key).is_none(), "cold cache misses");
         cache.store(&key, &out);
         let loaded = cache.load(&key).expect("hit after store");
@@ -103,11 +144,53 @@ mod tests {
     }
 
     #[test]
+    fn entries_land_in_their_shard() {
+        let dir = tmp_dir("shards");
+        let cache = Cache::new(&dir);
+        let (key, out) = demo_outcome();
+        cache.store(&key, &out);
+        let shard = key.chars().next().unwrap().to_string();
+        assert!(
+            dir.join(&shard).join(format!("{key}.json")).is_file(),
+            "entry must live under shard {shard}/"
+        );
+        assert!(
+            !dir.join(format!("{key}.json")).exists(),
+            "no flat entry is written"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_flat_entries_hit_and_migrate() {
+        let dir = tmp_dir("migrate");
+        let cache = Cache::new(&dir);
+        let (key, out) = demo_outcome();
+        // Simulate a pre-sharding cache: write the entry flat by hand.
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(format!("{key}.json")),
+            outcome_to_json(&out).to_pretty(),
+        )
+        .unwrap();
+        let loaded = cache.load(&key).expect("legacy entry hits");
+        assert_eq!(loaded.ok().unwrap().cycles, out.ok().unwrap().cycles);
+        // The shim moved it into its shard; the flat file is gone.
+        let shard = key.chars().next().unwrap().to_string();
+        assert!(dir.join(&shard).join(format!("{key}.json")).is_file());
+        assert!(!dir.join(format!("{key}.json")).exists());
+        // And the migrated location keeps hitting.
+        assert!(cache.load(&key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn failures_are_not_cached() {
         let dir = tmp_dir("failures");
         let cache = Cache::new(&dir);
         cache.store("deadbeef", &JobOutcome::Timeout { max_cycles: 1 });
         cache.store("deadbeef", &JobOutcome::SimError("x".into()));
+        cache.store("deadbeef", &JobOutcome::Cancelled);
         assert!(cache.load("deadbeef").is_none());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -115,8 +198,8 @@ mod tests {
     #[test]
     fn corrupt_entries_are_misses() {
         let dir = tmp_dir("corrupt");
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("abc.json"), "{not json").unwrap();
+        fs::create_dir_all(dir.join("a")).unwrap();
+        fs::write(dir.join("a").join("abc.json"), "{not json").unwrap();
         assert!(Cache::new(&dir).load("abc").is_none());
         let _ = fs::remove_dir_all(&dir);
     }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use hfs_core::kernel::KernelPair;
 use hfs_core::{Checker, Machine, MachineConfig, RunResult, SimError};
+use hfs_sim::CancelToken;
 use hfs_trace::Tracer;
 
 /// Default per-job simulated-cycle budget; hitting it is a harness or
@@ -154,6 +155,10 @@ pub enum JobOutcome {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
+    /// The run was abandoned because its cancellation token fired (e.g.
+    /// every client waiting on it disconnected). Never cached and never
+    /// retried here — the owner decides whether to re-enqueue.
+    Cancelled,
 }
 
 impl JobOutcome {
@@ -170,14 +175,15 @@ impl JobOutcome {
         matches!(self, JobOutcome::Ok(_))
     }
 
-    /// Short status tag: `"ok"`, `"sim_error"`, `"check_failed"`, or
-    /// `"timeout"`.
+    /// Short status tag: `"ok"`, `"sim_error"`, `"check_failed"`,
+    /// `"timeout"`, or `"cancelled"`.
     pub fn status(&self) -> &'static str {
         match self {
             JobOutcome::Ok(_) => "ok",
             JobOutcome::SimError(_) => "sim_error",
             JobOutcome::CheckFailed(_) => "check_failed",
             JobOutcome::Timeout { .. } => "timeout",
+            JobOutcome::Cancelled => "cancelled",
         }
     }
 }
@@ -191,6 +197,7 @@ impl fmt::Display for JobOutcome {
             JobOutcome::Timeout { max_cycles } => {
                 write!(f, "timeout: exceeded {max_cycles} cycles")
             }
+            JobOutcome::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -234,6 +241,24 @@ pub fn execute_once_instrumented(
     tracer: &Tracer,
     checker: &Checker,
 ) -> Result<RunResult, SimError> {
+    execute_once_cancellable(job, tracer, checker, None)
+}
+
+/// The fully-instrumented single-run entry point: tracer, machine-check
+/// handle, and an optional cancellation token polled once per simulated
+/// cycle. The `hfs-serve` dispatcher uses the token to abandon jobs
+/// whose waiting clients have all disconnected.
+///
+/// # Errors
+///
+/// Any [`SimError`] from machine construction or the run itself,
+/// including [`SimError::Cancelled`] when the token fires mid-run.
+pub fn execute_once_cancellable(
+    job: &Job,
+    tracer: &Tracer,
+    checker: &Checker,
+    cancel: Option<&CancelToken>,
+) -> Result<RunResult, SimError> {
     let mut machine = match job.mode {
         Mode::Pipeline => Machine::new_pipeline(&job.cfg, &job.pair)?,
         Mode::Single => Machine::new_single(&job.cfg, &job.pair)?,
@@ -245,6 +270,9 @@ pub fn execute_once_instrumented(
     machine.set_tracer(tracer.clone());
     if checker.is_enabled() {
         machine.set_checker(checker.clone());
+    }
+    if let Some(c) = cancel {
+        machine.set_cancel_token(c.clone());
     }
     machine.run(job.max_cycles)
 }
@@ -262,18 +290,39 @@ pub fn execute(job: &Job, default_retries: u32) -> JobOutcome {
 /// [`execute`] with an explicit machine-check handle (see
 /// [`execute_once_instrumented`] for how a disabled handle behaves).
 pub fn execute_checked(job: &Job, default_retries: u32, checker: &Checker) -> JobOutcome {
-    let tracer = if job.metrics {
-        Tracer::metrics_only()
-    } else {
-        Tracer::disabled()
-    };
+    execute_with(job, default_retries, checker, None)
+}
+
+/// [`execute`] with a cancellation token: the `hfs-serve` worker entry
+/// point. A fired token surfaces as [`JobOutcome::Cancelled`] without
+/// consuming the retry budget.
+pub fn execute_cancellable(job: &Job, default_retries: u32, cancel: &CancelToken) -> JobOutcome {
+    execute_with(job, default_retries, &Checker::disabled(), Some(cancel))
+}
+
+fn execute_with(
+    job: &Job,
+    default_retries: u32,
+    checker: &Checker,
+    cancel: Option<&CancelToken>,
+) -> JobOutcome {
     let attempts = 1 + job.retries.max(default_retries);
     let mut last_err = String::new();
     for _ in 0..attempts {
-        match execute_once_instrumented(job, &tracer, checker) {
+        // A fresh tracer per attempt: tracer clones share one buffer, so
+        // reusing a tracer across a retry would fold the failed attempt's
+        // partial event stream into the succeeding run's metrics report
+        // (double-counted progress totals).
+        let tracer = if job.metrics {
+            Tracer::metrics_only()
+        } else {
+            Tracer::disabled()
+        };
+        match execute_once_cancellable(job, &tracer, checker, cancel) {
             Ok(r) => return JobOutcome::Ok(r),
             Err(SimError::Timeout { max_cycles }) => return JobOutcome::Timeout { max_cycles },
             Err(SimError::Verification(msg)) => return JobOutcome::CheckFailed(msg),
+            Err(SimError::Cancelled { .. }) => return JobOutcome::Cancelled,
             Err(e) => last_err = e.to_string(),
         }
     }
@@ -379,6 +428,47 @@ mod tests {
         let out = execute_checked(&job, 0, &clean);
         assert_eq!(out.status(), "ok");
         assert!(out.ok().expect("clean run ok").checked);
+    }
+
+    #[test]
+    fn retry_attempts_never_share_a_tracer() {
+        // The hazard this pins: tracer clones share one buffer, so a
+        // tracer reused across two runs folds both event streams into the
+        // second report — the HFS_RETRIES double-count bug.
+        let job = demo_job(40).with_metrics(true);
+        let shared = Tracer::metrics_only();
+        let first = execute_once_with(&job, &shared).unwrap();
+        let second = execute_once_with(&job, &shared).unwrap();
+        let p1 = first.metrics.unwrap().get_counter("trace.produce").unwrap();
+        let p2 = second
+            .metrics
+            .unwrap()
+            .get_counter("trace.produce")
+            .unwrap();
+        assert_eq!(p2, 2 * p1, "a shared buffer double-counts");
+        // The retry path allocates a fresh tracer per attempt, so even
+        // with a retry budget the report carries single-run totals.
+        let out = execute(&demo_job(40).with_metrics(true).with_retries(3), 2);
+        let r = out.ok().expect("retried run ok");
+        let m = r.metrics.as_ref().expect("metrics attached");
+        assert_eq!(m.get_counter("trace.produce"), Some(p1));
+        assert!(m.get_histogram("consume_to_use_cycles").unwrap().count <= p1);
+    }
+
+    #[test]
+    fn cancellation_classifies_and_skips_retries() {
+        use hfs_sim::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        // A pre-fired token aborts at cycle 0, regardless of retries.
+        let out = execute_cancellable(&demo_job(5_000).with_retries(5), 3, &token);
+        assert_eq!(out.status(), "cancelled");
+        assert!(!out.is_ok());
+        assert!(out.to_string().contains("cancelled"));
+        // An unfired token changes nothing.
+        let fresh = CancelToken::new();
+        let out = execute_cancellable(&demo_job(40), 0, &fresh);
+        assert_eq!(out.ok().expect("runs to completion").iterations, 40);
     }
 
     #[test]

@@ -28,15 +28,21 @@ pub mod engine;
 pub mod job;
 pub mod json;
 pub mod ser;
+pub mod spec;
 
 pub use cache::Cache;
 pub use engine::{Batch, Engine, EngineStats, Record};
 pub use job::{
-    execute, execute_checked, execute_once, execute_once_instrumented, execute_once_with, Job,
-    JobOutcome, Mode, CACHE_SCHEMA, DEFAULT_MAX_CYCLES,
+    execute, execute_cancellable, execute_checked, execute_once, execute_once_cancellable,
+    execute_once_instrumented, execute_once_with, Job, JobOutcome, Mode, CACHE_SCHEMA,
+    DEFAULT_MAX_CYCLES,
 };
 pub use json::{parse, Json, ParseError};
 pub use ser::{
     metrics_from_json, metrics_to_json, outcome_from_json, outcome_to_json, run_result_from_json,
-    run_result_to_json,
+    run_result_to_json, DecodeError,
+};
+pub use spec::{
+    job_from_json, job_to_json, machine_config_from_json, machine_config_to_json, sweep_from_json,
+    sweep_to_json,
 };

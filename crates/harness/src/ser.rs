@@ -299,6 +299,7 @@ pub fn outcome_to_json(o: &JobOutcome) -> Json {
             ("status", Json::Str("timeout".into())),
             ("max_cycles", Json::U64(*max_cycles)),
         ]),
+        JobOutcome::Cancelled => Json::obj(vec![("status", Json::Str("cancelled".into()))]),
     }
 }
 
@@ -328,6 +329,7 @@ pub fn outcome_from_json(v: &Json) -> Result<JobOutcome, DecodeError> {
         Some("timeout") => Ok(JobOutcome::Timeout {
             max_cycles: field(v, "max_cycles")?,
         }),
+        Some("cancelled") => Ok(JobOutcome::Cancelled),
         other => Err(DecodeError(format!("unknown status {other:?}"))),
     }
 }
@@ -445,6 +447,7 @@ mod tests {
             JobOutcome::SimError("deadlock at cycle 5: stuck".into()),
             JobOutcome::CheckFailed("machine-check: [cycle 9] bus.double_grant: x".into()),
             JobOutcome::Timeout { max_cycles: 42 },
+            JobOutcome::Cancelled,
         ] {
             let text = outcome_to_json(&o).to_string();
             let back = outcome_from_json(&parse(&text).unwrap()).unwrap();

@@ -1,0 +1,632 @@
+//! Wire (de)serialization of [`Job`] specifications.
+//!
+//! The `hfs-serve` protocol ships whole jobs — kernel pair, full machine
+//! configuration, mode, budgets — as JSON, so a client can submit any
+//! sweep the offline runner could build (including the ablation sweeps
+//! that mutate arbitrary [`MachineConfig`] fields). Encoding is
+//! total; decoding validates shape but deliberately not semantics (the
+//! simulator's own `validate()` runs when the machine is built, so a
+//! malformed spec fails the job, not the server).
+//!
+//! Kernel and region names are `&'static str` in the simulator's types;
+//! decoding interns each distinct name once (leaking it), which is
+//! bounded by the set of distinct benchmark/region names a server ever
+//! sees.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use hfs_core::kernel::{KRegion, KStep, Kernel, KernelPair};
+use hfs_core::{
+    DesignPoint, HeavyWtConfig, MachineConfig, RegMappedConfig, SoftwareConfig, SyncOptiConfig,
+};
+use hfs_cpu::CoreConfig;
+use hfs_isa::QueueId;
+use hfs_mem::{BusConfig, CacheGeometry, MemConfig};
+
+use crate::job::{Job, Mode};
+use crate::json::Json;
+use crate::ser::DecodeError;
+
+/// Interns `s`, returning a `'static` copy. Each distinct string leaks
+/// exactly once, shared by every later request for it.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().unwrap();
+    if let Some(&hit) = set.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| DecodeError(format!("missing u64 field `{key}`")))
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, DecodeError> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| DecodeError(format!("field `{key}` exceeds u32")))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, DecodeError> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(DecodeError(format!("missing bool field `{key}`"))),
+    }
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, DecodeError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| DecodeError(format!("missing string field `{key}`")))
+}
+
+fn obj_field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, DecodeError> {
+    v.get(key)
+        .ok_or_else(|| DecodeError(format!("missing object field `{key}`")))
+}
+
+fn step_to_json(s: &KStep) -> Json {
+    match s {
+        KStep::Alu(n) => Json::obj(vec![
+            ("op", Json::Str("alu".into())),
+            ("n", Json::U64(u64::from(*n))),
+        ]),
+        KStep::AluChain(n) => Json::obj(vec![
+            ("op", Json::Str("alu_chain".into())),
+            ("n", Json::U64(u64::from(*n))),
+        ]),
+        KStep::FpChain(n) => Json::obj(vec![
+            ("op", Json::Str("fp_chain".into())),
+            ("n", Json::U64(u64::from(*n))),
+        ]),
+        KStep::Fp(n) => Json::obj(vec![
+            ("op", Json::Str("fp".into())),
+            ("n", Json::U64(u64::from(*n))),
+        ]),
+        KStep::Branch => Json::obj(vec![("op", Json::Str("branch".into()))]),
+        KStep::LoadStream { region, stride } => Json::obj(vec![
+            ("op", Json::Str("load_stream".into())),
+            ("region", Json::U64(*region as u64)),
+            ("stride", Json::U64(*stride)),
+        ]),
+        KStep::LoadRandom { region } => Json::obj(vec![
+            ("op", Json::Str("load_random".into())),
+            ("region", Json::U64(*region as u64)),
+        ]),
+        KStep::StoreStream { region, stride } => Json::obj(vec![
+            ("op", Json::Str("store_stream".into())),
+            ("region", Json::U64(*region as u64)),
+            ("stride", Json::U64(*stride)),
+        ]),
+        KStep::StoreRandom { region } => Json::obj(vec![
+            ("op", Json::Str("store_random".into())),
+            ("region", Json::U64(*region as u64)),
+        ]),
+        KStep::Produce(q) => Json::obj(vec![
+            ("op", Json::Str("produce".into())),
+            ("queue", Json::U64(u64::from(q.0))),
+        ]),
+        KStep::Consume(q) => Json::obj(vec![
+            ("op", Json::Str("consume".into())),
+            ("queue", Json::U64(u64::from(q.0))),
+        ]),
+        KStep::Loop(body, count) => Json::obj(vec![
+            ("op", Json::Str("loop".into())),
+            ("count", Json::U64(*count)),
+            ("body", Json::Arr(body.iter().map(step_to_json).collect())),
+        ]),
+    }
+}
+
+fn step_from_json(v: &Json) -> Result<KStep, DecodeError> {
+    let queue = |v: &Json| -> Result<QueueId, DecodeError> {
+        let q = u64_field(v, "queue")?;
+        u16::try_from(q)
+            .map(QueueId)
+            .map_err(|_| DecodeError("queue id exceeds u16".into()))
+    };
+    let region = |v: &Json| -> Result<usize, DecodeError> {
+        usize::try_from(u64_field(v, "region")?)
+            .map_err(|_| DecodeError("region index exceeds usize".into()))
+    };
+    match str_field(v, "op")? {
+        "alu" => Ok(KStep::Alu(u32_field(v, "n")?)),
+        "alu_chain" => Ok(KStep::AluChain(u32_field(v, "n")?)),
+        "fp_chain" => Ok(KStep::FpChain(u32_field(v, "n")?)),
+        "fp" => Ok(KStep::Fp(u32_field(v, "n")?)),
+        "branch" => Ok(KStep::Branch),
+        "load_stream" => Ok(KStep::LoadStream {
+            region: region(v)?,
+            stride: u64_field(v, "stride")?,
+        }),
+        "load_random" => Ok(KStep::LoadRandom { region: region(v)? }),
+        "store_stream" => Ok(KStep::StoreStream {
+            region: region(v)?,
+            stride: u64_field(v, "stride")?,
+        }),
+        "store_random" => Ok(KStep::StoreRandom { region: region(v)? }),
+        "produce" => Ok(KStep::Produce(queue(v)?)),
+        "consume" => Ok(KStep::Consume(queue(v)?)),
+        "loop" => {
+            let body = obj_field(v, "body")?
+                .as_arr()
+                .ok_or_else(|| DecodeError("loop `body` must be an array".into()))?
+                .iter()
+                .map(step_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(KStep::Loop(body, u64_field(v, "count")?))
+        }
+        other => Err(DecodeError(format!("unknown kernel op `{other}`"))),
+    }
+}
+
+fn kernel_to_json(k: &Kernel) -> Json {
+    Json::obj(vec![
+        (
+            "regions",
+            Json::Arr(
+                k.regions
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.to_string())),
+                            ("bytes", Json::U64(r.bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "steps",
+            Json::Arr(k.steps.iter().map(step_to_json).collect()),
+        ),
+    ])
+}
+
+fn kernel_from_json(v: &Json) -> Result<Kernel, DecodeError> {
+    let regions = obj_field(v, "regions")?
+        .as_arr()
+        .ok_or_else(|| DecodeError("`regions` must be an array".into()))?
+        .iter()
+        .map(|r| {
+            Ok(KRegion {
+                name: intern(str_field(r, "name")?),
+                bytes: u64_field(r, "bytes")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let steps = obj_field(v, "steps")?
+        .as_arr()
+        .ok_or_else(|| DecodeError("`steps` must be an array".into()))?
+        .iter()
+        .map(step_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Kernel { regions, steps })
+}
+
+fn pair_to_json(p: &KernelPair) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(p.name.to_string())),
+        ("producer", kernel_to_json(&p.producer)),
+        ("consumer", kernel_to_json(&p.consumer)),
+        ("iterations", Json::U64(p.iterations)),
+    ])
+}
+
+fn pair_from_json(v: &Json) -> Result<KernelPair, DecodeError> {
+    Ok(KernelPair {
+        name: intern(str_field(v, "name")?),
+        producer: kernel_from_json(obj_field(v, "producer")?)?,
+        consumer: kernel_from_json(obj_field(v, "consumer")?)?,
+        iterations: u64_field(v, "iterations")?,
+    })
+}
+
+fn design_to_json(d: &DesignPoint) -> Json {
+    match d {
+        DesignPoint::Existing(c) => Json::obj(vec![
+            ("kind", Json::Str("existing".into())),
+            ("qlu", Json::U64(u64::from(c.qlu))),
+        ]),
+        DesignPoint::MemOpti(c) => Json::obj(vec![
+            ("kind", Json::Str("memopti".into())),
+            ("qlu", Json::U64(u64::from(c.qlu))),
+        ]),
+        DesignPoint::SyncOpti(c) => Json::obj(vec![
+            ("kind", Json::Str("syncopti".into())),
+            ("queue_depth", Json::U64(u64::from(c.queue_depth))),
+            ("qlu", Json::U64(u64::from(c.qlu))),
+            ("stream_cache", Json::Bool(c.stream_cache)),
+        ]),
+        DesignPoint::HeavyWt(c) => Json::obj(vec![
+            ("kind", Json::Str("heavywt".into())),
+            ("queue_depth", Json::U64(u64::from(c.queue_depth))),
+            ("transit", Json::U64(c.transit)),
+            ("sa_ops_per_cycle", Json::U64(u64::from(c.sa_ops_per_cycle))),
+            ("sa_latency", Json::U64(c.sa_latency)),
+        ]),
+        DesignPoint::RegMapped(c) => Json::obj(vec![
+            ("kind", Json::Str("regmapped".into())),
+            ("queue_depth", Json::U64(u64::from(c.queue_depth))),
+            ("transit", Json::U64(c.transit)),
+            ("sa_ops_per_cycle", Json::U64(u64::from(c.sa_ops_per_cycle))),
+            ("spill_ops", Json::U64(u64::from(c.spill_ops))),
+        ]),
+    }
+}
+
+fn design_from_json(v: &Json) -> Result<DesignPoint, DecodeError> {
+    match str_field(v, "kind")? {
+        "existing" => Ok(DesignPoint::Existing(SoftwareConfig {
+            qlu: u32_field(v, "qlu")?,
+        })),
+        "memopti" => Ok(DesignPoint::MemOpti(SoftwareConfig {
+            qlu: u32_field(v, "qlu")?,
+        })),
+        "syncopti" => Ok(DesignPoint::SyncOpti(SyncOptiConfig {
+            queue_depth: u32_field(v, "queue_depth")?,
+            qlu: u32_field(v, "qlu")?,
+            stream_cache: bool_field(v, "stream_cache")?,
+        })),
+        "heavywt" => Ok(DesignPoint::HeavyWt(HeavyWtConfig {
+            queue_depth: u32_field(v, "queue_depth")?,
+            transit: u64_field(v, "transit")?,
+            sa_ops_per_cycle: u32_field(v, "sa_ops_per_cycle")?,
+            sa_latency: u64_field(v, "sa_latency")?,
+        })),
+        "regmapped" => Ok(DesignPoint::RegMapped(RegMappedConfig {
+            queue_depth: u32_field(v, "queue_depth")?,
+            transit: u64_field(v, "transit")?,
+            sa_ops_per_cycle: u32_field(v, "sa_ops_per_cycle")?,
+            spill_ops: u32_field(v, "spill_ops")?,
+        })),
+        other => Err(DecodeError(format!("unknown design kind `{other}`"))),
+    }
+}
+
+fn geometry_to_json(g: &CacheGeometry) -> Json {
+    Json::obj(vec![
+        ("bytes", Json::U64(g.bytes)),
+        ("ways", Json::U64(u64::from(g.ways))),
+        ("line_bytes", Json::U64(g.line_bytes)),
+    ])
+}
+
+fn geometry_from_json(v: &Json) -> Result<CacheGeometry, DecodeError> {
+    Ok(CacheGeometry {
+        bytes: u64_field(v, "bytes")?,
+        ways: u32_field(v, "ways")?,
+        line_bytes: u64_field(v, "line_bytes")?,
+    })
+}
+
+fn mem_to_json(m: &MemConfig) -> Json {
+    Json::obj(vec![
+        ("cores", Json::U64(u64::from(m.cores))),
+        ("l1d", geometry_to_json(&m.l1d)),
+        ("l1_latency", Json::U64(m.l1_latency)),
+        ("l2", geometry_to_json(&m.l2)),
+        ("l2_latency_min", Json::U64(m.l2_latency_min)),
+        ("l2_ports", Json::U64(u64::from(m.l2_ports))),
+        ("ozq_entries", Json::U64(u64::from(m.ozq_entries))),
+        ("recirc_interval", Json::U64(m.recirc_interval)),
+        ("l3", geometry_to_json(&m.l3)),
+        ("l3_latency", Json::U64(m.l3_latency)),
+        ("dram_latency", Json::U64(m.dram_latency)),
+        (
+            "bus",
+            Json::obj(vec![
+                ("width_bytes", Json::U64(m.bus.width_bytes)),
+                ("clock_divider", Json::U64(m.bus.clock_divider)),
+                ("pipeline_stages", Json::U64(m.bus.pipeline_stages)),
+                ("favor_app_traffic", Json::Bool(m.bus.favor_app_traffic)),
+            ]),
+        ),
+    ])
+}
+
+fn mem_from_json(v: &Json) -> Result<MemConfig, DecodeError> {
+    let bus = obj_field(v, "bus")?;
+    Ok(MemConfig {
+        cores: u8::try_from(u64_field(v, "cores")?)
+            .map_err(|_| DecodeError("`cores` exceeds u8".into()))?,
+        l1d: geometry_from_json(obj_field(v, "l1d")?)?,
+        l1_latency: u64_field(v, "l1_latency")?,
+        l2: geometry_from_json(obj_field(v, "l2")?)?,
+        l2_latency_min: u64_field(v, "l2_latency_min")?,
+        l2_ports: u32_field(v, "l2_ports")?,
+        ozq_entries: u32_field(v, "ozq_entries")?,
+        recirc_interval: u64_field(v, "recirc_interval")?,
+        l3: geometry_from_json(obj_field(v, "l3")?)?,
+        l3_latency: u64_field(v, "l3_latency")?,
+        dram_latency: u64_field(v, "dram_latency")?,
+        bus: BusConfig {
+            width_bytes: u64_field(bus, "width_bytes")?,
+            clock_divider: u64_field(bus, "clock_divider")?,
+            pipeline_stages: u64_field(bus, "pipeline_stages")?,
+            favor_app_traffic: bool_field(bus, "favor_app_traffic")?,
+        },
+    })
+}
+
+fn core_to_json(c: &CoreConfig) -> Json {
+    Json::obj(vec![
+        ("issue_width", Json::U64(u64::from(c.issue_width))),
+        ("int_alus", Json::U64(u64::from(c.int_alus))),
+        ("fp_units", Json::U64(u64::from(c.fp_units))),
+        ("branch_units", Json::U64(u64::from(c.branch_units))),
+        ("mem_ports", Json::U64(u64::from(c.mem_ports))),
+        ("window", Json::U64(u64::from(c.window))),
+        ("free_queue_ops", Json::Bool(c.free_queue_ops)),
+    ])
+}
+
+fn core_from_json(v: &Json) -> Result<CoreConfig, DecodeError> {
+    Ok(CoreConfig {
+        issue_width: u32_field(v, "issue_width")?,
+        int_alus: u32_field(v, "int_alus")?,
+        fp_units: u32_field(v, "fp_units")?,
+        branch_units: u32_field(v, "branch_units")?,
+        mem_ports: u32_field(v, "mem_ports")?,
+        window: u32_field(v, "window")?,
+        free_queue_ops: bool_field(v, "free_queue_ops")?,
+    })
+}
+
+/// Serializes a full [`MachineConfig`] (memory hierarchy, core, design
+/// point, seed, deadlock window).
+pub fn machine_config_to_json(c: &MachineConfig) -> Json {
+    Json::obj(vec![
+        ("mem", mem_to_json(&c.mem)),
+        ("core", core_to_json(&c.core)),
+        ("design", design_to_json(&c.design)),
+        ("seed", Json::U64(c.seed)),
+        ("deadlock_cycles", Json::U64(c.deadlock_cycles)),
+    ])
+}
+
+/// Reconstructs a [`MachineConfig`] from JSON.
+///
+/// # Errors
+///
+/// [`DecodeError`] on missing or mistyped fields.
+pub fn machine_config_from_json(v: &Json) -> Result<MachineConfig, DecodeError> {
+    Ok(MachineConfig {
+        mem: mem_from_json(obj_field(v, "mem")?)?,
+        core: core_from_json(obj_field(v, "core")?)?,
+        design: design_from_json(obj_field(v, "design")?)?,
+        seed: u64_field(v, "seed")?,
+        deadlock_cycles: u64_field(v, "deadlock_cycles")?,
+    })
+}
+
+/// Serializes a [`Job`] spec — everything a remote engine needs to run
+/// it, including the display label (which is not part of the cache key).
+pub fn job_to_json(job: &Job) -> Json {
+    let mut pairs = vec![
+        ("label", Json::Str(job.label.clone())),
+        (
+            "mode",
+            Json::Str(
+                match job.mode {
+                    Mode::Pipeline => "pipeline",
+                    Mode::Single => "single",
+                    Mode::Multi(_) => "multi",
+                }
+                .into(),
+            ),
+        ),
+    ];
+    if let Mode::Multi(n) = job.mode {
+        pairs.push(("pairs", Json::U64(u64::from(n))));
+    }
+    pairs.extend([
+        ("max_cycles", Json::U64(job.max_cycles)),
+        ("retries", Json::U64(u64::from(job.retries))),
+        ("metrics", Json::Bool(job.metrics)),
+        ("pair", pair_to_json(&job.pair)),
+        ("cfg", machine_config_to_json(&job.cfg)),
+    ]);
+    Json::obj(pairs)
+}
+
+/// Reconstructs a [`Job`] from its wire spec.
+///
+/// # Errors
+///
+/// [`DecodeError`] on missing or mistyped fields, unknown modes, or
+/// unknown design kinds.
+pub fn job_from_json(v: &Json) -> Result<Job, DecodeError> {
+    let mode = match str_field(v, "mode")? {
+        "pipeline" => Mode::Pipeline,
+        "single" => Mode::Single,
+        "multi" => Mode::Multi(
+            u8::try_from(u64_field(v, "pairs")?)
+                .map_err(|_| DecodeError("`pairs` exceeds u8".into()))?,
+        ),
+        other => Err(DecodeError(format!("unknown mode `{other}`")))?,
+    };
+    Ok(Job {
+        label: str_field(v, "label")?.to_string(),
+        pair: pair_from_json(obj_field(v, "pair")?)?,
+        cfg: machine_config_from_json(obj_field(v, "cfg")?)?,
+        mode,
+        max_cycles: u64_field(v, "max_cycles")?,
+        retries: u32_field(v, "retries")?,
+        metrics: bool_field(v, "metrics")?,
+    })
+}
+
+/// Serializes a named sweep — the `hfs-client submit` payload and the
+/// `--dump-jobs` output format: `{"experiment": ..., "jobs": [...]}`.
+pub fn sweep_to_json(experiment: &str, jobs: &[Job]) -> Json {
+    Json::obj(vec![
+        ("experiment", Json::Str(experiment.to_string())),
+        ("jobs", Json::Arr(jobs.iter().map(job_to_json).collect())),
+    ])
+}
+
+/// Decodes a named sweep back into `(experiment, jobs)`.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed sweeps or any malformed job within.
+pub fn sweep_from_json(v: &Json) -> Result<(String, Vec<Job>), DecodeError> {
+    let name = str_field(v, "experiment")?.to_string();
+    let jobs = obj_field(v, "jobs")?
+        .as_arr()
+        .ok_or_else(|| DecodeError("`jobs` must be an array".into()))?
+        .iter()
+        .map(job_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((name, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn demo_job() -> Job {
+        Job::pipeline(
+            "spec/demo/HEAVYWT",
+            KernelPair::simple("demo", 3, 50),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+    }
+
+    #[test]
+    fn simple_job_round_trips_exactly() {
+        let job = demo_job();
+        let text = job_to_json(&job).to_pretty();
+        let back = job_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.label, job.label);
+        assert_eq!(back.pair, job.pair);
+        assert_eq!(back.cfg, job.cfg);
+        assert_eq!(back.mode, job.mode);
+        assert_eq!(
+            back.key(),
+            job.key(),
+            "wire round-trip preserves the cache key"
+        );
+        assert_eq!(job_to_json(&back).to_pretty(), text);
+    }
+
+    #[test]
+    fn complex_job_round_trips() {
+        // Exercise every step kind, regions, loops, multi mode, a mutated
+        // memory config (the ablation sweeps), and a non-default design.
+        use hfs_isa::QueueId;
+        let q = QueueId(2);
+        let mut producer = Kernel::new(vec![
+            KStep::Alu(4),
+            KStep::AluChain(2),
+            KStep::Fp(1),
+            KStep::FpChain(3),
+            KStep::Branch,
+            KStep::Loop(vec![KStep::Produce(q), KStep::Alu(1)], 4),
+        ]);
+        let src = producer.add_region("src", 1 << 20);
+        producer.steps.push(KStep::LoadStream {
+            region: src,
+            stride: 8,
+        });
+        producer.steps.push(KStep::LoadRandom { region: src });
+        let mut consumer = Kernel::new(vec![KStep::Loop(vec![KStep::Consume(q)], 4)]);
+        let dst = consumer.add_region("dst", 64 * 1024);
+        consumer.steps.push(KStep::StoreStream {
+            region: dst,
+            stride: 16,
+        });
+        consumer.steps.push(KStep::StoreRandom { region: dst });
+        let pair = KernelPair {
+            name: "complex",
+            producer,
+            consumer,
+            iterations: 77,
+        };
+        let mut cfg = MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64())
+            .with_bus_divider(4)
+            .with_bus_width(128);
+        cfg.mem.ozq_entries = 8;
+        cfg.mem.l2_ports = 2;
+        cfg.mem.bus.favor_app_traffic = true;
+        cfg.seed = 42;
+        let job = Job::multi("spec/complex", pair, cfg, 3)
+            .with_max_cycles(123_456)
+            .with_retries(2)
+            .with_metrics(true);
+        let text = job_to_json(&job).to_string();
+        let back = job_from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back.pair, job.pair);
+        assert_eq!(back.cfg, job.cfg);
+        assert_eq!(back.mode, Mode::Multi(3));
+        assert_eq!(back.max_cycles, 123_456);
+        assert_eq!(back.retries, 2);
+        assert!(back.metrics);
+        assert_eq!(back.key(), job.key());
+    }
+
+    #[test]
+    fn every_design_kind_round_trips() {
+        for d in [
+            DesignPoint::existing(),
+            DesignPoint::existing_with_qlu(1),
+            DesignPoint::memopti_with_qlu(4),
+            DesignPoint::syncopti(),
+            DesignPoint::syncopti_sc_q64(),
+            DesignPoint::heavywt(),
+            DesignPoint::heavywt_with(10, 64),
+            DesignPoint::heavywt_centralized(12),
+            DesignPoint::regmapped(3),
+        ] {
+            let back = design_from_json(&design_to_json(&d)).unwrap();
+            assert_eq!(back, d, "{d}");
+        }
+    }
+
+    #[test]
+    fn decoded_run_matches_local_run() {
+        // The decode path must produce a job the simulator treats as
+        // identical: same key, same deterministic cycle count.
+        let job = demo_job();
+        let back = job_from_json(&job_to_json(&job)).unwrap();
+        let a = crate::job::execute(&job, 0);
+        let b = crate::job::execute(&back, 0);
+        assert_eq!(a.ok().unwrap().cycles, b.ok().unwrap().cycles);
+    }
+
+    #[test]
+    fn interner_dedupes_names() {
+        let a = intern("same-name");
+        let b = intern("same-name");
+        assert_eq!(a.as_ptr(), b.as_ptr(), "one leak per distinct string");
+    }
+
+    #[test]
+    fn sweep_round_trips() {
+        let jobs = vec![demo_job(), demo_job().with_metrics(true)];
+        let v = sweep_to_json("fig6", &jobs);
+        let (name, back) = sweep_from_json(&v).unwrap();
+        assert_eq!(name, "fig6");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].key(), jobs[0].key());
+        assert_eq!(back[1].key(), jobs[1].key());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_specs() {
+        for bad in [
+            "{}",
+            r#"{"label":"x","mode":"warp"}"#,
+            r#"{"label":"x","mode":"multi","max_cycles":1,"retries":0,"metrics":false}"#,
+        ] {
+            assert!(job_from_json(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+        assert!(sweep_from_json(&parse("{}").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The `hfs-client` CLI: submit sweeps to an `hfs-serve` instance.
+//!
+//! ```text
+//! hfs-client submit <spec.json> [--out DIR]   # run a sweep, write artifact
+//! hfs-client ping                             # liveness check
+//! hfs-client stats                            # counter snapshot (JSON)
+//! hfs-client shutdown                         # ask the server to drain
+//! ```
+//!
+//! The server endpoint comes from `HFS_SOCK`/`HFS_ADDR`. A sweep spec
+//! is the JSON written by `all_figures fig6 --dump-jobs` (or
+//! [`hfs_harness::sweep_to_json`]): `{"experiment": ..., "jobs":
+//! [...]}`. The artifact written by `submit` is byte-identical to the
+//! offline runner's `results/<experiment>.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hfs_harness::{sweep_from_json, Json};
+use hfs_serve::{print_update, Client};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hfs-client submit <spec.json> [--out DIR]\n\
+         \x20      hfs-client ping | stats | shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn connect() -> Result<Client, ExitCode> {
+    Client::from_env().map_err(|e| {
+        eprintln!("hfs-client: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn submit(spec_path: &str, out_dir: Option<PathBuf>) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hfs-client: cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match hfs_harness::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("hfs-client: {spec_path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (experiment, jobs) = match sweep_from_json(&parsed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hfs-client: {spec_path} is not a sweep spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Mirror the offline engine's HFS_METRICS handling so the artifact
+    // bytes match whichever path runs the sweep.
+    let jobs = if env_flag("HFS_METRICS") {
+        jobs.into_iter().map(|j| j.with_metrics(true)).collect()
+    } else {
+        jobs
+    };
+    let progress = !env_flag("HFS_NO_PROGRESS");
+
+    let mut client = match connect() {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let batch = match client.submit(&experiment, jobs, |u| {
+        if progress {
+            print_update(&experiment, u);
+        }
+    }) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hfs-client: submit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let dir = out_dir.unwrap_or_else(|| {
+        PathBuf::from(std::env::var("HFS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
+    });
+    match batch.write_artifact(&dir) {
+        Ok(path) => println!("{}", path.display()),
+        Err(e) => {
+            eprintln!("hfs-client: failed to write artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if batch.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        for r in batch.records.iter().filter(|r| !r.outcome.is_ok()) {
+            eprintln!("hfs-client: {}/{}: {}", experiment, r.label, r.outcome);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("submit") => {
+            let spec = args.get(1).cloned().unwrap_or_else(|| usage());
+            let mut out_dir = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--out" => {
+                        out_dir = Some(PathBuf::from(
+                            args.get(i + 1).cloned().unwrap_or_else(|| usage()),
+                        ));
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("hfs-client: unknown argument {other:?}");
+                        usage();
+                    }
+                }
+            }
+            submit(&spec, out_dir)
+        }
+        Some("ping") => match connect() {
+            Ok(mut c) => match c.ping() {
+                Ok(()) => {
+                    println!("pong");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("hfs-client: ping failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(code) => code,
+        },
+        Some("stats") => match connect() {
+            Ok(mut c) => match c.stats() {
+                Ok(stats) => {
+                    let mut body = stats.to_json();
+                    if let Json::Obj(pairs) = &mut body {
+                        pairs.retain(|(k, _)| k != "type");
+                    }
+                    println!("{}", body.to_pretty().trim_end());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("hfs-client: stats failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(code) => code,
+        },
+        Some("shutdown") => match connect() {
+            Ok(mut c) => match c.shutdown_server() {
+                Ok(()) => {
+                    println!("shutting down");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("hfs-client: shutdown failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(code) => code,
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,112 @@
+//! The `hfs-serve` daemon: a design-space exploration server.
+//!
+//! ```text
+//! hfs-serve [--sock PATH | --addr HOST:PORT] [--workers N]
+//!           [--queue-limit N] [--verbose]
+//! ```
+//!
+//! Without flags the endpoint comes from `HFS_SOCK`/`HFS_ADDR`. The
+//! execution environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
+//! `HFS_RETRIES`, `HFS_SERVE_QUEUE_LIMIT`) matches the offline engine.
+//! The server runs until a client sends `shutdown` or the process
+//! receives SIGTERM/SIGINT, then drains: accepted work finishes and
+//! every pending result is delivered before exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hfs_serve::{signal, Endpoint, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hfs-serve [--sock PATH | --addr HOST:PORT] [--workers N] \
+         [--queue-limit N] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServerConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sock" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                #[cfg(unix)]
+                {
+                    endpoint = Some(Endpoint::Unix(PathBuf::from(path)));
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = PathBuf::from(path);
+                    eprintln!("hfs-serve: --sock requires Unix-domain sockets; use --addr");
+                    return ExitCode::from(2);
+                }
+            }
+            "--addr" => endpoint = Some(Endpoint::Tcp(args.next().unwrap_or_else(|| usage()))),
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--queue-limit" => {
+                config.queue_limit = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--verbose" => config.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("hfs-serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(endpoint) = endpoint.or_else(Endpoint::from_env) else {
+        eprintln!("hfs-serve: no endpoint: pass --sock/--addr or set HFS_SOCK/HFS_ADDR");
+        return ExitCode::from(2);
+    };
+
+    signal::install();
+    let server = match Server::bind(&endpoint, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hfs-serve: failed to bind {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "hfs-serve: listening on {} ({} workers, queue limit {}, cache {})",
+        server.endpoint(),
+        config.workers,
+        config.queue_limit,
+        config
+            .cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |d| d.display().to_string()),
+    );
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "hfs-serve: drained: {} submitted, {} executed, {} cache hits, \
+                 {} deduped, {} cancelled, {} rejected batches",
+                stats.submitted,
+                stats.executed,
+                stats.cache_hits,
+                stats.deduped,
+                stats.cancelled,
+                stats.rejected,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hfs-serve: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Client-side library for talking to an `hfs-serve` instance.
+//!
+//! [`Client::submit`] streams a batch through the server and reassembles
+//! the answers into the same [`hfs_harness::Batch`] the offline
+//! [`hfs_harness::Engine`] produces — so `Batch::write_artifact` yields
+//! byte-identical `results/<experiment>.json` files whichever path ran
+//! the jobs.
+
+use std::io;
+
+use hfs_harness::{Batch, Job, JobOutcome, Record};
+
+use crate::net::{Endpoint, Stream};
+use crate::proto::{ClientFrame, ProtoError, ServeStats, ServerFrame};
+
+/// Anything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No `HFS_SOCK`/`HFS_ADDR` in the environment.
+    NoEndpoint,
+    /// Transport failure.
+    Io(io::Error),
+    /// Protocol failure.
+    Proto(ProtoError),
+    /// The server rejected the batch: its queue is full.
+    Busy {
+        /// Flights queued server-side at rejection time.
+        queued: u64,
+        /// The server's admission limit.
+        limit: u64,
+    },
+    /// The server is draining and refused the request.
+    ShuttingDown,
+    /// The server reported an error frame.
+    Server(String),
+    /// The server broke the protocol's sequencing rules.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NoEndpoint => {
+                write!(f, "no server endpoint: set HFS_SOCK (or HFS_ADDR)")
+            }
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { queued, limit } => {
+                write!(f, "server busy: {queued} flights queued (limit {limit})")
+            }
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected server behavior: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// A streamed per-job progress update, handed to the callback of
+/// [`Client::submit`] as results arrive (completion order, not
+/// submission order).
+#[derive(Debug, Clone)]
+pub struct JobUpdate {
+    /// How many of the batch's jobs have resolved, this one included.
+    pub finished: u64,
+    /// Total jobs in the batch.
+    pub total: u64,
+    /// The resolved job's label.
+    pub label: String,
+    /// Whether it was served from the server's cache.
+    pub cached: bool,
+    /// Its outcome.
+    pub outcome: JobOutcome,
+}
+
+/// A connection to an `hfs-serve` instance.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to an explicit endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            stream: endpoint.connect()?,
+        })
+    }
+
+    /// Connects to the endpoint named by `HFS_SOCK`/`HFS_ADDR`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoEndpoint`] when neither variable is set, else
+    /// connect failures.
+    pub fn from_env() -> Result<Client, ClientError> {
+        let endpoint = Endpoint::from_env().ok_or(ClientError::NoEndpoint)?;
+        Ok(Client::connect(&endpoint)?)
+    }
+
+    fn read_frame(&mut self) -> Result<ServerFrame, ClientError> {
+        match ServerFrame::read_from(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Unexpected(
+                "server closed the connection mid-conversation".to_string(),
+            )),
+        }
+    }
+
+    /// Liveness round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a non-`pong` answer.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        ClientFrame::Ping.write_to(&mut self.stream)?;
+        match self.read_frame()? {
+            ServerFrame::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a non-`stats` answer.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        ClientFrame::Stats.write_to(&mut self.stream)?;
+        match self.read_frame()? {
+            ServerFrame::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unexpected answer.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        ClientFrame::Shutdown.write_to(&mut self.stream)?;
+        match self.read_frame()? {
+            ServerFrame::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(format!(
+                "expected shutting_down, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a batch and blocks until every job has streamed back,
+    /// invoking `on_update` per resolved job. The returned [`Batch`]
+    /// holds records in submission order, exactly like
+    /// [`hfs_harness::Engine::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`]/[`ClientError::ShuttingDown`] on rejection,
+    /// plus transport, protocol, and sequencing failures.
+    pub fn submit(
+        &mut self,
+        experiment: &str,
+        jobs: Vec<Job>,
+        mut on_update: impl FnMut(&JobUpdate),
+    ) -> Result<Batch, ClientError> {
+        let total = jobs.len() as u64;
+        ClientFrame::Submit {
+            experiment: experiment.to_string(),
+            jobs,
+        }
+        .write_to(&mut self.stream)?;
+        match self.read_frame()? {
+            ServerFrame::Accepted {
+                experiment: e,
+                total: t,
+            } => {
+                if e != experiment || t != total {
+                    return Err(ClientError::Unexpected(format!(
+                        "accepted {e}/{t}, submitted {experiment}/{total}"
+                    )));
+                }
+            }
+            ServerFrame::Busy { queued, limit } => return Err(ClientError::Busy { queued, limit }),
+            ServerFrame::ShuttingDown => return Err(ClientError::ShuttingDown),
+            ServerFrame::Error { message } => return Err(ClientError::Server(message)),
+            other => {
+                return Err(ClientError::Unexpected(format!(
+                    "expected accepted, got {other:?}"
+                )))
+            }
+        }
+        let mut slots: Vec<Option<Record>> = (0..total).map(|_| None).collect();
+        let mut finished: u64 = 0;
+        loop {
+            match self.read_frame()? {
+                ServerFrame::Job {
+                    experiment: e,
+                    index,
+                    label,
+                    key,
+                    cached,
+                    outcome,
+                } => {
+                    if e != experiment {
+                        return Err(ClientError::Unexpected(format!(
+                            "job frame for batch {e:?} while waiting on {experiment:?}"
+                        )));
+                    }
+                    let slot = slots.get_mut(index as usize).ok_or_else(|| {
+                        ClientError::Unexpected(format!("job index {index} out of range {total}"))
+                    })?;
+                    if slot.is_some() {
+                        return Err(ClientError::Unexpected(format!(
+                            "duplicate result for job index {index}"
+                        )));
+                    }
+                    finished += 1;
+                    on_update(&JobUpdate {
+                        finished,
+                        total,
+                        label: label.clone(),
+                        cached,
+                        outcome: outcome.clone(),
+                    });
+                    *slot = Some(Record {
+                        label,
+                        key,
+                        cached,
+                        // Wall time is a server-side detail; artifacts
+                        // exclude it, so zero keeps records honest
+                        // without affecting bytes.
+                        wall_millis: 0,
+                        outcome,
+                    });
+                }
+                ServerFrame::Done { experiment: e, .. } => {
+                    if e != experiment {
+                        return Err(ClientError::Unexpected(format!(
+                            "done frame for batch {e:?} while waiting on {experiment:?}"
+                        )));
+                    }
+                    let records: Vec<Record> = slots
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            s.ok_or_else(|| {
+                                ClientError::Unexpected(format!("done before job {i} resolved"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    return Ok(Batch {
+                        name: experiment.to_string(),
+                        records,
+                    });
+                }
+                ServerFrame::Error { message } => return Err(ClientError::Server(message)),
+                other => {
+                    return Err(ClientError::Unexpected(format!(
+                        "unexpected frame mid-batch: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// A progress printer matching the offline engine's stderr format.
+pub fn print_update(experiment: &str, u: &JobUpdate) {
+    let label = u
+        .label
+        .strip_prefix(experiment)
+        .and_then(|rest| rest.strip_prefix('/'))
+        .unwrap_or(&u.label);
+    eprintln!(
+        "[{}/{}] {experiment}/{label}: {}{}",
+        u.finished,
+        u.total,
+        u.outcome,
+        if u.cached { " (cached)" } else { "" },
+    );
+}

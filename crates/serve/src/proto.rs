@@ -1,0 +1,635 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on an `hfs-serve` connection is one *frame*: a 4-byte
+//! big-endian length followed by that many bytes of compact JSON. The
+//! JSON itself reuses the harness's hand-rolled serializers — jobs
+//! travel as [`hfs_harness::spec`] documents and outcomes as
+//! [`hfs_harness::ser`] documents — so the server and the offline
+//! engine literally share one codec, which is what makes server-routed
+//! artifacts byte-identical to local ones.
+//!
+//! Frame types are closed enums ([`ClientFrame`], [`ServerFrame`]) with
+//! a `"type"` tag; unknown tags decode to [`ProtoError::Malformed`] so
+//! version skew fails loudly instead of silently dropping work.
+
+use std::io::{self, Read, Write};
+
+use hfs_harness::{
+    job_from_json, job_to_json, outcome_from_json, outcome_to_json, parse, DecodeError, Job,
+    JobOutcome, Json, ParseError,
+};
+
+/// Upper bound on a single frame body. Large sweeps are a few megabytes
+/// of job specs; anything beyond this is a corrupt length prefix, not a
+/// real message, and is rejected before allocating.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Anything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure mid-frame.
+    Io(io::Error),
+    /// The frame body was not valid JSON.
+    Parse(ParseError),
+    /// The JSON did not decode into a known frame.
+    Decode(DecodeError),
+    /// Structurally valid JSON but not a frame we recognize.
+    Malformed(String),
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "frame I/O error: {e}"),
+            ProtoError::Parse(e) => write!(f, "frame is not valid JSON: {e}"),
+            ProtoError::Decode(e) => write!(f, "frame failed to decode: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<ParseError> for ProtoError {
+    fn from(e: ParseError) -> ProtoError {
+        ProtoError::Parse(e)
+    }
+}
+
+impl From<DecodeError> for ProtoError {
+    fn from(e: DecodeError) -> ProtoError {
+        ProtoError::Decode(e)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the compact JSON.
+///
+/// # Errors
+///
+/// Propagates transport write failures.
+pub fn write_frame(w: &mut impl Write, body: &Json) -> io::Result<()> {
+    let text = body.to_string();
+    let len = u32::try_from(text.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF *between* frames
+/// (the peer closed); EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Transport failures, oversized length prefixes, and invalid JSON.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no more frames" from "truncated prefix" by hand: a
+    // clean close yields 0 bytes before the next prefix.
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-prefix",
+            )));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|_| ProtoError::Malformed("frame body is not UTF-8".to_string()))?;
+    Ok(Some(parse(&text)?))
+}
+
+fn tag_of(v: &Json) -> Result<&str, ProtoError> {
+    v.get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::Malformed("frame has no \"type\" tag".to_string()))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::Malformed(format!("missing string field \"{key}\"")))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtoError::Malformed(format!("missing integer field \"{key}\"")))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, ProtoError> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(ProtoError::Malformed(format!(
+            "missing boolean field \"{key}\""
+        ))),
+    }
+}
+
+/// A message from a client to the server.
+#[derive(Debug, Clone)]
+pub enum ClientFrame {
+    /// Submit a named batch of jobs for execution.
+    Submit {
+        /// Experiment name (artifact file stem on the client side).
+        experiment: String,
+        /// The jobs, in submission order.
+        jobs: Vec<Job>,
+    },
+    /// Liveness probe; answered with [`ServerFrame::Pong`].
+    Ping,
+    /// Request a [`ServeStats`] snapshot.
+    Stats,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+impl ClientFrame {
+    /// Encodes the frame body.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ClientFrame::Submit { experiment, jobs } => Json::obj(vec![
+                ("type", Json::Str("submit".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("jobs", Json::Arr(jobs.iter().map(job_to_json).collect())),
+            ]),
+            ClientFrame::Ping => Json::obj(vec![("type", Json::Str("ping".to_string()))]),
+            ClientFrame::Stats => Json::obj(vec![("type", Json::Str("stats".to_string()))]),
+            ClientFrame::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".to_string()))]),
+        }
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on unknown tags or missing fields.
+    pub fn from_json(v: &Json) -> Result<ClientFrame, ProtoError> {
+        match tag_of(v)? {
+            "submit" => {
+                let experiment = str_field(v, "experiment")?;
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::Malformed("submit has no jobs array".to_string()))?
+                    .iter()
+                    .map(job_from_json)
+                    .collect::<Result<Vec<Job>, DecodeError>>()?;
+                Ok(ClientFrame::Submit { experiment, jobs })
+            }
+            "ping" => Ok(ClientFrame::Ping),
+            "stats" => Ok(ClientFrame::Stats),
+            "shutdown" => Ok(ClientFrame::Shutdown),
+            other => Err(ProtoError::Malformed(format!(
+                "unknown client frame type {other:?}"
+            ))),
+        }
+    }
+
+    /// Writes the frame to a transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, &self.to_json())
+    }
+
+    /// Reads the next client frame; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<ClientFrame>, ProtoError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some(v) => ClientFrame::from_json(&v).map(Some),
+        }
+    }
+}
+
+/// Aggregate server counters, reported via [`ServerFrame::Stats`].
+///
+/// `submitted = deduped + flights`, where a *flight* is a job that got
+/// its own execution slot; `executed + cache_hits` flights have resolved
+/// so far. `deduped > 0` under concurrent identical submissions is the
+/// observable proof of single-flight execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Job submissions accepted (counting every waiter, deduped or not).
+    pub submitted: u64,
+    /// Jobs actually simulated (cache misses that ran to completion).
+    pub executed: u64,
+    /// Jobs answered from the on-disk result cache.
+    pub cache_hits: u64,
+    /// Submissions that attached to an already-queued or running flight
+    /// instead of enqueuing their own.
+    pub deduped: u64,
+    /// Running flights cancelled because every waiter disconnected.
+    pub cancelled: u64,
+    /// Queued flights discarded because every waiter disconnected.
+    pub aborted: u64,
+    /// Whole-batch submissions rejected by admission control.
+    pub rejected: u64,
+    /// Job results delivered to waiters.
+    pub delivered: u64,
+    /// Flights currently waiting in the queue.
+    pub queued: u64,
+    /// Flights currently executing on a worker.
+    pub running: u64,
+    /// Whether the server is draining toward exit.
+    pub draining: bool,
+}
+
+impl ServeStats {
+    /// Encodes the snapshot as a stats frame body (sans tag).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submitted", Json::U64(self.submitted)),
+            ("executed", Json::U64(self.executed)),
+            ("cache_hits", Json::U64(self.cache_hits)),
+            ("deduped", Json::U64(self.deduped)),
+            ("cancelled", Json::U64(self.cancelled)),
+            ("aborted", Json::U64(self.aborted)),
+            ("rejected", Json::U64(self.rejected)),
+            ("delivered", Json::U64(self.delivered)),
+            ("queued", Json::U64(self.queued)),
+            ("running", Json::U64(self.running)),
+            ("draining", Json::Bool(self.draining)),
+        ])
+    }
+
+    /// Decodes a snapshot from a stats frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on missing fields.
+    pub fn from_json(v: &Json) -> Result<ServeStats, ProtoError> {
+        Ok(ServeStats {
+            submitted: u64_field(v, "submitted")?,
+            executed: u64_field(v, "executed")?,
+            cache_hits: u64_field(v, "cache_hits")?,
+            deduped: u64_field(v, "deduped")?,
+            cancelled: u64_field(v, "cancelled")?,
+            aborted: u64_field(v, "aborted")?,
+            rejected: u64_field(v, "rejected")?,
+            delivered: u64_field(v, "delivered")?,
+            queued: u64_field(v, "queued")?,
+            running: u64_field(v, "running")?,
+            draining: bool_field(v, "draining")?,
+        })
+    }
+}
+
+/// A message from the server to a client.
+#[derive(Debug, Clone)]
+pub enum ServerFrame {
+    /// The batch passed admission control; job frames will follow.
+    Accepted {
+        /// Echo of the submitted experiment name.
+        experiment: String,
+        /// Number of jobs accepted.
+        total: u64,
+    },
+    /// The whole batch was rejected: the flight queue is full.
+    Busy {
+        /// Flights currently queued.
+        queued: u64,
+        /// The admission limit.
+        limit: u64,
+    },
+    /// One job of a batch resolved.
+    Job {
+        /// The batch it belongs to.
+        experiment: String,
+        /// The job's position in the submitted batch.
+        index: u64,
+        /// The job's display label.
+        label: String,
+        /// Content-derived cache key.
+        key: String,
+        /// Whether the outcome came from the on-disk cache.
+        cached: bool,
+        /// The outcome itself.
+        outcome: JobOutcome,
+    },
+    /// Every job of the batch has been delivered.
+    Done {
+        /// The batch that finished.
+        experiment: String,
+        /// Whether every job succeeded.
+        ok: bool,
+    },
+    /// Counter snapshot, answering [`ClientFrame::Stats`].
+    Stats(ServeStats),
+    /// Liveness answer.
+    Pong,
+    /// The server is draining; new submissions are refused.
+    ShuttingDown,
+    /// The request could not be processed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl ServerFrame {
+    /// Encodes the frame body.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ServerFrame::Accepted { experiment, total } => Json::obj(vec![
+                ("type", Json::Str("accepted".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("total", Json::U64(*total)),
+            ]),
+            ServerFrame::Busy { queued, limit } => Json::obj(vec![
+                ("type", Json::Str("busy".to_string())),
+                ("queued", Json::U64(*queued)),
+                ("limit", Json::U64(*limit)),
+            ]),
+            ServerFrame::Job {
+                experiment,
+                index,
+                label,
+                key,
+                cached,
+                outcome,
+            } => Json::obj(vec![
+                ("type", Json::Str("job".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("index", Json::U64(*index)),
+                ("label", Json::Str(label.clone())),
+                ("key", Json::Str(key.clone())),
+                ("cached", Json::Bool(*cached)),
+                ("outcome", outcome_to_json(outcome)),
+            ]),
+            ServerFrame::Done { experiment, ok } => Json::obj(vec![
+                ("type", Json::Str("done".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("ok", Json::Bool(*ok)),
+            ]),
+            ServerFrame::Stats(stats) => {
+                let mut body = vec![("type".to_string(), Json::Str("stats".to_string()))];
+                if let Json::Obj(pairs) = stats.to_json() {
+                    body.extend(pairs);
+                }
+                Json::Obj(body)
+            }
+            ServerFrame::Pong => Json::obj(vec![("type", Json::Str("pong".to_string()))]),
+            ServerFrame::ShuttingDown => {
+                Json::obj(vec![("type", Json::Str("shutting_down".to_string()))])
+            }
+            ServerFrame::Error { message } => Json::obj(vec![
+                ("type", Json::Str("error".to_string())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on unknown tags or missing fields.
+    pub fn from_json(v: &Json) -> Result<ServerFrame, ProtoError> {
+        match tag_of(v)? {
+            "accepted" => Ok(ServerFrame::Accepted {
+                experiment: str_field(v, "experiment")?,
+                total: u64_field(v, "total")?,
+            }),
+            "busy" => Ok(ServerFrame::Busy {
+                queued: u64_field(v, "queued")?,
+                limit: u64_field(v, "limit")?,
+            }),
+            "job" => Ok(ServerFrame::Job {
+                experiment: str_field(v, "experiment")?,
+                index: u64_field(v, "index")?,
+                label: str_field(v, "label")?,
+                key: str_field(v, "key")?,
+                cached: bool_field(v, "cached")?,
+                outcome: outcome_from_json(
+                    v.get("outcome")
+                        .ok_or_else(|| ProtoError::Malformed("job has no outcome".to_string()))?,
+                )?,
+            }),
+            "done" => Ok(ServerFrame::Done {
+                experiment: str_field(v, "experiment")?,
+                ok: bool_field(v, "ok")?,
+            }),
+            "stats" => Ok(ServerFrame::Stats(ServeStats::from_json(v)?)),
+            "pong" => Ok(ServerFrame::Pong),
+            "shutting_down" => Ok(ServerFrame::ShuttingDown),
+            "error" => Ok(ServerFrame::Error {
+                message: str_field(v, "message")?,
+            }),
+            other => Err(ProtoError::Malformed(format!(
+                "unknown server frame type {other:?}"
+            ))),
+        }
+    }
+
+    /// Writes the frame to a transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, &self.to_json())
+    }
+
+    /// Reads the next server frame; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<ServerFrame>, ProtoError> {
+        match read_frame(r)? {
+            None => Ok(None),
+            Some(v) => ServerFrame::from_json(&v).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfs_core::kernel::KernelPair;
+    use hfs_core::{DesignPoint, MachineConfig};
+    use hfs_harness::execute;
+
+    fn demo_job() -> Job {
+        Job::pipeline(
+            "proto/demo",
+            KernelPair::simple("demo", 2, 40),
+            MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+        )
+    }
+
+    fn pipe_client(frame: &ClientFrame) -> ClientFrame {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        ClientFrame::read_from(&mut buf.as_slice())
+            .unwrap()
+            .expect("a frame was written")
+    }
+
+    fn pipe_server(frame: &ServerFrame) -> ServerFrame {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        ServerFrame::read_from(&mut buf.as_slice())
+            .unwrap()
+            .expect("a frame was written")
+    }
+
+    #[test]
+    fn submit_round_trips_with_equivalent_jobs() {
+        let job = demo_job();
+        let frame = ClientFrame::Submit {
+            experiment: "fig6".to_string(),
+            jobs: vec![job.clone()],
+        };
+        match pipe_client(&frame) {
+            ClientFrame::Submit { experiment, jobs } => {
+                assert_eq!(experiment, "fig6");
+                assert_eq!(jobs.len(), 1);
+                // Key equality is the strong property: the decoded job
+                // hits the same cache entry and simulates identically.
+                assert_eq!(jobs[0].key(), job.key());
+                assert_eq!(jobs[0].label, job.label);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        assert!(matches!(pipe_client(&ClientFrame::Ping), ClientFrame::Ping));
+        assert!(matches!(
+            pipe_client(&ClientFrame::Stats),
+            ClientFrame::Stats
+        ));
+        assert!(matches!(
+            pipe_client(&ClientFrame::Shutdown),
+            ClientFrame::Shutdown
+        ));
+        assert!(matches!(pipe_server(&ServerFrame::Pong), ServerFrame::Pong));
+        assert!(matches!(
+            pipe_server(&ServerFrame::ShuttingDown),
+            ServerFrame::ShuttingDown
+        ));
+    }
+
+    #[test]
+    fn job_frame_round_trips_outcome() {
+        let outcome = execute(&demo_job(), 0);
+        let cycles = outcome.ok().expect("demo job runs").cycles;
+        let frame = ServerFrame::Job {
+            experiment: "fig6".to_string(),
+            index: 3,
+            label: "fig6/demo".to_string(),
+            key: "0123456789abcdef".to_string(),
+            cached: true,
+            outcome,
+        };
+        match pipe_server(&frame) {
+            ServerFrame::Job {
+                index,
+                cached,
+                outcome,
+                ..
+            } => {
+                assert_eq!(index, 3);
+                assert!(cached);
+                assert_eq!(outcome.ok().unwrap().cycles, cycles);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = ServeStats {
+            submitted: 10,
+            executed: 4,
+            cache_hits: 2,
+            deduped: 4,
+            cancelled: 1,
+            aborted: 1,
+            rejected: 2,
+            delivered: 9,
+            queued: 3,
+            running: 2,
+            draining: true,
+        };
+        match pipe_server(&ServerFrame::Stats(stats)) {
+            ServerFrame::Stats(back) => assert_eq!(back, stats),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        ClientFrame::Ping.write_to(&mut buf).unwrap();
+        ClientFrame::Stats.write_to(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(
+            ClientFrame::read_from(&mut r).unwrap(),
+            Some(ClientFrame::Ping)
+        ));
+        assert!(matches!(
+            ClientFrame::read_from(&mut r).unwrap(),
+            Some(ClientFrame::Stats)
+        ));
+        assert!(ClientFrame::read_from(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_prefix_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        ClientFrame::Ping.write_to(&mut buf).unwrap();
+        buf.truncate(2);
+        assert!(ClientFrame::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        match read_frame(&mut buf.as_slice()) {
+            Err(ProtoError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_types_fail_loudly() {
+        let v = Json::obj(vec![("type", Json::Str("warp_core".to_string()))]);
+        assert!(ClientFrame::from_json(&v).is_err());
+        assert!(ServerFrame::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Minimal SIGTERM/SIGINT latching for graceful drain.
+//!
+//! The workspace has no `libc` dependency, so this module declares the
+//! one C symbol it needs (`signal(2)`) directly. The handler is
+//! async-signal-safe: it only stores into a static atomic, which the
+//! accept loop polls. This is the single `unsafe` allowance in the
+//! workspace, scoped to installing the handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched to `true` once SIGTERM or SIGINT is received (or
+/// [`request_term`] is called).
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination request has been latched.
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}
+
+/// Latches a termination request in-process — what the signal handler
+/// does, callable from tests and embedders.
+pub fn request_term() {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    #![allow(unsafe_code)]
+
+    type Handler = extern "C" fn(i32);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::request_term();
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (no-op on non-Unix platforms).
+/// Call once at server startup, before accepting connections.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latches() {
+        // `TERM` is process-global and only ever raised, never cleared —
+        // no other serve test reads it, so latching here is safe.
+        install();
+        request_term();
+        assert!(term_requested());
+    }
+}

@@ -1,0 +1,67 @@
+//! Cooperative cancellation for long-running simulations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// The owner of a simulation (e.g. a server dispatching jobs for remote
+/// clients) keeps one handle and hands a clone to the machine; calling
+/// [`CancelToken::cancel`] from any thread makes the machine abandon the
+/// run at the next top-of-loop poll. Polling is a single relaxed atomic
+/// load, cheap enough for the simulation hot loop.
+///
+/// A fresh token is not cancelled; cancellation is sticky (there is no
+/// reset — make a new token instead, so a stale cancel can never leak
+/// into a re-enqueued job).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A new, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_to_all_clones() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        t.cancel();
+        assert!(t2.is_cancelled());
+        // Sticky and idempotent.
+        t2.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

@@ -13,7 +13,10 @@
 //!   xorshift64*) behind workload address randomness and randomized tests,
 //! * [`FnvMap`] — a `u64`-keyed FNV-1a open-addressing map for
 //!   per-transaction hot-path state (cheaper than SipHash `HashMap`),
-//! * [`ConfigError`] — validation errors for machine configuration.
+//! * [`ConfigError`] — validation errors for machine configuration,
+//! * [`CancelToken`] — a thread-safe cooperative cancellation flag polled
+//!   by long-running simulations (used by the `hfs-serve` service layer
+//!   to abandon jobs whose clients disconnected).
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod cancel;
 mod cycle;
 mod error;
 mod map;
@@ -37,6 +41,7 @@ mod queue;
 mod rng;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use cycle::Cycle;
 pub use error::ConfigError;
 pub use map::FnvMap;

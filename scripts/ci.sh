@@ -16,8 +16,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test (tier-1)"
 if [ -n "${HFS_FULL:-}" ]; then
@@ -45,12 +45,13 @@ if grep -q '"status": *"check_failed"' target/check_results/*.json 2>/dev/null; 
     echo "machine check reported violations in fig6 artifacts"; exit 1
 fi
 
-echo "==> simbench --quick (hot-loop throughput sanity)"
-cargo run --release -p hfs-bench --bin simbench -- --quick
+echo "==> simbench --quick --check (hot-loop throughput gate vs committed baseline)"
+# --check fails the run when a point regresses >10% vs its committed
+# BENCH_simloop.json row (after one damped re-measure).
+cargo run --release -p hfs-bench --bin simbench -- --quick --check
 QUICK_JSON=target/BENCH_simloop_quick.json
 [ -s "$QUICK_JSON" ] || { echo "simbench wrote no $QUICK_JSON"; exit 1; }
-# Well-formedness gate; simbench itself prints the informational delta
-# against the committed BENCH_simloop.json baseline.
+# Well-formedness gate on the written artifact.
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$QUICK_JSON" <<'EOF'
 import json, sys
@@ -62,5 +63,69 @@ EOF
 else
     grep -q '"schema": "simbench-v1"' "$QUICK_JSON" || { echo "malformed $QUICK_JSON"; exit 1; }
 fi
+
+echo "==> hfs-serve smoke (concurrent clients, byte-identical artifacts, dedup, drain)"
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=
+serve_cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SERVE_TMP"
+}
+trap serve_cleanup EXIT
+SOCK="$SERVE_TMP/hfs.sock"
+
+# Offline golden: the quick fig6 sweep through the plain engine.
+HFS_QUICK=1 HFS_NO_CACHE=1 HFS_NO_PROGRESS=1 \
+    HFS_RESULTS_DIR="$SERVE_TMP/offline" \
+    target/release/fig6 >/dev/null
+
+# The same sweep as a server-submittable spec.
+HFS_QUICK=1 target/release/fig6 --dump-jobs "$SERVE_TMP/fig6_jobs.json"
+
+# Server on a private socket with a fresh cache.
+HFS_CACHE_DIR="$SERVE_TMP/cache" \
+    target/release/hfs-serve --sock "$SOCK" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "hfs-serve did not come up"; exit 1; }
+
+# Two concurrent clients submit the identical sweep.
+HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
+    target/release/hfs-client submit "$SERVE_TMP/fig6_jobs.json" \
+    --out "$SERVE_TMP/client_a" >/dev/null &
+CLIENT_A=$!
+HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
+    target/release/hfs-client submit "$SERVE_TMP/fig6_jobs.json" \
+    --out "$SERVE_TMP/client_b" >/dev/null &
+CLIENT_B=$!
+wait "$CLIENT_A"
+wait "$CLIENT_B"
+
+# Server-side artifacts must be byte-identical to the offline run.
+cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_a/fig6.json" \
+    || { echo "client A artifact differs from offline fig6"; exit 1; }
+cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_b/fig6.json" \
+    || { echo "client B artifact differs from offline fig6"; exit 1; }
+
+# Single-flight + shared cache: the server must have executed at most
+# one simulation per unique job despite two full submissions.
+STATS=$(HFS_SOCK="$SOCK" target/release/hfs-client stats)
+echo "$STATS"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<EOF
+import json
+s = json.loads('''$STATS''')
+assert s["submitted"] == 2 * s["executed"], f"expected 2x dedup: {s}"
+assert s["deduped"] + s["cache_hits"] == s["executed"], f"dedup accounting: {s}"
+assert s["delivered"] == s["submitted"], f"every job delivered: {s}"
+EOF
+else
+    echo "$STATS" | grep -q '"deduped": 0' && { echo "no dedup observed"; exit 1; }
+fi
+
+# Clean shutdown: drain acknowledged, server exits zero.
+HFS_SOCK="$SOCK" target/release/hfs-client shutdown >/dev/null
+wait "$SERVE_PID" || { echo "hfs-serve exited non-zero"; exit 1; }
+SERVE_PID=
 
 echo "==> ci OK"

@@ -109,6 +109,111 @@ fn checker_preserves_results_and_pins_percycle() {
     }
 }
 
+/// A dense pair: independent ALU work every cycle on both cores, so the
+/// event-driven bound almost never clears the next cycle. Under the
+/// EXISTING design this is the pathological case for fast-forward —
+/// bound computations are pure overhead.
+fn dense_pair() -> KernelPair {
+    let q = QueueId(0);
+    KernelPair {
+        name: "ff-dense",
+        producer: Kernel::new(vec![KStep::Alu(4), KStep::Produce(q), KStep::Branch]),
+        consumer: Kernel::new(vec![KStep::Consume(q), KStep::AluChain(4), KStep::Branch]),
+        iterations: 4000,
+    }
+}
+
+/// A sparse pair: a serial FP producer leaves multi-cycle gaps where no
+/// core can retire anything, so fast-forward jumps pay for themselves.
+fn sparse_pair() -> KernelPair {
+    let q = QueueId(0);
+    KernelPair {
+        name: "ff-sparse",
+        producer: Kernel::new(vec![KStep::Fp(8), KStep::Produce(q), KStep::Branch]),
+        consumer: Kernel::new(vec![KStep::Consume(q), KStep::AluChain(2), KStep::Branch]),
+        iterations: 12_000,
+    }
+}
+
+/// On a workload whose skip rate is too low to pay for bound
+/// computation, the machine must latch fast-forward off after the first
+/// observation window — and the architectural results must still be
+/// bit-identical to a plain per-cycle run.
+#[test]
+fn auto_disable_latches_on_low_skip_workloads() {
+    let pair = dense_pair();
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
+    let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_fast_forward(true);
+    let fast = m.run(20_000_000).expect("run completes");
+    let stats = m.fast_forward_stats();
+    assert!(
+        stats.auto_disabled,
+        "dense workload must trip the low-skip auto-disable: {stats:?}"
+    );
+    assert!(
+        !m.fast_forward_enabled(),
+        "auto-disable must latch fast-forward off for the rest of the run"
+    );
+    assert!(
+        fast.cycles > 8192,
+        "latch fires only after full observation windows, so the run \
+         must span several: {} cycles",
+        fast.cycles
+    );
+
+    let slow = run_with_ff(&cfg, &pair, false);
+    assert_eq!(fast.cycles, slow.cycles, "auto-disable: cycles");
+    assert_eq!(fast.cores, slow.cores, "auto-disable: core stats");
+    assert_eq!(fast.mem, slow.mem, "auto-disable: mem stats");
+    assert_eq!(fast.stream_cache, slow.stream_cache, "auto-disable: SC");
+}
+
+/// On a skip-heavy workload the auto-disable must *not* fire, even
+/// across several full observation windows: fast-forward stays enabled
+/// and keeps skipping.
+#[test]
+fn auto_disable_spares_skip_heavy_workloads() {
+    let pair = sparse_pair();
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64());
+    let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_fast_forward(true);
+    let r = m.run(20_000_000).expect("run completes");
+    let stats = m.fast_forward_stats();
+    assert!(
+        r.cycles > 4 * 4096,
+        "test must span multiple observation windows: {} cycles",
+        r.cycles
+    );
+    assert!(
+        !stats.auto_disabled,
+        "skip-heavy workload must keep fast-forward: {stats:?}"
+    );
+    assert!(m.fast_forward_enabled());
+    assert!(
+        stats.skipped_cycles >= 2 * stats.bound_computations,
+        "skip rate should clear the disable threshold: {stats:?}"
+    );
+}
+
+/// `set_fast_forward(true)` re-arms a machine whose auto-disable has
+/// latched: the latch is per-run state, not a permanent property.
+#[test]
+fn set_fast_forward_rearms_after_auto_disable() {
+    let pair = dense_pair();
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
+    let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_fast_forward(true);
+    m.run(20_000_000).expect("run completes");
+    assert!(m.fast_forward_stats().auto_disabled, "precondition");
+    m.set_fast_forward(true);
+    assert!(m.fast_forward_enabled(), "re-arm restores fast-forward");
+    assert!(
+        !m.fast_forward_stats().auto_disabled,
+        "re-arm clears the latch"
+    );
+}
+
 /// A pipeline that genuinely deadlocks under HEAVYWT: the producer must
 /// emit more items into `q0` than the queue, network, and consumer's
 /// instruction window can absorb before it ever produces `q1`, while
