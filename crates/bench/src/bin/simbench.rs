@@ -4,10 +4,14 @@
 //! [`hfs_harness::execute_once`] (no engine, no cache — every simulated
 //! cycle is paid for) and reports **simulated cycles per wall-clock
 //! second** for each, measured with `std::time::Instant`. Each point is
-//! timed twice: once with the idle-cycle fast-forward enabled (the
-//! default) and once with it disabled via the `HFS_NO_FASTFWD` escape
-//! hatch, so the headline speedup of the event-driven loop is recorded
-//! alongside the absolute rate.
+//! timed twice: once with the scheduled loop enabled (the event-driven
+//! calendar-queue scheduler by default; the polling fast-forward loop
+//! under `HFS_SCHED=poll`) and once pinned to plain per-cycle stepping
+//! via the `HFS_NO_FASTFWD` escape hatch, so the headline speedup of
+//! the scheduled loop is recorded alongside the absolute rate. Every
+//! point is tagged with the `sched` mode that produced its fast sample,
+//! and the artifact's top-level `geomean_speedup` summarizes the whole
+//! set (schema `simbench-v2`).
 //!
 //! The full run writes `BENCH_simloop.json` at the current directory
 //! (the repo root under `scripts/ci.sh`), recording the perf trajectory
@@ -27,10 +31,25 @@ use std::time::Instant;
 
 use hfs_core::{DesignPoint, MachineConfig};
 use hfs_harness::{execute_once, Job, Json};
+use hfs_sim::stats::geomean;
 use hfs_workloads::benchmark;
 
 /// Environment variable that disables the fast-forward loop.
 const ENV_NO_FASTFWD: &str = "HFS_NO_FASTFWD";
+
+/// Environment variable selecting the run loop (`poll` pins the polling
+/// loop; anything else is the event-driven scheduler).
+const ENV_SCHED: &str = "HFS_SCHED";
+
+/// The scheduler-mode label tagged onto every measured point: which run
+/// loop produced the fast (`cycles_per_sec`) sample. The slow sample is
+/// always plain per-cycle stepping (`HFS_NO_FASTFWD=1`).
+fn sched_label() -> &'static str {
+    match std::env::var(ENV_SCHED) {
+        Ok(v) if v.eq_ignore_ascii_case("poll") => "poll",
+        _ => "event",
+    }
+}
 
 /// One benchmark × design configuration to time.
 struct Point {
@@ -217,7 +236,24 @@ fn point_json(p: &Point, m: &Measurement) -> Json {
             Json::F64(no_ff.cycles_per_sec().round()),
         ),
         ("fastfwd_speedup", Json::F64(round2(m.speedup))),
+        ("sched", Json::Str(sched_label().to_string())),
     ])
+}
+
+/// Geometric mean of the per-point speedups (the artifact's headline
+/// number: how much faster the scheduled loop is than per-cycle
+/// stepping across the whole point set).
+fn geomean_speedup(rows: &[Json]) -> f64 {
+    let speedups: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.get("fastfwd_speedup").and_then(Json::as_f64))
+        .filter(|&s| s > 0.0)
+        .collect();
+    if speedups.is_empty() {
+        0.0
+    } else {
+        geomean(speedups)
+    }
 }
 
 fn round2(v: f64) -> f64 {
@@ -333,6 +369,19 @@ fn run_check(
             );
         }
     }
+    // The committed side of the key match: baseline rows no current
+    // point covers (e.g. a point set change) are surfaced rather than
+    // silently ignored.
+    for c in &committed {
+        if baseline_for(rows, c).is_none() {
+            println!(
+                "simbench: committed {}/{} iters={} matched no current point (unchecked)",
+                c.get("bench").and_then(Json::as_str).unwrap_or("?"),
+                c.get("design").and_then(Json::as_str).unwrap_or("?"),
+                c.get("iterations").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
     failures
 }
 
@@ -348,9 +397,12 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let check = std::env::args().any(|a| a == "--check");
     let (points, min_secs, out_path) = if quick {
-        (quick_points(), 0.05, "target/BENCH_simloop_quick.json")
+        (quick_points(), 1.0, "target/BENCH_simloop_quick.json")
     } else {
-        (full_points(), 0.5, "BENCH_simloop.json")
+        // Two-second windows: at half a second, turbo/thermal drift
+        // within a pair still swings ratios by ±10%, which is larger
+        // than the effect being measured.
+        (full_points(), 2.0, "BENCH_simloop.json")
     };
 
     let mut rows = Vec::new();
@@ -375,12 +427,20 @@ fn main() {
         Vec::new()
     };
 
+    let gm = geomean_speedup(&rows);
+    println!(
+        "simbench: geomean speedup {:.2}x over per-cycle stepping ({} loop, {} points)",
+        gm,
+        sched_label(),
+        rows.len(),
+    );
     let doc = Json::obj(vec![
-        ("schema", Json::Str("simbench-v1".to_string())),
+        ("schema", Json::Str("simbench-v2".to_string())),
         (
             "mode",
             Json::Str(if quick { "quick" } else { "full" }.to_string()),
         ),
+        ("geomean_speedup", Json::F64(round2(gm))),
         ("points", Json::Arr(rows)),
     ]);
     let text = doc.to_pretty();

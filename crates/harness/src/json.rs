@@ -49,6 +49,15 @@ impl Json {
         }
     }
 
+    /// The value as `f64`: floats directly, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -155,6 +155,12 @@ pub struct MemSystem {
     streaming_range: Option<(u64, u64)>,
     tracer: Tracer,
     checker: Checker,
+    /// Set whenever an externally driven call mutates timed state
+    /// (submit accepted, gated release, forward push, control message).
+    /// The event-driven scheduler polls-and-clears this to know when the
+    /// memory system's `next_event` bound must be recomputed; ticking is
+    /// covered separately, so internal progress need not set it.
+    touched: bool,
 }
 
 impl MemSystem {
@@ -198,6 +204,7 @@ impl MemSystem {
             streaming_range: None,
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
+            touched: false,
             cfg,
         })
     }
@@ -282,13 +289,20 @@ impl MemSystem {
         };
         let id = self.l2s[c].allocate(op.addr, kind, op.background, op.gated, now);
         self.meta[c].insert(id, TokenMeta { gated: op.gated });
+        // Only an *accepted* submission arms new timed state. Rejections
+        // and L1 hits touch nothing with autonomous timing (the refused
+        // re-attempt side effects are bulk-replayed at jump time), so
+        // flagging them would pin the scheduler awake for nothing.
+        self.touched = true;
         Submit::Accepted(MemToken::new(core, id))
     }
 
     /// Releases a gated operation so it proceeds to the L2.
     /// Returns false if the token is unknown (already completed).
     pub fn release(&mut self, token: MemToken, now: Cycle) -> bool {
-        self.l2s[token.core().index()].release(token.id(), now)
+        let released = self.l2s[token.core().index()].release(token.id(), now);
+        self.touched |= released;
+        released
     }
 
     /// Injects a write-forward push of the line containing `line_addr`
@@ -301,6 +315,7 @@ impl MemSystem {
             return false;
         }
         self.l2s[f].allocate(line_addr, EntryKind::Forward { to }, true, false, now);
+        self.touched = true;
         true
     }
 
@@ -326,6 +341,7 @@ impl MemSystem {
     pub fn send_ctl(&mut self, from: CoreId, to: CoreId, payload: CtlPayload) {
         self.bus
             .request_addr(from, AddrTxn::Ctl { from, to, payload });
+        self.touched = true;
     }
 
     /// In-flight operations for `core`.
@@ -383,6 +399,22 @@ impl MemSystem {
         self.completions[core.index()]
             .next_ready()
             .is_some_and(|ready| ready <= now)
+    }
+
+    /// The earliest cycle any undelivered completion for `core` becomes
+    /// ready, or `None` when none are pending. The event-driven
+    /// scheduler folds this into a sleeping core's wake time so stray
+    /// completions (store acks, stream-cache shadow loads) are drained —
+    /// and the per-core completion queue emptied — at exactly the cycle
+    /// per-cycle simulation would drain them.
+    pub fn next_completion(&self, core: CoreId) -> Option<Cycle> {
+        self.completions[core.index()].next_ready()
+    }
+
+    /// Clears and returns the externally-driven-mutation flag (see the
+    /// `touched` field). Event-scheduler use only.
+    pub fn take_touched(&mut self) -> bool {
+        std::mem::take(&mut self.touched)
     }
 
     /// Replays the L1 side effects of `n` back-to-back submissions the

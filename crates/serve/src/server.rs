@@ -692,15 +692,21 @@ mod tests {
     fn concurrent_identical_batches_dedupe() {
         let d = dispatcher(1, 64);
         let (tx, rx) = channel();
-        // One worker, so the queue backs up: submit the same 3 jobs
-        // from 4 "clients" while the worker chews. Dedup is then
-        // deterministic for every submission after the first.
+        // One worker, pinned on a long blocker job so the queue backs
+        // up: submit the same 3 jobs from 4 "clients" while the worker
+        // chews on the blocker. Dedup is then deterministic for every
+        // submission after the first (without the blocker, a fast
+        // enough simulator finishes x/a before the later submits land
+        // and re-executes it).
+        d.submit(9, &tx, "blk", vec![job("blk/hold", 2, 20_000)])
+            .ok()
+            .unwrap();
         let jobs = || vec![job("x/a", 2, 200), job("x/b", 3, 200), job("x/c", 4, 200)];
         for conn in 0..4 {
             d.submit(conn, &tx, "x", jobs()).ok().unwrap();
         }
         let mut dones = 0;
-        while dones < 4 {
+        while dones < 5 {
             if let ServerFrame::Done { ok, .. } = rx.recv_timeout(Duration::from_secs(60)).unwrap()
             {
                 assert!(ok);
@@ -708,13 +714,13 @@ mod tests {
             }
         }
         let stats = d.stats();
-        assert_eq!(stats.submitted, 12);
-        assert_eq!(stats.delivered, 12, "every waiter served");
+        assert_eq!(stats.submitted, 13);
+        assert_eq!(stats.delivered, 13, "every waiter served");
         assert!(
             stats.deduped >= 9,
-            "at most the first batch's 3 jobs execute; got {stats:?}"
+            "at most the blocker and the first batch's 3 jobs execute; got {stats:?}"
         );
-        assert!(stats.executed <= 3);
+        assert!(stats.executed <= 4);
         drain(&d);
     }
 

@@ -16,7 +16,9 @@
 //! * [`ConfigError`] — validation errors for machine configuration,
 //! * [`CancelToken`] — a thread-safe cooperative cancellation flag polled
 //!   by long-running simulations (used by the `hfs-serve` service layer
-//!   to abandon jobs whose clients disconnected).
+//!   to abandon jobs whose clients disconnected),
+//! * [`sched`] — the calendar queue behind the machine's event-driven
+//!   run mode ([`sched::CalendarQueue`] timing wheel + overflow heap).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ mod error;
 mod map;
 mod queue;
 mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use cancel::CancelToken;

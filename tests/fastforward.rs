@@ -3,7 +3,7 @@
 //! declare at the same cycle per-cycle simulation would.
 
 use hfs::core::kernel::{KStep, Kernel, KernelPair};
-use hfs::core::{CheckLevel, DesignPoint, Machine, MachineConfig, RunResult, SimError};
+use hfs::core::{CheckLevel, DesignPoint, Machine, MachineConfig, RunResult, SchedMode, SimError};
 use hfs::isa::QueueId;
 use hfs::sim::Rng64;
 
@@ -144,6 +144,9 @@ fn auto_disable_latches_on_low_skip_workloads() {
     let pair = dense_pair();
     let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
     let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    // The pay-floor latch belongs to the polling loop's bound machinery;
+    // the event scheduler needs no latch, so pin the mode under test.
+    m.set_sched_mode(SchedMode::Poll);
     m.set_fast_forward(true);
     let fast = m.run(20_000_000).expect("run completes");
     let stats = m.fast_forward_stats();
@@ -177,6 +180,7 @@ fn auto_disable_spares_skip_heavy_workloads() {
     let pair = sparse_pair();
     let cfg = MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64());
     let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_sched_mode(SchedMode::Poll);
     m.set_fast_forward(true);
     let r = m.run(20_000_000).expect("run completes");
     let stats = m.fast_forward_stats();
@@ -203,6 +207,7 @@ fn set_fast_forward_rearms_after_auto_disable() {
     let pair = dense_pair();
     let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
     let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+    m.set_sched_mode(SchedMode::Poll);
     m.set_fast_forward(true);
     m.run(20_000_000).expect("run completes");
     assert!(m.fast_forward_stats().auto_disabled, "precondition");

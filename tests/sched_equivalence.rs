@@ -1,0 +1,206 @@
+//! Scheduler-mode equivalence: the event-driven calendar-queue loop,
+//! the polling fast-forward loop, and plain per-cycle stepping must be
+//! bit-identical in every architectural statistic. Only wall-clock may
+//! differ between modes.
+
+use hfs::core::kernel::{KStep, Kernel, KernelPair};
+use hfs::core::{DesignPoint, Machine, MachineConfig, RunResult, SchedMode};
+use hfs::isa::QueueId;
+use hfs::sim::Rng64;
+use hfs::trace::Tracer;
+
+const CASES: u64 = 6;
+
+/// Builds a random but valid two-thread pipeline (the same shape space
+/// as the fast-forward property test, different seed stream).
+fn arb_pair(rng: &mut Rng64) -> KernelPair {
+    let pwork = rng.range(1, 6) as u32;
+    let cchain = rng.range(1, 6) as u32;
+    let nq = rng.range(1, 3) as usize;
+    let iters = rng.range(10, 40);
+    let fp = rng.below(3) as u32;
+
+    let queues: Vec<QueueId> = (0..nq as u16).map(QueueId).collect();
+    let mut psteps = vec![KStep::Alu(pwork)];
+    if fp > 0 {
+        psteps.push(KStep::Fp(fp));
+    }
+    for &q in &queues {
+        psteps.push(KStep::Produce(q));
+    }
+    psteps.push(KStep::Branch);
+    let mut csteps: Vec<KStep> = queues.iter().map(|&q| KStep::Consume(q)).collect();
+    csteps.push(KStep::AluChain(cchain));
+    csteps.push(KStep::Branch);
+    KernelPair {
+        name: "sched-prop",
+        producer: Kernel::new(psteps),
+        consumer: Kernel::new(csteps),
+        iterations: iters,
+    }
+}
+
+fn designs() -> Vec<DesignPoint> {
+    vec![
+        DesignPoint::existing(),
+        DesignPoint::memopti(),
+        DesignPoint::syncopti(),
+        DesignPoint::syncopti_sc_q64(),
+        DesignPoint::heavywt(),
+        // Centralized store: long consume-to-use latency keeps the
+        // producer blocked on a full queue for whole windows — the
+        // regime where a stale sync-array port budget (a begin_cycle
+        // the event scheduler skipped) once leaked into stall counters.
+        DesignPoint::heavywt_centralized(12),
+    ]
+}
+
+/// One run in an explicitly pinned scheduler configuration, immune to
+/// whatever `HFS_SCHED` the test environment carries.
+fn run_mode(cfg: &MachineConfig, pair: &KernelPair, mode: SchedMode, ff: bool) -> RunResult {
+    let mut m = Machine::new_pipeline(cfg, pair).expect("machine builds");
+    m.set_sched_mode(mode);
+    m.set_fast_forward(ff);
+    m.run(20_000_000).expect("run completes")
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.cycles, b.cycles, "{label}: cycles");
+    assert_eq!(a.cores, b.cores, "{label}: core stats");
+    assert_eq!(a.mem, b.mem, "{label}: mem stats");
+    assert_eq!(a.stream_cache, b.stream_cache, "{label}: stream cache");
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+}
+
+/// Event mode == poll mode == per-cycle stepping, across random
+/// pipelines and every design point: same cycles, per-core statistics
+/// (stall breakdowns included), memory-system counters, and
+/// stream-cache counters.
+#[test]
+fn event_matches_poll_and_percycle_on_random_configs() {
+    let mut rng = Rng64::new(0x5CED_0001);
+    for case in 0..CASES {
+        let pair = arb_pair(&mut rng);
+        assert!(pair.validate().is_ok());
+        for design in designs() {
+            let cfg = MachineConfig::itanium2_cmp(design);
+            let event = run_mode(&cfg, &pair, SchedMode::Event, true);
+            let poll = run_mode(&cfg, &pair, SchedMode::Poll, true);
+            let percycle = run_mode(&cfg, &pair, SchedMode::Poll, false);
+            let label = format!("case {case}, {}", event.design);
+            assert_identical(&event, &poll, &format!("{label} (event vs poll)"));
+            assert_identical(&event, &percycle, &format!("{label} (event vs per-cycle)"));
+        }
+    }
+}
+
+/// The single-core fused baseline takes the same three paths.
+#[test]
+fn event_matches_poll_on_single_core_machines() {
+    let mut rng = Rng64::new(0x5CED_0002);
+    let pair = arb_pair(&mut rng);
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::existing());
+    let run = |mode, ff| {
+        let mut m = Machine::new_single(&cfg, &pair).expect("machine builds");
+        m.set_sched_mode(mode);
+        m.set_fast_forward(ff);
+        m.run(20_000_000).expect("run completes")
+    };
+    let event = run(SchedMode::Event, true);
+    let poll = run(SchedMode::Poll, true);
+    let percycle = run(SchedMode::Poll, false);
+    assert_identical(&event, &poll, "single-core (event vs poll)");
+    assert_identical(&event, &percycle, "single-core (event vs per-cycle)");
+}
+
+/// A metrics-only tracer is safe to fast-forward in event mode: its
+/// fixed-order event totals and order-insensitive histograms must match
+/// the per-cycle run exactly. (Recording tracers pin to the polling
+/// loop instead — exported event *streams* are compared byte-for-byte
+/// by the trace determinism suite.)
+#[test]
+fn metrics_only_tracer_is_identical_across_modes() {
+    let mut rng = Rng64::new(0x5CED_0003);
+    let pair = arb_pair(&mut rng);
+    for design in designs() {
+        let cfg = MachineConfig::itanium2_cmp(design);
+        let run = |mode: SchedMode, ff: bool| {
+            let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+            m.set_sched_mode(mode);
+            m.set_fast_forward(ff);
+            m.set_tracer(Tracer::metrics_only());
+            let r = m.run(20_000_000).expect("run completes");
+            let t = m.tracer().clone();
+            (r, t.event_counts(), t.consume_to_use(), t.queue_depth())
+        };
+        let (re, ce, cue, qde) = run(SchedMode::Event, true);
+        let (rp, cp, cup, qdp) = run(SchedMode::Poll, false);
+        let label = format!("metrics {}", re.design);
+        assert_identical(&re, &rp, &label);
+        assert_eq!(ce, cp, "{label}: event counts");
+        assert_eq!(
+            (cue.count(), cue.sum()),
+            (cup.count(), cup.sum()),
+            "{label}: consume-to-use histogram"
+        );
+        assert_eq!(
+            (qde.count(), qde.sum()),
+            (qdp.count(), qdp.sum()),
+            "{label}: queue-depth histogram"
+        );
+    }
+}
+
+/// Event-mode sampling lands on the same grid with the same iteration
+/// counts as per-cycle stepping, and the run populates the scheduler's
+/// own accounting.
+#[test]
+fn sampling_grid_and_sched_stats_survive_event_mode() {
+    let mut rng = Rng64::new(0x5CED_0004);
+    let pair = arb_pair(&mut rng);
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::syncopti_sc_q64());
+    let run = |mode, ff| {
+        let mut m = Machine::new_pipeline(&cfg, &pair).expect("machine builds");
+        m.set_sched_mode(mode);
+        m.set_fast_forward(ff);
+        let out = m.run_sampled(20_000_000, Some(64)).expect("run completes");
+        (out, m.sched_stats().clone())
+    };
+    let ((re, se), stats) = run(SchedMode::Event, true);
+    let ((rp, sp), poll_stats) = run(SchedMode::Poll, false);
+    assert_identical(&re, &rp, "sampled");
+    assert_eq!(se, sp, "sample streams must be identical");
+    assert_eq!(
+        stats.cycles_processed + stats.cycles_skipped,
+        re.cycles + 1,
+        "processed + skipped cycles must partition the run: {stats:?}"
+    );
+    assert!(stats.scheduled > 0, "event run populates queue accounting");
+    assert!(stats.fired > 0, "event run fires wakes");
+    assert_eq!(
+        poll_stats.scheduled, 0,
+        "poll runs leave scheduler accounting zeroed"
+    );
+}
+
+/// Regression: a producer blocked on a full queue for whole windows
+/// (centralized store, long consume-to-use latency) once diverged in
+/// `stream_blocked` — the event scheduler skipped the sync array's
+/// per-cycle `begin_cycle`, so a consumer-side `try_consume` drew on a
+/// stale port budget and parked, landing its ACK a cycle late. Needs a
+/// real benchmark run: hundreds of iterations with sustained
+/// queue-full phases, which the short random pipelines above never
+/// reach.
+#[test]
+fn heavywt_centralized_long_blocked_phases_stay_identical() {
+    let bench = hfs::workloads::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "wc")
+        .expect("wc registered");
+    let mut pair = bench.pair.clone();
+    pair.iterations = 300;
+    let cfg = MachineConfig::itanium2_cmp(DesignPoint::heavywt_centralized(12));
+    let event = run_mode(&cfg, &pair, SchedMode::Event, true);
+    let percycle = run_mode(&cfg, &pair, SchedMode::Poll, false);
+    assert_identical(&event, &percycle, "wc/centralized (event vs per-cycle)");
+}
