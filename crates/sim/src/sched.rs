@@ -155,7 +155,11 @@ impl CalendarQueue {
                         self.promote();
                     }
                     _ => {
+                        // The jump can pull overflow entries inside the
+                        // horizon; promote them now so the wheel invariant
+                        // holds for the next schedule/next_due call.
                         self.cursor = now + 1;
+                        self.promote();
                         return None;
                     }
                 }
@@ -177,15 +181,23 @@ impl CalendarQueue {
     /// stretch costs one wheel scan right before a correspondingly long
     /// jump.
     pub fn next_due(&self) -> Option<Cycle> {
+        let overflow_min = self.overflow.peek().map(|&Reverse((at, _))| at);
         if self.wheel_len > 0 {
             for d in 0..WHEEL_SLOTS {
                 let bucket = ((self.cursor + d) % WHEEL_SLOTS) as usize;
                 if let Some(&(at, _)) = self.wheel[bucket].first() {
-                    return Some(Cycle::new(at));
+                    // With the horizon invariant the wheel hit is always
+                    // earliest, but take the min against the overflow
+                    // peek so a future invariant slip can't reorder
+                    // wakes silently.
+                    return Some(Cycle::new(match overflow_min {
+                        Some(o) => at.min(o),
+                        None => at,
+                    }));
                 }
             }
         }
-        self.overflow.peek().map(|&Reverse((at, _))| Cycle::new(at))
+        overflow_min.map(Cycle::new)
     }
 
     /// Entries currently scheduled (wheel + overflow).
@@ -279,6 +291,22 @@ mod tests {
         let far = Cycle::new(100 + WHEEL_SLOTS + 3);
         assert_eq!(q.next_due(), Some(far));
         assert_eq!(q.pop_due(far), Some((far, 2)));
+    }
+
+    #[test]
+    fn empty_pop_jump_promotes_overflow_into_horizon() {
+        // Regression: pop_due's cursor jump over an empty window used to
+        // skip promote(), leaving an overflow entry inside the wheel
+        // horizon; a later wheel schedule then shadowed it in next_due()
+        // and the machine could jump past a pending armed wake.
+        let mut q = CalendarQueue::new(Cycle::ZERO);
+        q.schedule(Cycle::new(300), 1); // beyond horizon: overflow heap
+        assert_eq!(q.pop_due(Cycle::new(100)), None); // cursor hops to 101
+        q.schedule(Cycle::new(350), 2); // inside horizon: wheel
+        assert_eq!(q.next_due(), Some(Cycle::new(300)));
+        assert_eq!(q.pop_due(Cycle::new(400)), Some((Cycle::new(300), 1)));
+        assert_eq!(q.pop_due(Cycle::new(400)), Some((Cycle::new(350), 2)));
+        assert!(q.is_empty());
     }
 
     #[test]
