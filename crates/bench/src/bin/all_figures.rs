@@ -58,7 +58,7 @@ impl Sink {
 fn figure(name: &str, failed: &mut Vec<String>, f: impl FnOnce() + std::panic::UnwindSafe) {
     if std::panic::catch_unwind(f).is_err() {
         // The panic payload was already printed by the default hook.
-        eprintln!("all_figures: {name} FAILED; continuing with remaining figures");
+        hfs_obs::error("bench", "figure_failed", &[("figure", name.into())]);
         failed.push(name.to_string());
     }
 }
@@ -135,24 +135,40 @@ fn main() {
         sink.text("scaling", &ex::scaling::run());
     });
 
-    eprintln!("{}", engine().summary());
+    // The multi-line cache/pool summary is a human report, not a log
+    // line; it still honors the logger's level so `HFS_LOG=warn`
+    // silences routine chatter.
+    if hfs_obs::logger().enabled(hfs_obs::Level::Info) {
+        eprintln!("{}", engine().summary());
+    }
     if engine().metrics_enabled() {
         if let Some(dir) = engine().results_dir() {
             fs::create_dir_all(dir).expect("create results dir");
             let json = hfs_harness::metrics_to_json(&engine().metrics_report()).to_pretty();
             let path = dir.join("harness_metrics.json");
             fs::write(&path, json).expect("write harness metrics");
-            eprintln!("all_figures: wrote harness metrics to {}", path.display());
+            hfs_obs::info(
+                "bench",
+                "metrics_written",
+                &[("path", path.display().to_string().into())],
+            );
         }
     }
     if let Some(p) = hfs_bench::runner::maybe_write_demo_trace() {
-        eprintln!("all_figures: wrote demo trace to {}", p.display());
+        hfs_obs::info(
+            "bench",
+            "trace_written",
+            &[("path", p.display().to_string().into())],
+        );
     }
     if !failed.is_empty() {
-        eprintln!(
-            "all_figures: {} figure(s) failed: {}",
-            failed.len(),
-            failed.join(", ")
+        hfs_obs::error(
+            "bench",
+            "figures_failed",
+            &[
+                ("count", failed.len().into()),
+                ("figures", failed.join(",").into()),
+            ],
         );
         std::process::exit(1);
     }

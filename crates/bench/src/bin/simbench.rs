@@ -11,7 +11,10 @@
 //! the scheduled loop is recorded alongside the absolute rate. Every
 //! point is tagged with the `sched` mode that produced its fast sample,
 //! and the artifact's top-level `geomean_speedup` summarizes the whole
-//! set (schema `simbench-v2`).
+//! set (schema `simbench-v2`). A `host` block records `nproc`, the
+//! scheduler mode, and an iso-8601 timestamp (overridable via
+//! `HFS_BENCH_TIMESTAMP` so CI drivers can pin it); `--check` matches
+//! baseline rows by point keys only and ignores it.
 //!
 //! The full run writes `BENCH_simloop.json` at the current directory
 //! (the repo root under `scripts/ci.sh`), recording the perf trajectory
@@ -385,6 +388,52 @@ fn run_check(
     failures
 }
 
+/// Environment variable letting the CI driver pin the artifact's
+/// `host.timestamp` (any string, conventionally iso-8601); unset, the
+/// wall clock is used.
+const ENV_BENCH_TIMESTAMP: &str = "HFS_BENCH_TIMESTAMP";
+
+/// An iso-8601 UTC timestamp (`YYYY-MM-DDThh:mm:ssZ`) hand-rolled from
+/// `SystemTime` (std-only; no chrono). Uses Howard Hinnant's
+/// civil-from-days algorithm for the date part.
+fn iso8601_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+/// Host metadata recorded alongside the measurements: worker-thread
+/// capacity, the scheduler mode, and when the run happened. Purely
+/// descriptive — `--check` matches baseline rows by the `points` keys
+/// only, so this block never affects the regression gate.
+fn host_json() -> Json {
+    let nproc = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    let timestamp = std::env::var(ENV_BENCH_TIMESTAMP)
+        .ok()
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(iso8601_now);
+    Json::obj(vec![
+        ("nproc", Json::U64(nproc)),
+        ("sched", Json::Str(sched_label().to_string())),
+        ("timestamp", Json::Str(timestamp)),
+    ])
+}
+
 fn rate(p: &Json) -> f64 {
     match p.get("cycles_per_sec") {
         Some(Json::F64(v)) => *v,
@@ -441,6 +490,7 @@ fn main() {
             Json::Str(if quick { "quick" } else { "full" }.to_string()),
         ),
         ("geomean_speedup", Json::F64(round2(gm))),
+        ("host", host_json()),
         ("points", Json::Arr(rows)),
     ]);
     let text = doc.to_pretty();

@@ -81,7 +81,11 @@ pub fn run_batch(name: &str, jobs: Vec<Job>) -> Batch {
         .unwrap_or_else(|e| panic!("server batch `{name}` failed: {e}"));
     if let Some(dir) = engine().results_dir() {
         if let Err(e) = batch.write_artifact(dir) {
-            eprintln!("harness: failed to write {name} artifact: {e}");
+            hfs_obs::error(
+                "harness",
+                "artifact_write_failed",
+                &[("batch", name.into()), ("error", e.to_string().into())],
+            );
         }
     }
     batch

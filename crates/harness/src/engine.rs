@@ -11,10 +11,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use hfs_core::SimError;
+use hfs_obs::{Counter, HistogramMetric, Registry};
 use hfs_trace::{chrome_trace_json, MetricsReport, Tracer};
 
 use crate::cache::Cache;
-use crate::job::{execute, execute_once_with, Job, JobOutcome};
+use crate::job::{execute_counted, execute_once_with, Job, JobOutcome};
 use crate::json::Json;
 use crate::ser::outcome_to_json;
 
@@ -51,6 +52,37 @@ struct EngineCounters {
     exec_millis: AtomicU64,
 }
 
+/// Upper bucket (milliseconds) for the engine's latency histograms;
+/// slower observations land in the overflow bucket and clamp the
+/// percentiles to this value.
+const LATENCY_HISTOGRAM_MAX_MS: usize = 60_000;
+
+/// The engine's job-lifecycle telemetry: an instance-scoped
+/// [`Registry`] (so parallel tests keep exact counts) plus the handles
+/// the hot path uses. Purely observational — nothing here feeds cache
+/// keys or artifacts.
+#[derive(Debug)]
+struct EngineObs {
+    registry: Registry,
+    queue_wait_ms: HistogramMetric,
+    exec_wall_ms: HistogramMetric,
+    retries: Counter,
+    timeouts: Counter,
+}
+
+impl Default for EngineObs {
+    fn default() -> EngineObs {
+        let registry = Registry::new();
+        EngineObs {
+            queue_wait_ms: registry.histogram("hfs_job_queue_wait_ms", LATENCY_HISTOGRAM_MAX_MS),
+            exec_wall_ms: registry.histogram("hfs_job_exec_wall_ms", LATENCY_HISTOGRAM_MAX_MS),
+            retries: registry.counter("hfs_job_retries_total"),
+            timeouts: registry.counter("hfs_job_timeouts_total"),
+            registry,
+        }
+    }
+}
+
 /// A snapshot of an engine's aggregate counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
@@ -80,6 +112,7 @@ pub struct Engine {
     default_retries: u32,
     progress: bool,
     counters: EngineCounters,
+    obs: EngineObs,
 }
 
 impl Engine {
@@ -95,6 +128,7 @@ impl Engine {
             default_retries: 0,
             progress: false,
             counters: EngineCounters::default(),
+            obs: EngineObs::default(),
         }
     }
 
@@ -136,6 +170,7 @@ impl Engine {
             default_retries,
             progress: !env_flag(ENV_NO_PROGRESS),
             counters: EngineCounters::default(),
+            obs: EngineObs::default(),
         }
     }
 
@@ -246,6 +281,7 @@ impl Engine {
         let total = jobs.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let submitted = Instant::now();
         let slots: Vec<Mutex<Option<Record>>> = (0..total).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(total.max(1)) {
@@ -254,7 +290,7 @@ impl Engine {
                     if i >= total {
                         break;
                     }
-                    let record = self.run_one(name, &jobs[i], &done, total);
+                    let record = self.run_one(name, &jobs[i], &done, total, submitted);
                     *slots[i].lock().unwrap() = Some(record);
                 });
             }
@@ -269,21 +305,40 @@ impl Engine {
         };
         if let Some(dir) = &self.results_dir {
             if let Err(e) = batch.write_artifact(dir) {
-                eprintln!("harness: failed to write {name} artifact: {e}");
+                hfs_obs::error(
+                    "harness",
+                    "artifact_write_failed",
+                    &[("batch", name.into()), ("error", e.to_string().into())],
+                );
             }
         }
         batch
     }
 
-    fn run_one(&self, batch: &str, job: &Job, done: &AtomicUsize, total: usize) -> Record {
+    fn run_one(
+        &self,
+        batch: &str,
+        job: &Job,
+        done: &AtomicUsize,
+        total: usize,
+        submitted: Instant,
+    ) -> Record {
         let key = job.key();
+        // Queue wait: batch submission → this worker picking the job up.
+        self.obs
+            .queue_wait_ms
+            .observe(submitted.elapsed().as_millis() as u64);
         let started = Instant::now();
         let (outcome, cached) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
             Some(hit) => (hit, true),
             None => {
                 let outcome = match &self.trace_dir {
                     Some(dir) => self.execute_traced(batch, job, dir),
-                    None => execute(job, self.default_retries),
+                    None => {
+                        let (outcome, retries) = execute_counted(job, self.default_retries, None);
+                        self.obs.retries.add(u64::from(retries));
+                        outcome
+                    }
                 };
                 if let Some(cache) = &self.cache {
                     cache.store(&key, &outcome);
@@ -301,6 +356,7 @@ impl Engine {
             self.counters
                 .exec_millis
                 .fetch_add(wall_millis, Ordering::Relaxed);
+            self.obs.exec_wall_ms.observe(wall_millis);
             if let Some(r) = outcome.ok() {
                 self.counters
                     .sim_cycles
@@ -309,26 +365,34 @@ impl Engine {
         }
         if !outcome.is_ok() {
             self.counters.failures.fetch_add(1, Ordering::Relaxed);
+            if matches!(outcome, JobOutcome::Timeout { .. }) {
+                self.obs.timeouts.inc();
+            }
         }
 
         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
         if self.progress {
             // Labels conventionally start with the batch name; don't
-            // print it twice.
+            // print it twice. One structured line per job, at info level
+            // — `HFS_LOG=warn` (or `HFS_NO_PROGRESS=1`) silences it.
             let label = job
                 .label
                 .strip_prefix(batch)
                 .and_then(|rest| rest.strip_prefix('/'))
                 .unwrap_or(&job.label);
-            eprintln!(
-                "[{finished}/{total}] {batch}/{}: {}{}",
-                label,
-                outcome,
-                if cached {
-                    " (cached)".to_string()
-                } else {
-                    format!(" in {:.2}s", wall_millis as f64 / 1000.0)
-                },
+            hfs_obs::info(
+                "harness",
+                "job_done",
+                &[
+                    ("finished", finished.into()),
+                    ("total", total.into()),
+                    ("batch", batch.into()),
+                    ("label", label.into()),
+                    ("status", outcome.status().into()),
+                    ("outcome", outcome.to_string().into()),
+                    ("cached", cached.into()),
+                    ("wall_ms", wall_millis.into()),
+                ],
             );
         }
         Record {
@@ -358,13 +422,29 @@ impl Engine {
             sanitize_component(&job.label)
         ));
         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
-            eprintln!("harness: failed to write trace {}: {e}", path.display());
+            hfs_obs::error(
+                "harness",
+                "trace_write_failed",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
         }
         outcome
     }
 
+    /// The engine's live metric registry: job queue-wait and
+    /// execution-wall histograms plus retry/timeout counters, exposable
+    /// as Prometheus text via [`Registry::render_prometheus`].
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
     /// The harness's own execution metrics in the same [`MetricsReport`]
-    /// shape the simulator emits, so one toolchain reads both.
+    /// shape the simulator emits, so one toolchain reads both. Includes
+    /// the lifecycle telemetry: retry/timeout counters and queue-wait /
+    /// execution-wall histogram summaries.
     pub fn metrics_report(&self) -> MetricsReport {
         let s = self.stats();
         let mut m = MetricsReport::new();
@@ -375,6 +455,16 @@ impl Engine {
         m.counter("harness.failures", s.failures);
         m.counter("harness.sim_cycles", s.sim_cycles);
         m.counter("harness.exec_millis", s.exec_millis);
+        m.counter("harness.retries", self.obs.retries.get());
+        m.counter("harness.timeouts", self.obs.timeouts.get());
+        m.histograms.push((
+            "harness.queue_wait_ms".to_string(),
+            self.obs.queue_wait_ms.summary(),
+        ));
+        m.histograms.push((
+            "harness.exec_wall_ms".to_string(),
+            self.obs.exec_wall_ms.summary(),
+        ));
         m
     }
 }

@@ -300,15 +300,37 @@ pub fn execute_cancellable(job: &Job, default_retries: u32, cancel: &CancelToken
     execute_with(job, default_retries, &Checker::disabled(), Some(cancel))
 }
 
+/// [`execute`] with an optional cancellation token, additionally
+/// reporting how many *re*-executions the retry policy consumed (0 when
+/// the first attempt settled the outcome). The telemetry entry point:
+/// the engine and the `hfs-serve` dispatcher feed the count into their
+/// retry counters without changing what gets cached or returned.
+pub fn execute_counted(
+    job: &Job,
+    default_retries: u32,
+    cancel: Option<&CancelToken>,
+) -> (JobOutcome, u32) {
+    execute_with_counted(job, default_retries, &Checker::disabled(), cancel)
+}
+
 fn execute_with(
     job: &Job,
     default_retries: u32,
     checker: &Checker,
     cancel: Option<&CancelToken>,
 ) -> JobOutcome {
+    execute_with_counted(job, default_retries, checker, cancel).0
+}
+
+fn execute_with_counted(
+    job: &Job,
+    default_retries: u32,
+    checker: &Checker,
+    cancel: Option<&CancelToken>,
+) -> (JobOutcome, u32) {
     let attempts = 1 + job.retries.max(default_retries);
     let mut last_err = String::new();
-    for _ in 0..attempts {
+    for attempt in 0..attempts {
         // A fresh tracer per attempt: tracer clones share one buffer, so
         // reusing a tracer across a retry would fold the failed attempt's
         // partial event stream into the succeeding run's metrics report
@@ -318,15 +340,19 @@ fn execute_with(
         } else {
             Tracer::disabled()
         };
-        match execute_once_cancellable(job, &tracer, checker, cancel) {
-            Ok(r) => return JobOutcome::Ok(r),
-            Err(SimError::Timeout { max_cycles }) => return JobOutcome::Timeout { max_cycles },
-            Err(SimError::Verification(msg)) => return JobOutcome::CheckFailed(msg),
-            Err(SimError::Cancelled { .. }) => return JobOutcome::Cancelled,
-            Err(e) => last_err = e.to_string(),
-        }
+        let outcome = match execute_once_cancellable(job, &tracer, checker, cancel) {
+            Ok(r) => JobOutcome::Ok(r),
+            Err(SimError::Timeout { max_cycles }) => JobOutcome::Timeout { max_cycles },
+            Err(SimError::Verification(msg)) => JobOutcome::CheckFailed(msg),
+            Err(SimError::Cancelled { .. }) => JobOutcome::Cancelled,
+            Err(e) => {
+                last_err = e.to_string();
+                continue;
+            }
+        };
+        return (outcome, attempt);
     }
-    JobOutcome::SimError(last_err)
+    (JobOutcome::SimError(last_err), attempts - 1)
 }
 
 #[cfg(test)]

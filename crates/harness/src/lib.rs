@@ -14,11 +14,14 @@
 //! - robustness: simulator failures become structured [`JobOutcome`]s
 //!   (never panics mid-batch), with a per-job simulated-cycle watchdog
 //!   and configurable retries;
-//! - observability: per-job timing and live progress on stderr, engine
-//!   counters via [`Engine::stats`]/[`Engine::summary`], machine-readable
-//!   `results/<experiment>.json` artifacts, and — with `HFS_METRICS=1` /
-//!   `HFS_TRACE_DIR=<dir>` — per-run [`hfs_trace::MetricsReport`]s and
-//!   Chrome trace-event exports (see [`Engine::from_env`]).
+//! - observability: per-job timing and a structured progress stream via
+//!   the `hfs-obs` logger (info level; `HFS_LOG=warn` or
+//!   `HFS_NO_PROGRESS=1` silence it), engine counters and lifecycle
+//!   histograms via [`Engine::stats`]/[`Engine::summary`]/
+//!   [`Engine::registry`], machine-readable `results/<experiment>.json`
+//!   artifacts, and — with `HFS_METRICS=1` / `HFS_TRACE_DIR=<dir>` —
+//!   per-run [`hfs_trace::MetricsReport`]s and Chrome trace-event
+//!   exports (see [`Engine::from_env`]).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,9 +36,9 @@ pub mod spec;
 pub use cache::Cache;
 pub use engine::{Batch, Engine, EngineStats, Record};
 pub use job::{
-    execute, execute_cancellable, execute_checked, execute_once, execute_once_cancellable,
-    execute_once_instrumented, execute_once_with, Job, JobOutcome, Mode, CACHE_SCHEMA,
-    DEFAULT_MAX_CYCLES,
+    execute, execute_cancellable, execute_checked, execute_counted, execute_once,
+    execute_once_cancellable, execute_once_instrumented, execute_once_with, Job, JobOutcome, Mode,
+    CACHE_SCHEMA, DEFAULT_MAX_CYCLES,
 };
 pub use json::{parse, Json, ParseError};
 pub use ser::{

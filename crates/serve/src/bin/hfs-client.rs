@@ -3,7 +3,8 @@
 //! ```text
 //! hfs-client submit <spec.json> [--out DIR]   # run a sweep, write artifact
 //! hfs-client ping                             # liveness check
-//! hfs-client stats                            # counter snapshot (JSON)
+//! hfs-client stats [--watch SECS]             # counter snapshot (JSON) or live view
+//! hfs-client metrics                          # Prometheus-text exposition dump
 //! hfs-client shutdown                         # ask the server to drain
 //! ```
 //!
@@ -26,7 +27,7 @@ fn env_flag(name: &str) -> bool {
 fn usage() -> ! {
     eprintln!(
         "usage: hfs-client submit <spec.json> [--out DIR]\n\
-         \x20      hfs-client ping | stats | shutdown"
+         \x20      hfs-client ping | stats [--watch SECS] | metrics | shutdown"
     );
     std::process::exit(2);
 }
@@ -105,6 +106,57 @@ fn submit(spec_path: &str, out_dir: Option<PathBuf>) -> ExitCode {
     }
 }
 
+fn stats_once(mut c: Client) -> ExitCode {
+    match c.stats() {
+        Ok(stats) => {
+            let mut body = stats.to_json();
+            if let Json::Obj(pairs) = &mut body {
+                pairs.retain(|(k, _)| k != "type");
+            }
+            println!("{}", body.to_pretty().trim_end());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hfs-client: stats failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Polls the server every `secs` seconds over one connection, printing
+/// a compact one-line live view per snapshot. Ends (successfully) when
+/// the server reports that it is draining.
+fn stats_watch(mut c: Client, secs: u64) -> ExitCode {
+    loop {
+        let stats = match c.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hfs-client: stats failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "queued={} running={} | submitted={} executed={} cache_hits={} \
+             deduped={} delivered={} | cancelled={} aborted={} rejected={}{}",
+            stats.queued,
+            stats.running,
+            stats.submitted,
+            stats.executed,
+            stats.cache_hits,
+            stats.deduped,
+            stats.delivered,
+            stats.cancelled,
+            stats.aborted,
+            stats.rejected,
+            if stats.draining { " [draining]" } else { "" },
+        );
+        if stats.draining {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -141,18 +193,42 @@ fn main() -> ExitCode {
             },
             Err(code) => code,
         },
-        Some("stats") => match connect() {
-            Ok(mut c) => match c.stats() {
-                Ok(stats) => {
-                    let mut body = stats.to_json();
-                    if let Json::Obj(pairs) = &mut body {
-                        pairs.retain(|(k, _)| k != "type");
+        Some("stats") => {
+            let mut watch_secs: Option<u64> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--watch" => {
+                        watch_secs = Some(
+                            args.get(i + 1)
+                                .and_then(|v| v.parse().ok())
+                                .filter(|&n| n > 0)
+                                .unwrap_or_else(|| usage()),
+                        );
+                        i += 2;
                     }
-                    println!("{}", body.to_pretty().trim_end());
+                    other => {
+                        eprintln!("hfs-client: unknown argument {other:?}");
+                        usage();
+                    }
+                }
+            }
+            match connect() {
+                Ok(c) => match watch_secs {
+                    None => stats_once(c),
+                    Some(secs) => stats_watch(c, secs),
+                },
+                Err(code) => code,
+            }
+        }
+        Some("metrics") => match connect() {
+            Ok(mut c) => match c.metrics() {
+                Ok(text) => {
+                    print!("{text}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("hfs-client: stats failed: {e}");
+                    eprintln!("hfs-client: metrics failed: {e}");
                     ExitCode::FAILURE
                 }
             },

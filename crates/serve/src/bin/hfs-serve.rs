@@ -8,9 +8,13 @@
 //! Without flags the endpoint comes from `HFS_SOCK`/`HFS_ADDR`. The
 //! execution environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
 //! `HFS_RETRIES`, `HFS_SERVE_QUEUE_LIMIT`) matches the offline engine.
-//! The server runs until a client sends `shutdown` or the process
-//! receives SIGTERM/SIGINT, then drains: accepted work finishes and
-//! every pending result is delivered before exit.
+//! Operational logging goes through the `hfs-obs` structured logger:
+//! `HFS_LOG=error|warn|info|debug` sets the level (`--verbose` is an
+//! alias for `HFS_LOG=debug` when `HFS_LOG` is unset) and
+//! `HFS_LOG_FILE` redirects it from stderr. The server runs until a
+//! client sends `shutdown` or the process receives SIGTERM/SIGINT,
+//! then drains: accepted work finishes and every pending result is
+//! delivered before exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -59,7 +63,14 @@ fn main() -> ExitCode {
                     .filter(|&n: &usize| n > 0)
                     .unwrap_or_else(|| usage());
             }
-            "--verbose" => config.verbose = true,
+            "--verbose" => {
+                // Alias for HFS_LOG=debug; an explicit HFS_LOG wins.
+                // Must land before the first log call initializes the
+                // process logger.
+                if std::env::var_os(hfs_obs::ENV_LOG).is_none() {
+                    std::env::set_var(hfs_obs::ENV_LOG, "debug");
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("hfs-serve: unknown argument {other:?}");
@@ -76,36 +87,52 @@ fn main() -> ExitCode {
     let server = match Server::bind(&endpoint, &config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("hfs-serve: failed to bind {endpoint}: {e}");
+            hfs_obs::error(
+                "serve",
+                "bind_failed",
+                &[
+                    ("endpoint", endpoint.to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "hfs-serve: listening on {} ({} workers, queue limit {}, cache {})",
-        server.endpoint(),
-        config.workers,
-        config.queue_limit,
-        config
-            .cache_dir
-            .as_ref()
-            .map_or("off".to_string(), |d| d.display().to_string()),
+    hfs_obs::info(
+        "serve",
+        "listening",
+        &[
+            ("endpoint", server.endpoint().into()),
+            ("workers", config.workers.into()),
+            ("queue_limit", config.queue_limit.into()),
+            (
+                "cache",
+                config
+                    .cache_dir
+                    .as_ref()
+                    .map_or("off".to_string(), |d| d.display().to_string())
+                    .into(),
+            ),
+        ],
     );
     match server.run() {
         Ok(stats) => {
-            eprintln!(
-                "hfs-serve: drained: {} submitted, {} executed, {} cache hits, \
-                 {} deduped, {} cancelled, {} rejected batches",
-                stats.submitted,
-                stats.executed,
-                stats.cache_hits,
-                stats.deduped,
-                stats.cancelled,
-                stats.rejected,
+            hfs_obs::info(
+                "serve",
+                "exit_stats",
+                &[
+                    ("submitted", stats.submitted.into()),
+                    ("executed", stats.executed.into()),
+                    ("cache_hits", stats.cache_hits.into()),
+                    ("deduped", stats.deduped.into()),
+                    ("cancelled", stats.cancelled.into()),
+                    ("rejected", stats.rejected.into()),
+                ],
             );
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("hfs-serve: server failed: {e}");
+            hfs_obs::error("serve", "server_failed", &[("error", e.to_string().into())]);
             ExitCode::FAILURE
         }
     }

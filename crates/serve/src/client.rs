@@ -153,6 +153,22 @@ impl Client {
         }
     }
 
+    /// Fetches the server's live metric registry as Prometheus text
+    /// exposition (counters, gauges, and p50/p95/p99 summaries).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a non-`metrics` answer.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        ClientFrame::Metrics.write_to(&mut self.stream)?;
+        match self.read_frame()? {
+            ServerFrame::Metrics { text } => Ok(text),
+            other => Err(ClientError::Unexpected(format!(
+                "expected metrics, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and exit; returns once acknowledged.
     ///
     /// # Errors
@@ -284,18 +300,26 @@ impl Client {
     }
 }
 
-/// A progress printer matching the offline engine's stderr format.
+/// A progress reporter matching the offline engine's structured stream:
+/// one `job_done` record at info level per resolved job, so `HFS_LOG`
+/// governs client-side progress exactly like engine-side progress.
 pub fn print_update(experiment: &str, u: &JobUpdate) {
     let label = u
         .label
         .strip_prefix(experiment)
         .and_then(|rest| rest.strip_prefix('/'))
         .unwrap_or(&u.label);
-    eprintln!(
-        "[{}/{}] {experiment}/{label}: {}{}",
-        u.finished,
-        u.total,
-        u.outcome,
-        if u.cached { " (cached)" } else { "" },
+    hfs_obs::info(
+        "client",
+        "job_done",
+        &[
+            ("finished", u.finished.into()),
+            ("total", u.total.into()),
+            ("batch", experiment.into()),
+            ("label", label.into()),
+            ("status", u.outcome.status().into()),
+            ("outcome", u.outcome.to_string().into()),
+            ("cached", u.cached.into()),
+        ],
     );
 }

@@ -16,6 +16,11 @@
 //!   `busy` rejections instead of unbounded memory growth;
 //! - **streaming progress**: per-job result frames as they resolve,
 //!   then a batch-completion frame;
+//! - **live telemetry**: every dispatcher counter, queue/connection
+//!   gauge, and job-lifecycle histogram lives in an `hfs-obs` metric
+//!   registry, exposed as Prometheus text via the `metrics` frame
+//!   (`hfs-client metrics`); connection and drain events log through
+//!   the `hfs-obs` structured logger under `HFS_LOG` control;
 //! - **graceful drain**: on a `shutdown` frame or SIGTERM, accepted
 //!   work finishes and every pending result is delivered before exit.
 //!

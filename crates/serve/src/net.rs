@@ -50,6 +50,11 @@ impl Endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => {
                 if path.exists() && UnixStream::connect(path).is_err() {
+                    hfs_obs::debug(
+                        "net",
+                        "stale_socket_removed",
+                        &[("path", path.display().to_string().into())],
+                    );
                     let _ = std::fs::remove_file(path);
                 }
                 Ok(Listener::Unix(UnixListener::bind(path)?))

@@ -164,6 +164,9 @@ pub enum ClientFrame {
     Ping,
     /// Request a [`ServeStats`] snapshot.
     Stats,
+    /// Request the live metric registry as Prometheus text
+    /// ([`ServerFrame::Metrics`]).
+    Metrics,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -179,6 +182,7 @@ impl ClientFrame {
             ]),
             ClientFrame::Ping => Json::obj(vec![("type", Json::Str("ping".to_string()))]),
             ClientFrame::Stats => Json::obj(vec![("type", Json::Str("stats".to_string()))]),
+            ClientFrame::Metrics => Json::obj(vec![("type", Json::Str("metrics".to_string()))]),
             ClientFrame::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".to_string()))]),
         }
     }
@@ -203,6 +207,7 @@ impl ClientFrame {
             }
             "ping" => Ok(ClientFrame::Ping),
             "stats" => Ok(ClientFrame::Stats),
+            "metrics" => Ok(ClientFrame::Metrics),
             "shutdown" => Ok(ClientFrame::Shutdown),
             other => Err(ProtoError::Malformed(format!(
                 "unknown client frame type {other:?}"
@@ -346,6 +351,12 @@ pub enum ServerFrame {
     },
     /// Counter snapshot, answering [`ClientFrame::Stats`].
     Stats(ServeStats),
+    /// The live metric registry in Prometheus text exposition format,
+    /// answering [`ClientFrame::Metrics`].
+    Metrics {
+        /// The exposition text (counters, gauges, summaries).
+        text: String,
+    },
     /// Liveness answer.
     Pong,
     /// The server is draining; new submissions are refused.
@@ -399,6 +410,10 @@ impl ServerFrame {
                 }
                 Json::Obj(body)
             }
+            ServerFrame::Metrics { text } => Json::obj(vec![
+                ("type", Json::Str("metrics".to_string())),
+                ("text", Json::Str(text.clone())),
+            ]),
             ServerFrame::Pong => Json::obj(vec![("type", Json::Str("pong".to_string()))]),
             ServerFrame::ShuttingDown => {
                 Json::obj(vec![("type", Json::Str("shutting_down".to_string()))])
@@ -441,6 +456,9 @@ impl ServerFrame {
                 ok: bool_field(v, "ok")?,
             }),
             "stats" => Ok(ServerFrame::Stats(ServeStats::from_json(v)?)),
+            "metrics" => Ok(ServerFrame::Metrics {
+                text: str_field(v, "text")?,
+            }),
             "pong" => Ok(ServerFrame::Pong),
             "shutting_down" => Ok(ServerFrame::ShuttingDown),
             "error" => Ok(ServerFrame::Error {
@@ -587,6 +605,21 @@ mod tests {
         };
         match pipe_server(&ServerFrame::Stats(stats)) {
             ServerFrame::Stats(back) => assert_eq!(back, stats),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        assert!(matches!(
+            pipe_client(&ClientFrame::Metrics),
+            ClientFrame::Metrics
+        ));
+        let text = "# TYPE hfs_jobs_submitted_total counter\nhfs_jobs_submitted_total 7\n";
+        match pipe_server(&ServerFrame::Metrics {
+            text: text.to_string(),
+        }) {
+            ServerFrame::Metrics { text: back } => assert_eq!(back, text),
             other => panic!("wrong frame: {other:?}"),
         }
     }

@@ -26,12 +26,13 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write as _};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hfs_harness::{execute_cancellable, Cache, Job, JobOutcome};
+use hfs_harness::{execute_counted, Cache, Job, JobOutcome};
+use hfs_obs::{Counter, Gauge, HistogramMetric, Registry};
 use hfs_sim::CancelToken;
 
 use crate::net::{Endpoint, Listener};
@@ -49,7 +50,10 @@ fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
 }
 
-/// Server tuning knobs.
+/// Server tuning knobs. Connection/drain logging is no longer a config
+/// flag: it goes through the `hfs-obs` logger, so `HFS_LOG` controls it
+/// (accept/close at debug, drain milestones at info, failures at
+/// warn/error).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker (simulation) threads.
@@ -60,8 +64,6 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Retries applied to jobs that don't override their own.
     pub default_retries: u32,
-    /// Log accepts/disconnects/drain progress to stderr.
-    pub verbose: bool,
 }
 
 impl Default for ServerConfig {
@@ -71,7 +73,6 @@ impl Default for ServerConfig {
             queue_limit: DEFAULT_QUEUE_LIMIT,
             cache_dir: None,
             default_retries: 0,
-            verbose: false,
         }
     }
 }
@@ -109,7 +110,6 @@ impl ServerConfig {
             queue_limit,
             cache_dir,
             default_retries,
-            verbose: false,
         }
     }
 }
@@ -136,6 +136,9 @@ struct Flight {
     cancel: CancelToken,
     running: bool,
     waiters: Vec<Waiter>,
+    /// When the flight (re-)entered the queue — the lifecycle "queued"
+    /// timestamp from which queue wait is measured at worker pickup.
+    enqueued_at: Instant,
 }
 
 #[derive(Default)]
@@ -146,16 +149,60 @@ struct DispatchInner {
     draining: bool,
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    executed: AtomicU64,
-    cache_hits: AtomicU64,
-    deduped: AtomicU64,
-    cancelled: AtomicU64,
-    aborted: AtomicU64,
-    rejected: AtomicU64,
-    delivered: AtomicU64,
+/// Upper bucket (milliseconds) for the dispatcher's latency histograms.
+const LATENCY_HISTOGRAM_MAX_MS: usize = 60_000;
+
+/// The dispatcher's telemetry: every counter the `Stats` frame reports
+/// lives in one [`Registry`], so the `stats` view and the Prometheus
+/// exposition can never disagree. Gauges mirror the queue/flight state
+/// maintained under the dispatcher lock; the two histograms record the
+/// job lifecycle (queued→executing wait, executing→completed wall) and
+/// are observed only on the executed path, so
+/// `hfs_job_queue_wait_ms_count == hfs_jobs_executed_total` holds
+/// exactly at quiescence.
+struct Telemetry {
+    registry: Registry,
+    submitted: Counter,
+    executed: Counter,
+    cache_hits: Counter,
+    deduped: Counter,
+    cancelled: Counter,
+    aborted: Counter,
+    rejected: Counter,
+    delivered: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    open_conns: Gauge,
+    draining: Gauge,
+    queue_wait_ms: HistogramMetric,
+    exec_wall_ms: HistogramMetric,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        let registry = Registry::new();
+        Telemetry {
+            submitted: registry.counter("hfs_jobs_submitted_total"),
+            executed: registry.counter("hfs_jobs_executed_total"),
+            cache_hits: registry.counter("hfs_jobs_cache_hits_total"),
+            deduped: registry.counter("hfs_jobs_deduped_total"),
+            cancelled: registry.counter("hfs_jobs_cancelled_total"),
+            aborted: registry.counter("hfs_jobs_aborted_total"),
+            rejected: registry.counter("hfs_batches_rejected_total"),
+            delivered: registry.counter("hfs_jobs_delivered_total"),
+            retries: registry.counter("hfs_job_retries_total"),
+            timeouts: registry.counter("hfs_job_timeouts_total"),
+            queue_depth: registry.gauge("hfs_queue_depth"),
+            in_flight: registry.gauge("hfs_jobs_in_flight"),
+            open_conns: registry.gauge("hfs_open_connections"),
+            draining: registry.gauge("hfs_draining"),
+            queue_wait_ms: registry.histogram("hfs_job_queue_wait_ms", LATENCY_HISTOGRAM_MAX_MS),
+            exec_wall_ms: registry.histogram("hfs_job_exec_wall_ms", LATENCY_HISTOGRAM_MAX_MS),
+            registry,
+        }
+    }
 }
 
 /// Why a submission was refused.
@@ -169,7 +216,7 @@ struct Dispatcher {
     inner: Mutex<DispatchInner>,
     work_ready: Condvar,
     drained: Condvar,
-    counters: Counters,
+    obs: Telemetry,
     cache: Option<Cache>,
     queue_limit: usize,
     default_retries: u32,
@@ -181,7 +228,7 @@ impl Dispatcher {
             inner: Mutex::new(DispatchInner::default()),
             work_ready: Condvar::new(),
             drained: Condvar::new(),
-            counters: Counters::default(),
+            obs: Telemetry::default(),
             cache: config.cache_dir.as_ref().map(Cache::new),
             queue_limit: config.queue_limit,
             default_retries: config.default_retries,
@@ -191,18 +238,24 @@ impl Dispatcher {
     fn stats(&self) -> ServeStats {
         let inner = self.inner.lock().unwrap();
         ServeStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            executed: self.counters.executed.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            deduped: self.counters.deduped.load(Ordering::Relaxed),
-            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            aborted: self.counters.aborted.load(Ordering::Relaxed),
-            rejected: self.counters.rejected.load(Ordering::Relaxed),
-            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            submitted: self.obs.submitted.get(),
+            executed: self.obs.executed.get(),
+            cache_hits: self.obs.cache_hits.get(),
+            deduped: self.obs.deduped.get(),
+            cancelled: self.obs.cancelled.get(),
+            aborted: self.obs.aborted.get(),
+            rejected: self.obs.rejected.get(),
+            delivered: self.obs.delivered.get(),
             queued: inner.queue.len() as u64,
             running: inner.running as u64,
             draining: inner.draining,
         }
+    }
+
+    /// The live metric registry rendered as Prometheus text — the
+    /// payload of the `metrics` frame.
+    fn metrics_text(&self) -> String {
+        self.obs.registry.render_prometheus()
     }
 
     /// Admits a whole batch or rejects it whole. On success the
@@ -228,7 +281,7 @@ impl Dispatcher {
             .filter(|k| !inner.flights.contains_key(*k))
             .collect();
         if inner.queue.len() + new_keys.len() > self.queue_limit {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected.inc();
             return Err(SubmitRejected::Busy {
                 queued: inner.queue.len() as u64,
                 limit: self.queue_limit as u64,
@@ -259,9 +312,9 @@ impl Dispatcher {
                 label: job.label.clone(),
                 batch: Arc::clone(&batch),
             };
-            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            self.obs.submitted.inc();
             if let Some(flight) = inner.flights.get_mut(&key) {
-                self.counters.deduped.fetch_add(1, Ordering::Relaxed);
+                self.obs.deduped.inc();
                 flight.waiters.push(waiter);
             } else {
                 inner.flights.insert(
@@ -271,11 +324,13 @@ impl Dispatcher {
                         cancel: CancelToken::new(),
                         running: false,
                         waiters: vec![waiter],
+                        enqueued_at: Instant::now(),
                     },
                 );
                 inner.queue.push_back(key);
             }
         }
+        self.obs.queue_depth.set(inner.queue.len() as i64);
         drop(inner);
         self.work_ready.notify_all();
         Ok(total)
@@ -284,10 +339,11 @@ impl Dispatcher {
     /// One worker thread: pop, resolve (cache or simulate), deliver.
     fn worker_loop(&self) {
         loop {
-            let (key, job, cancel) = {
+            let (key, job, cancel, queue_wait_ms) = {
                 let mut inner = self.inner.lock().unwrap();
                 loop {
                     if let Some(key) = inner.queue.pop_front() {
+                        self.obs.queue_depth.set(inner.queue.len() as i64);
                         let flight = inner
                             .flights
                             .get_mut(&key)
@@ -295,8 +351,10 @@ impl Dispatcher {
                         flight.running = true;
                         let job = flight.job.clone();
                         let cancel = flight.cancel.clone();
+                        let queue_wait_ms = flight.enqueued_at.elapsed().as_millis() as u64;
                         inner.running += 1;
-                        break (key, job, cancel);
+                        self.obs.in_flight.set(inner.running as i64);
+                        break (key, job, cancel, queue_wait_ms);
                     }
                     if inner.draining && inner.running == 0 {
                         return;
@@ -305,10 +363,13 @@ impl Dispatcher {
                 }
             };
 
+            let executing_at = Instant::now();
             let (outcome, cached) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
                 Some(hit) => (hit, true),
                 None => {
-                    let outcome = execute_cancellable(&job, self.default_retries, &cancel);
+                    let (outcome, retries) =
+                        execute_counted(&job, self.default_retries, Some(&cancel));
+                    self.obs.retries.add(u64::from(retries));
                     if let Some(cache) = &self.cache {
                         cache.store(&key, &outcome);
                     }
@@ -316,9 +377,19 @@ impl Dispatcher {
                 }
             };
             if cached {
-                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.cache_hits.inc();
             } else if !matches!(outcome, JobOutcome::Cancelled) {
-                self.counters.executed.fetch_add(1, Ordering::Relaxed);
+                // The executed path is the only one that observes the
+                // lifecycle histograms, keeping
+                // `queue_wait count == executed` an exact invariant.
+                self.obs.executed.inc();
+                self.obs.queue_wait_ms.observe(queue_wait_ms);
+                self.obs
+                    .exec_wall_ms
+                    .observe(executing_at.elapsed().as_millis() as u64);
+            }
+            if matches!(outcome, JobOutcome::Timeout { .. }) {
+                self.obs.timeouts.inc();
             }
             self.complete(&key, outcome, cached);
         }
@@ -329,6 +400,7 @@ impl Dispatcher {
     fn complete(&self, key: &str, outcome: JobOutcome, cached: bool) {
         let mut inner = self.inner.lock().unwrap();
         inner.running -= 1;
+        self.obs.in_flight.set(inner.running as i64);
         let mut flight = inner
             .flights
             .remove(key)
@@ -339,14 +411,16 @@ impl Dispatcher {
             // token nobody has fired.
             flight.cancel = CancelToken::new();
             flight.running = false;
+            flight.enqueued_at = Instant::now();
             inner.flights.insert(key.to_string(), flight);
             inner.queue.push_back(key.to_string());
+            self.obs.queue_depth.set(inner.queue.len() as i64);
             drop(inner);
             self.work_ready.notify_all();
             return;
         }
         for w in &flight.waiters {
-            self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            self.obs.delivered.inc();
             if !outcome.is_ok() {
                 w.batch.all_ok.store(false, Ordering::Relaxed);
             }
@@ -386,7 +460,7 @@ impl Dispatcher {
             if flight.waiters.is_empty() {
                 if flight.running {
                     flight.cancel.cancel();
-                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    self.obs.cancelled.inc();
                 } else {
                     dead_queued.push(key.clone());
                 }
@@ -395,8 +469,9 @@ impl Dispatcher {
         for key in &dead_queued {
             inner.flights.remove(key);
             inner.queue.retain(|k| k != key);
-            self.counters.aborted.fetch_add(1, Ordering::Relaxed);
+            self.obs.aborted.inc();
         }
+        self.obs.queue_depth.set(inner.queue.len() as i64);
         let drained = inner.draining && inner.queue.is_empty() && inner.running == 0;
         drop(inner);
         if drained {
@@ -407,6 +482,7 @@ impl Dispatcher {
     fn begin_drain(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.draining = true;
+        self.obs.draining.set(1);
         let drained = inner.queue.is_empty() && inner.running == 0;
         drop(inner);
         self.work_ready.notify_all();
@@ -436,7 +512,6 @@ pub struct Server {
     unix_path: Option<PathBuf>,
     endpoint_desc: String,
     workers: usize,
-    verbose: bool,
 }
 
 impl Server {
@@ -459,7 +534,6 @@ impl Server {
             unix_path,
             endpoint_desc: endpoint.to_string(),
             workers: config.workers.max(1),
-            verbose: config.verbose,
         })
     }
 
@@ -490,7 +564,6 @@ impl Server {
             unix_path,
             endpoint_desc,
             workers,
-            verbose,
         } = self;
         let worker_handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -511,14 +584,14 @@ impl Server {
                 Ok(stream) => {
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
-                    if verbose {
-                        eprintln!("hfs-serve: connection {conn_id} accepted");
-                    }
+                    hfs_obs::debug("serve", "connection_accepted", &[("conn", conn_id.into())]);
                     let d = Arc::clone(&dispatcher);
                     let conns = Arc::clone(&live_conns);
                     conns.fetch_add(1, Ordering::SeqCst);
+                    d.obs.open_conns.inc();
                     std::thread::spawn(move || {
-                        handle_conn(&d, stream, conn_id, verbose);
+                        handle_conn(&d, stream, conn_id);
+                        d.obs.open_conns.dec();
                         conns.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
@@ -526,7 +599,14 @@ impl Server {
                     std::thread::sleep(Duration::from_millis(20));
                 }
                 Err(e) => {
-                    eprintln!("hfs-serve: accept failed on {endpoint_desc}: {e}");
+                    hfs_obs::error(
+                        "serve",
+                        "accept_failed",
+                        &[
+                            ("endpoint", endpoint_desc.as_str().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
                     std::thread::sleep(Duration::from_millis(100));
                 }
             }
@@ -550,20 +630,26 @@ impl Server {
         while live_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        if verbose {
-            eprintln!("hfs-serve: drained");
-        }
+        hfs_obs::info(
+            "serve",
+            "drained",
+            &[("endpoint", endpoint_desc.as_str().into())],
+        );
         Ok(dispatcher.stats())
     }
 }
 
 /// Reader side of one connection; spawns its paired writer thread.
-fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64, verbose: bool) {
+fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64) {
     let (tx, rx) = channel::<ServerFrame>();
     let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("hfs-serve: connection {conn_id}: clone failed: {e}");
+            hfs_obs::error(
+                "serve",
+                "stream_clone_failed",
+                &[("conn", conn_id.into()), ("error", e.to_string().into())],
+            );
             return;
         }
     };
@@ -581,9 +667,11 @@ fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64
         match ClientFrame::read_from(&mut read_half) {
             Ok(None) => break,
             Err(e) => {
-                if verbose {
-                    eprintln!("hfs-serve: connection {conn_id}: {e}");
-                }
+                hfs_obs::warn(
+                    "serve",
+                    "connection_error",
+                    &[("conn", conn_id.into()), ("error", e.to_string().into())],
+                );
                 let _ = tx.send(ServerFrame::Error {
                     message: e.to_string(),
                 });
@@ -594,6 +682,11 @@ fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64
             }
             Ok(Some(ClientFrame::Stats)) => {
                 let _ = tx.send(ServerFrame::Stats(dispatcher.stats()));
+            }
+            Ok(Some(ClientFrame::Metrics)) => {
+                let _ = tx.send(ServerFrame::Metrics {
+                    text: dispatcher.metrics_text(),
+                });
             }
             Ok(Some(ClientFrame::Shutdown)) => {
                 let _ = tx.send(ServerFrame::ShuttingDown);
@@ -619,9 +712,7 @@ fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64
     // still flushes frames already queued (job results, `done`,
     // `shutting_down`) before exiting.
     let _ = writer.join();
-    if verbose {
-        eprintln!("hfs-serve: connection {conn_id} closed");
-    }
+    hfs_obs::debug("serve", "connection_closed", &[("conn", conn_id.into())]);
 }
 
 #[cfg(test)]
@@ -644,7 +735,6 @@ mod tests {
             queue_limit,
             cache_dir: None,
             default_retries: 0,
-            verbose: false,
         }));
         for _ in 0..workers {
             let dd = Arc::clone(&d);

@@ -70,6 +70,9 @@ assert isinstance(quick["geomean_speedup"], (int, float)), "missing geomean_spee
 for p in quick["points"]:
     assert p["sim_cycles"] > 0 and p["cycles_per_sec"] > 0, f"degenerate point {p}"
     assert p["sched"] in ("event", "poll"), f"missing sched tag {p}"
+host = quick["host"]
+assert host["nproc"] >= 1 and host["sched"] in ("event", "poll"), f"malformed host block {host}"
+assert host["timestamp"], "missing host timestamp"
 EOF
 else
     grep -q '"schema": "simbench-v2"' "$QUICK_JSON" || { echo "malformed $QUICK_JSON"; exit 1; }
@@ -90,53 +93,127 @@ HFS_QUICK=1 HFS_NO_CACHE=1 HFS_NO_PROGRESS=1 \
     HFS_RESULTS_DIR="$SERVE_TMP/offline" \
     target/release/fig6 >/dev/null
 
+# Observability inertness: the same sweep with full debug logging
+# (progress on, so job_done lines land in the log file) must write
+# byte-identical artifacts.
+HFS_QUICK=1 HFS_NO_CACHE=1 \
+    HFS_RESULTS_DIR="$SERVE_TMP/offline_logged" \
+    HFS_LOG=debug HFS_LOG_FILE="$SERVE_TMP/offline.log" \
+    target/release/fig6 >/dev/null
+cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/offline_logged/fig6.json" \
+    || { echo "HFS_LOG=debug changed fig6 artifact bytes"; exit 1; }
+[ -s "$SERVE_TMP/offline.log" ] || { echo "HFS_LOG_FILE captured no log lines"; exit 1; }
+
 # The same sweep as a server-submittable spec.
 HFS_QUICK=1 target/release/fig6 --dump-jobs "$SERVE_TMP/fig6_jobs.json"
 
-# Server on a private socket with a fresh cache.
+# Server on a private socket with a fresh cache, logging at debug to a
+# file (inertness: must not perturb results).
 HFS_CACHE_DIR="$SERVE_TMP/cache" \
+    HFS_LOG=debug HFS_LOG_FILE="$SERVE_TMP/serve.log" \
     target/release/hfs-serve --sock "$SOCK" --workers 2 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "hfs-serve did not come up"; exit 1; }
 
-# Two concurrent clients submit the identical sweep.
-HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
-    target/release/hfs-client submit "$SERVE_TMP/fig6_jobs.json" \
-    --out "$SERVE_TMP/client_a" >/dev/null &
-CLIENT_A=$!
-HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
-    target/release/hfs-client submit "$SERVE_TMP/fig6_jobs.json" \
-    --out "$SERVE_TMP/client_b" >/dev/null &
-CLIENT_B=$!
-wait "$CLIENT_A"
-wait "$CLIENT_B"
+# Three concurrent clients submit the identical sweep.
+CLIENT_PIDS=()
+for c in a b c; do
+    HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
+        target/release/hfs-client submit "$SERVE_TMP/fig6_jobs.json" \
+        --out "$SERVE_TMP/client_$c" >/dev/null &
+    CLIENT_PIDS+=($!)
+done
+
+# Mid-load metrics scrape: the exposition must already be well-formed
+# (every line a comment or `name value`) and internally consistent,
+# even while flights are still queued and running.
+MID_METRICS=$(HFS_SOCK="$SOCK" target/release/hfs-client metrics)
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<EOF
+text = '''$MID_METRICS'''
+vals = {}
+for line in text.strip().splitlines():
+    assert line, "blank line in exposition"
+    if line.startswith("#"):
+        parts = line.split()
+        assert parts[1] == "TYPE" and parts[3] in ("counter", "gauge", "summary"), line
+        continue
+    name, value = line.rsplit(" ", 1)
+    vals[name] = float(value)
+mid = vals.get("hfs_jobs_submitted_total", 0)
+done = vals["hfs_jobs_deduped_total"] + vals["hfs_jobs_executed_total"] \
+    + vals["hfs_jobs_cache_hits_total"]
+assert mid >= done, f"submitted {mid} < resolved {done} mid-load"
+assert vals["hfs_queue_depth"] >= 0 and vals["hfs_jobs_in_flight"] >= 0, vals
+assert vals["hfs_open_connections"] >= 1, "scraping connection is open"
+EOF
+fi
+
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
 
 # Server-side artifacts must be byte-identical to the offline run.
-cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_a/fig6.json" \
-    || { echo "client A artifact differs from offline fig6"; exit 1; }
-cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_b/fig6.json" \
-    || { echo "client B artifact differs from offline fig6"; exit 1; }
+for c in a b c; do
+    cmp "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_$c/fig6.json" \
+        || { echo "client $c artifact differs from offline fig6"; exit 1; }
+done
 
 # Single-flight + shared cache: the server must have executed at most
-# one simulation per unique job despite two full submissions.
+# one simulation per unique job despite three full submissions, and the
+# stats frame must agree with the Prometheus exposition (one registry).
 STATS=$(HFS_SOCK="$SOCK" target/release/hfs-client stats)
+METRICS=$(HFS_SOCK="$SOCK" target/release/hfs-client metrics)
 echo "$STATS"
 if command -v python3 >/dev/null 2>&1; then
     python3 - <<EOF
 import json
 s = json.loads('''$STATS''')
-assert s["submitted"] == 2 * s["executed"], f"expected 2x dedup: {s}"
-assert s["deduped"] + s["cache_hits"] == s["executed"], f"dedup accounting: {s}"
+assert s["submitted"] == 3 * s["executed"], f"expected 3x dedup: {s}"
+assert s["submitted"] == s["deduped"] + s["executed"] + s["cache_hits"], \
+    f"delivery partition: {s}"
 assert s["delivered"] == s["submitted"], f"every job delivered: {s}"
+
+vals = {}
+for line in '''$METRICS'''.strip().splitlines():
+    if line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    vals[name] = int(float(value))
+assert vals["hfs_jobs_submitted_total"] == s["submitted"], (vals, s)
+assert vals["hfs_jobs_executed_total"] == s["executed"], (vals, s)
+assert vals["hfs_jobs_cache_hits_total"] == s["cache_hits"], (vals, s)
+assert vals["hfs_jobs_deduped_total"] == s["deduped"], (vals, s)
+assert vals["hfs_job_queue_wait_ms_count"] == s["executed"], \
+    f"queue-wait observed once per executed job: {vals}"
+assert vals["hfs_job_exec_wall_ms_count"] == s["executed"], \
+    f"exec-wall observed once per executed job: {vals}"
+assert vals["hfs_queue_depth"] == 0 and vals["hfs_jobs_in_flight"] == 0, vals
 EOF
 else
     echo "$STATS" | grep -q '"deduped": 0' && { echo "no dedup observed"; exit 1; }
+    echo "$METRICS" | grep -q '^hfs_jobs_submitted_total ' \
+        || { echo "metrics exposition missing counters"; exit 1; }
 fi
 
-# Clean shutdown: drain acknowledged, server exits zero.
+# Clean shutdown: drain acknowledged, server exits zero, and its log is
+# structured: every line valid JSON with the expected fields.
 HFS_SOCK="$SOCK" target/release/hfs-client shutdown >/dev/null
 wait "$SERVE_PID" || { echo "hfs-serve exited non-zero"; exit 1; }
 SERVE_PID=
+[ -s "$SERVE_TMP/serve.log" ] || { echo "server wrote no log lines"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SERVE_TMP/serve.log" <<'EOF'
+import json, sys
+seqs = []
+events = set()
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    assert {"seq", "ts_ms", "level", "component", "event"} <= rec.keys(), rec
+    seqs.append(rec["seq"])
+    events.add(rec["event"])
+assert seqs == sorted(seqs) and len(seqs) == len(set(seqs)), "seq not strictly increasing"
+assert {"listening", "connection_accepted", "drained"} <= events, events
+EOF
+fi
 
 echo "==> ci OK"

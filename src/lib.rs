@@ -3,7 +3,7 @@
 //! See the individual crates for details:
 //! [`hfs_sim`], [`hfs_isa`], [`hfs_mem`], [`hfs_cpu`], [`hfs_core`],
 //! [`hfs_check`], [`hfs_trace`], [`hfs_workloads`], [`hfs_harness`],
-//! [`hfs_serve`].
+//! [`hfs_serve`], [`hfs_obs`].
 
 pub use hfs_check as check;
 pub use hfs_core as core;
@@ -11,6 +11,7 @@ pub use hfs_cpu as cpu;
 pub use hfs_harness as harness;
 pub use hfs_isa as isa;
 pub use hfs_mem as mem;
+pub use hfs_obs as obs;
 pub use hfs_serve as serve;
 pub use hfs_sim as sim;
 pub use hfs_trace as trace;
