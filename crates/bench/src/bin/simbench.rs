@@ -32,6 +32,9 @@
 
 use std::time::Instant;
 
+use hfs_bench::perfbench::{
+    bench_timestamp, load_committed_points, round2, write_artifact, CHECK_FLOOR,
+};
 use hfs_core::{DesignPoint, MachineConfig};
 use hfs_harness::{execute_once, Job, Json};
 use hfs_sim::stats::geomean;
@@ -259,17 +262,6 @@ fn geomean_speedup(rows: &[Json]) -> f64 {
     }
 }
 
-fn round2(v: f64) -> f64 {
-    (v * 100.0).round() / 100.0
-}
-
-/// Loads the committed baseline's points array, if present and valid.
-fn load_committed(committed_path: &str) -> Option<Vec<Json>> {
-    let text = std::fs::read_to_string(committed_path).ok()?;
-    let doc = hfs_harness::parse(&text).ok()?;
-    Some(doc.get("points").and_then(Json::as_arr)?.to_vec())
-}
-
 /// Finds the committed row matching a current point — by bench, design,
 /// *and* iteration count, since cycles/sec varies with run length.
 fn baseline_for<'a>(committed: &'a [Json], p: &Json) -> Option<&'a Json> {
@@ -282,7 +274,7 @@ fn baseline_for<'a>(committed: &'a [Json], p: &Json) -> Option<&'a Json> {
 /// Reads the committed artifact and prints per-point deltas against the
 /// current measurements (informational only).
 fn print_delta(current: &Json, committed_path: &str) {
-    let Some(committed) = load_committed(committed_path) else {
+    let Some(committed) = load_committed_points(committed_path) else {
         println!("simbench: no committed {committed_path}; skipping delta");
         return;
     };
@@ -306,10 +298,6 @@ fn print_delta(current: &Json, committed_path: &str) {
     }
 }
 
-/// Throughput floor relative to the committed baseline: below
-/// `cur >= CHECK_FLOOR * old`, a point counts as a regression.
-const CHECK_FLOOR: f64 = 0.9;
-
 /// Gates the current measurements against the committed baseline.
 /// A point slower than [`CHECK_FLOOR`]× its committed rate is
 /// re-measured once with a 4× window (damping transient scheduler
@@ -321,7 +309,7 @@ fn run_check(
     min_secs: f64,
     committed_path: &str,
 ) -> Vec<String> {
-    let Some(committed) = load_committed(committed_path) else {
+    let Some(committed) = load_committed_points(committed_path) else {
         println!("simbench: no committed {committed_path}; nothing to check against");
         return Vec::new();
     };
@@ -388,45 +376,13 @@ fn run_check(
     failures
 }
 
-/// Environment variable letting the CI driver pin the artifact's
-/// `host.timestamp` (any string, conventionally iso-8601); unset, the
-/// wall clock is used.
-const ENV_BENCH_TIMESTAMP: &str = "HFS_BENCH_TIMESTAMP";
-
-/// An iso-8601 UTC timestamp (`YYYY-MM-DDThh:mm:ssZ`) hand-rolled from
-/// `SystemTime` (std-only; no chrono). Uses Howard Hinnant's
-/// civil-from-days algorithm for the date part.
-fn iso8601_now() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let days = (secs / 86_400) as i64;
-    let rem = secs % 86_400;
-    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
-}
-
 /// Host metadata recorded alongside the measurements: worker-thread
 /// capacity, the scheduler mode, and when the run happened. Purely
 /// descriptive — `--check` matches baseline rows by the `points` keys
 /// only, so this block never affects the regression gate.
 fn host_json() -> Json {
     let nproc = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
-    let timestamp = std::env::var(ENV_BENCH_TIMESTAMP)
-        .ok()
-        .filter(|v| !v.is_empty())
-        .unwrap_or_else(iso8601_now);
+    let timestamp = bench_timestamp();
     Json::obj(vec![
         ("nproc", Json::U64(nproc)),
         ("sched", Json::Str(sched_label().to_string())),
@@ -493,16 +449,7 @@ fn main() {
         ("host", host_json()),
         ("points", Json::Arr(rows)),
     ]);
-    let text = doc.to_pretty();
-    // Self-check: the artifact must round-trip through the harness parser.
-    hfs_harness::parse(&text).expect("simbench artifact is well-formed JSON");
-
-    if let Some(parent) = std::path::Path::new(out_path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create output directory");
-        }
-    }
-    std::fs::write(out_path, &text).expect("write benchmark artifact");
+    write_artifact(out_path, &doc);
     println!("simbench: wrote {out_path}");
 
     if quick && !check {

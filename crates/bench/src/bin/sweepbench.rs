@@ -1,0 +1,349 @@
+//! Wall-clock benchmark of sweep-scale submission throughput through
+//! `hfs-serve`.
+//!
+//! Drives a synthetic design-space sweep — thousands of distinct-key,
+//! constant-cost jobs (the key varies via the cycle budget, which never
+//! binds, so every job simulates identical work) — through an
+//! in-process server on a real Unix socket, and measures **jobs per
+//! wall-clock second** end to end: framing, admission, dispatch,
+//! caching, and result delivery all included.
+//!
+//! Each run measures a 2×2 matrix (schema `sweepbench-v1`):
+//!
+//! - **path** `baseline`: the legacy conversation — one `submit` frame
+//!   carrying the whole sweep, one `job` frame back per job — against a
+//!   server with the in-memory hot cache disabled (disk cache only);
+//! - **path** `batched`: the pipelined path — chunked `submit_batch`
+//!   frames (`HFS_SUBMIT_CHUNK`/`HFS_SUBMIT_WINDOW`), chunked
+//!   `batch_results` frames back — against a server with the hot cache
+//!   at its default budget;
+//! - **phase** `cold`: a fresh cache directory, every job simulated;
+//! - **phase** `warm`: the same sweep resubmitted, every job a cache
+//!   hit.
+//!
+//! The artifact's headline `warm_speedup` is warm-batched over
+//! warm-baseline jobs/s — the payoff of the hot cache plus batched
+//! framing on a re-entrant sweep; `cold_ratio` (cold-batched over
+//! cold-baseline) guards against the batched path taxing first-run
+//! sweeps. A `host` block records `nproc` and a timestamp
+//! (`HFS_BENCH_TIMESTAMP` pins it; `--check` matches rows by
+//! path/phase keys only and ignores it).
+//!
+//! The full run (10⁴ jobs) writes `BENCH_sweep.json` at the current
+//! directory (the repo root under `scripts/ci.sh`); `--quick` sweeps
+//! 10³ jobs and writes `target/BENCH_sweep_quick.json` so the committed
+//! artifact stays clean. Since jobs/s is a rate, quick rows compare
+//! against the committed full rows directly.
+//!
+//! `--check` gates each row's jobs/s at 90% of its committed
+//! counterpart (matched by path and phase); a regressing path is
+//! re-measured once from scratch (fresh server, fresh cache) to damp
+//! scheduler noise, and the run exits non-zero if the regression
+//! persists.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hfs_bench::perfbench::{
+    bench_timestamp, load_committed_points, round2, write_artifact, CHECK_FLOOR,
+};
+use hfs_core::kernel::KernelPair;
+use hfs_core::{DesignPoint, MachineConfig};
+use hfs_harness::{Job, Json};
+use hfs_serve::{Client, Endpoint, Server, ServerConfig, Subscribe};
+
+/// Sweep sizes: the committed artifact uses the full sweep; `--quick`
+/// trades statistical weight for CI latency.
+const FULL_JOBS: usize = 10_000;
+const QUICK_JOBS: usize = 1_000;
+
+/// The synthetic sweep: constant-cost jobs with distinct content keys.
+/// The cycle budget varies per job — far above what the 40-iteration
+/// kernel ever uses, so outcomes are identical while every job keys
+/// (and caches) separately, exactly like a real parameter sweep.
+fn sweep_jobs(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            Job::pipeline(
+                format!("sweepbench/p{i}"),
+                KernelPair::simple("sweep", 2, 40),
+                MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+            )
+            .with_max_cycles(1_000_000 + i as u64)
+        })
+        .collect()
+}
+
+/// One measured cell of the path × phase matrix.
+struct Row {
+    path: &'static str,
+    phase: &'static str,
+    jobs: u64,
+    wall_secs: f64,
+}
+
+impl Row {
+    fn jobs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.jobs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("path", Json::Str(self.path.to_string())),
+            ("phase", Json::Str(self.phase.to_string())),
+            ("jobs", Json::U64(self.jobs)),
+            ("wall_secs", Json::F64(self.wall_secs)),
+            ("jobs_per_sec", Json::F64(self.jobs_per_sec().round())),
+        ])
+    }
+}
+
+/// Submits the sweep once on the given path and times it end to end.
+fn time_sweep(path: &'static str, phase: &'static str, client: &mut Client, n: usize) -> Row {
+    let jobs = sweep_jobs(n);
+    let start = Instant::now();
+    let batch = match path {
+        "baseline" => client.submit("sweepbench", jobs, |_| {}),
+        _ => client.submit_batched("sweepbench", jobs, Subscribe::Final, |_| {}),
+    }
+    .unwrap_or_else(|e| panic!("sweepbench {path}/{phase} submit failed: {e}"));
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(batch.records.len(), n, "{path}/{phase}: short batch");
+    assert!(batch.all_ok(), "{path}/{phase}: sweep had failing jobs");
+    Row {
+        path,
+        phase,
+        jobs: n as u64,
+        wall_secs,
+    }
+}
+
+/// Stands up a fresh server (fresh cache directory — cold by
+/// construction), runs the cold then warm sweep on one path, and tears
+/// everything down.
+fn run_path(path: &'static str, n: usize) -> (Row, Row) {
+    let pid = std::process::id();
+    let sock = PathBuf::from(format!("target/sweepbench-{pid}-{path}.sock"));
+    let cache = PathBuf::from(format!("target/sweepbench-{pid}-{path}-cache"));
+    let _ = std::fs::remove_file(&sock);
+    let _ = std::fs::remove_dir_all(&cache);
+    std::fs::create_dir_all(&cache).expect("create sweepbench cache dir");
+
+    let config = ServerConfig {
+        // The legacy path carries the whole sweep in one submission, so
+        // admission must clear it; the batched client windows itself
+        // and never needs the headroom.
+        queue_limit: n + 1,
+        cache_dir: Some(cache.clone()),
+        // The baseline predates the hot cache: disk-only, so warm hits
+        // pay the per-job read+parse the hot layer exists to avoid.
+        hot_cache_mb: if path == "baseline" { Some(0) } else { None },
+        ..ServerConfig::default()
+    };
+    let endpoint = Endpoint::Unix(sock.clone());
+    let server = Server::bind(&endpoint, &config).expect("bind sweepbench server");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&endpoint).expect("connect to sweepbench server");
+    let cold = time_sweep(path, "cold", &mut client, n);
+    let warm = time_sweep(path, "warm", &mut client, n);
+    client
+        .shutdown_server()
+        .expect("shut down sweepbench server");
+    drop(client);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("sweepbench server run");
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&sock);
+    (cold, warm)
+}
+
+const PATHS: [&str; 2] = ["baseline", "batched"];
+
+/// Runs the full matrix: rows ordered baseline-cold, baseline-warm,
+/// batched-cold, batched-warm.
+fn run_matrix(n: usize) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(4);
+    for path in PATHS {
+        let (cold, warm) = run_path(path, n);
+        for row in [cold, warm] {
+            println!(
+                "sweepbench: {}/{}: {} jobs in {:.2}s — {:.0} jobs/s",
+                row.path,
+                row.phase,
+                row.jobs,
+                row.wall_secs,
+                row.jobs_per_sec(),
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn rate_of(row: &Json) -> f64 {
+    match row.get("jobs_per_sec") {
+        Some(Json::F64(v)) => *v,
+        Some(Json::U64(v)) => *v as f64,
+        _ => 0.0,
+    }
+}
+
+/// Finds the row matching `path`/`phase` (jobs/s is a rate, so sweep
+/// size is deliberately not part of the key — quick runs check against
+/// the committed full rows).
+fn find_row<'a>(rows: &'a [Json], path: &str, phase: &str) -> Option<&'a Json> {
+    rows.iter().find(|r| {
+        r.get("path").and_then(Json::as_str) == Some(path)
+            && r.get("phase").and_then(Json::as_str) == Some(phase)
+    })
+}
+
+/// The headline ratio between two measured rows' rates.
+fn ratio(rows: &[Row], path_num: &str, path_den: &str, phase: &str) -> f64 {
+    let num = rows
+        .iter()
+        .find(|r| r.path == path_num && r.phase == phase)
+        .map_or(0.0, Row::jobs_per_sec);
+    let den = rows
+        .iter()
+        .find(|r| r.path == path_den && r.phase == phase)
+        .map_or(0.0, Row::jobs_per_sec);
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Gates current rows against the committed artifact. A regressing
+/// path is re-measured once from scratch (fresh server and cache)
+/// before counting as a failure.
+fn run_check(rows: &mut Vec<Row>, n: usize, committed_path: &str) -> Vec<String> {
+    let Some(committed) = load_committed_points(committed_path) else {
+        println!("sweepbench: no committed {committed_path}; nothing to check against");
+        return Vec::new();
+    };
+    let mut failures = Vec::new();
+    for path in PATHS {
+        let regressed = rows.iter().any(|row| {
+            let Some(base) = find_row(&committed, row.path, row.phase) else {
+                return false;
+            };
+            row.path == path
+                && rate_of(base) > 0.0
+                && row.jobs_per_sec() < CHECK_FLOOR * rate_of(base)
+        });
+        if regressed {
+            println!("sweepbench: {path} path below floor; re-measuring from scratch");
+            let (cold, warm) = run_path(path, n);
+            rows.retain(|r| r.path != path);
+            rows.extend([cold, warm]);
+        }
+    }
+    for row in rows.iter() {
+        let Some(base) = find_row(&committed, row.path, row.phase) else {
+            println!(
+                "sweepbench: {}/{} has no committed baseline; skipping",
+                row.path, row.phase
+            );
+            continue;
+        };
+        let old = rate_of(base);
+        if old <= 0.0 {
+            continue;
+        }
+        let cur = row.jobs_per_sec();
+        if cur < CHECK_FLOOR * old {
+            failures.push(format!(
+                "{}/{}: {:.0} jobs/s vs committed {:.0} ({:.2}x, floor {:.2}x)",
+                row.path,
+                row.phase,
+                cur,
+                old,
+                cur / old,
+                CHECK_FLOOR,
+            ));
+        } else {
+            println!(
+                "sweepbench: {}/{}: {:.2}x vs committed baseline — ok",
+                row.path,
+                row.phase,
+                cur / old,
+            );
+        }
+    }
+    failures
+}
+
+fn host_json() -> Json {
+    let nproc = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    Json::obj(vec![
+        ("nproc", Json::U64(nproc)),
+        ("timestamp", Json::Str(bench_timestamp())),
+    ])
+}
+
+fn main() {
+    // The measurement includes the server's logging path; pin it to
+    // errors-only (unless the caller overrides) so jobs/s reflects the
+    // protocol, not stderr formatting. Must land before the first log
+    // call latches the process logger.
+    if std::env::var_os(hfs_obs::ENV_LOG).is_none() {
+        std::env::set_var(hfs_obs::ENV_LOG, "error");
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
+    let (n, out_path) = if quick {
+        (QUICK_JOBS, "target/BENCH_sweep_quick.json")
+    } else {
+        (FULL_JOBS, "BENCH_sweep.json")
+    };
+
+    let mut rows = run_matrix(n);
+    let failures = if check {
+        run_check(&mut rows, n, "BENCH_sweep.json")
+    } else {
+        Vec::new()
+    };
+
+    let warm_speedup = ratio(&rows, "batched", "baseline", "warm");
+    let cold_ratio = ratio(&rows, "batched", "baseline", "cold");
+    println!(
+        "sweepbench: warm batched path is {warm_speedup:.2}x baseline jobs/s \
+         (cold ratio {cold_ratio:.2}x, {n} jobs)",
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("sweepbench-v1".to_string())),
+        (
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("warm_speedup", Json::F64(round2(warm_speedup))),
+        ("cold_ratio", Json::F64(round2(cold_ratio))),
+        ("host", host_json()),
+        ("points", Json::Arr(rows.iter().map(Row::to_json).collect())),
+    ]);
+    write_artifact(out_path, &doc);
+    println!("sweepbench: wrote {out_path}");
+
+    if !failures.is_empty() {
+        eprintln!(
+            "sweepbench: {} row(s) regressed more than {:.0}% vs the committed baseline:",
+            failures.len(),
+            (1.0 - CHECK_FLOOR) * 100.0,
+        );
+        for f in &failures {
+            eprintln!("sweepbench:   {f}");
+        }
+        std::process::exit(1);
+    }
+}

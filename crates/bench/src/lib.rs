@@ -24,5 +24,6 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod perfbench;
 pub mod runner;
 pub mod table;

@@ -50,8 +50,10 @@ pub fn via_server() -> bool {
 /// Runs an experiment batch — the single entry point every experiment
 /// uses. Locally this is [`Engine::run_batch`]; with `HFS_VIA_SERVER=1`
 /// the batch is instead submitted to the `hfs-serve` instance named by
-/// `HFS_SOCK`/`HFS_ADDR`, streaming progress back and writing the same
-/// byte-identical `results/<name>.json` artifact.
+/// `HFS_SOCK`/`HFS_ADDR` on the pipelined batched path
+/// (`HFS_SUBMIT_CHUNK`/`HFS_SUBMIT_WINDOW`), streaming chunked progress
+/// back and writing the same byte-identical `results/<name>.json`
+/// artifact.
 ///
 /// # Panics
 ///
@@ -73,7 +75,7 @@ pub fn run_batch(name: &str, jobs: Vec<Job>) -> Batch {
     let mut client = hfs_serve::Client::from_env()
         .unwrap_or_else(|e| panic!("HFS_VIA_SERVER=1 but cannot reach hfs-serve: {e}"));
     let batch = client
-        .submit(name, jobs, |u| {
+        .submit_batched(name, jobs, hfs_serve::Subscribe::Final, |u| {
             if progress {
                 hfs_serve::print_update(name, u);
             }

@@ -12,29 +12,61 @@
 //! on the next run, and a partial `all_figures` pass therefore resumes
 //! exactly where it failed. Writes go through a temp file + rename so a
 //! killed run never leaves a truncated entry behind.
+//!
+//! An optional in-memory [`HotCache`] fronts the disk: loads check it
+//! first, and both loads and stores populate it write-through, so a
+//! warm lookup skips the file read and JSON parse entirely. Because
+//! entries are content-keyed and immutable, the two layers can never
+//! disagree.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::hotcache::{HotCache, HotEntry};
 use crate::job::JobOutcome;
 use crate::json::parse;
 use crate::ser::{outcome_from_json, outcome_to_json};
 
-/// A directory of cached job outcomes keyed by content hash.
+/// A directory of cached job outcomes keyed by content hash, optionally
+/// fronted by a bounded in-memory hot layer.
 #[derive(Debug)]
 pub struct Cache {
     dir: PathBuf,
     tmp_counter: AtomicU64,
+    hot: Option<Arc<HotCache>>,
 }
 
 impl Cache {
-    /// Opens (without creating) a cache rooted at `dir`.
+    /// Opens (without creating) a cache rooted at `dir`, with the hot
+    /// layer the environment asks for (`HFS_HOT_CACHE_MB`; `0`
+    /// disables it).
     pub fn new(dir: impl Into<PathBuf>) -> Cache {
+        Cache::with_hot(dir, HotCache::from_env())
+    }
+
+    /// Opens a cache with an explicit hot layer (or none) — the hook
+    /// for servers and benchmarks that size or share the hot cache
+    /// themselves.
+    pub fn with_hot(dir: impl Into<PathBuf>, hot: Option<Arc<HotCache>>) -> Cache {
         Cache {
             dir: dir.into(),
             tmp_counter: AtomicU64::new(0),
+            hot,
         }
+    }
+
+    /// The hot layer, when one is attached.
+    pub fn hot(&self) -> Option<&Arc<HotCache>> {
+        self.hot.as_ref()
+    }
+
+    /// Memory-only lookup: a hit costs one shard lock, never disk I/O.
+    /// The server's submit path uses this to resolve warm jobs inline
+    /// without blocking the dispatcher on the filesystem.
+    pub fn hot_entry(&self, key: &str) -> Option<Arc<HotEntry>> {
+        self.hot.as_ref()?.get(key)
     }
 
     /// The cache directory.
@@ -67,6 +99,18 @@ impl Cache {
     /// at the pre-sharding flat path still hit, and are moved into their
     /// shard (best-effort) so the next lookup is direct.
     pub fn load(&self, key: &str) -> Option<JobOutcome> {
+        Some(self.load_entry(key)?.outcome().clone())
+    }
+
+    /// Like [`load`](Cache::load), but returns the outcome *with* its
+    /// cached serialization, so callers that re-emit the serialized
+    /// text (the server's key-reference delivery path) skip a
+    /// re-encode per hit. A disk hit still populates the hot layer;
+    /// without one, the entry is built ad hoc from the disk text.
+    pub fn load_entry(&self, key: &str) -> Option<Arc<HotEntry>> {
+        if let Some(entry) = self.hot_entry(key) {
+            return Some(entry);
+        }
         let path = self.path_for(key);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -79,7 +123,11 @@ impl Cache {
                 t
             }
         };
-        outcome_from_json(&parse(&text).ok()?).ok()
+        let outcome = outcome_from_json(&parse(&text).ok()?).ok()?;
+        if let Some(hot) = &self.hot {
+            hot.insert(key, &outcome, Some(&text));
+        }
+        Some(Arc::new(HotEntry::new(outcome, text.into())))
     }
 
     /// Persists a successful outcome under `key`; non-`Ok` outcomes are
@@ -89,11 +137,15 @@ impl Cache {
         if !outcome.is_ok() {
             return;
         }
+        // One serialization feeds both layers.
+        let body = outcome_to_json(outcome).to_pretty();
+        if let Some(hot) = &self.hot {
+            hot.insert(key, outcome, Some(&body));
+        }
         let shard = self.shard_dir(key);
         if fs::create_dir_all(&shard).is_err() {
             return;
         }
-        let body = outcome_to_json(outcome).to_pretty();
         let tmp = shard.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
@@ -192,6 +244,49 @@ mod tests {
         cache.store("deadbeef", &JobOutcome::SimError("x".into()));
         cache.store("deadbeef", &JobOutcome::Cancelled);
         assert!(cache.load("deadbeef").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_layer_serves_after_disk_entry_disappears() {
+        use crate::hotcache::HotCache;
+        use std::sync::Arc;
+        let dir = tmp_dir("hotlayer");
+        let hot = Arc::new(HotCache::new(1 << 20));
+        let cache = Cache::with_hot(&dir, Some(Arc::clone(&hot)));
+        let (key, out) = demo_outcome();
+        cache.store(&key, &out);
+        // The hot entry's text is byte-identical to the disk file.
+        let disk = fs::read_to_string(
+            dir.join(key.chars().next().unwrap().to_string())
+                .join(format!("{key}.json")),
+        )
+        .unwrap();
+        assert_eq!(cache.hot_entry(&key).unwrap().json(), disk);
+        // Removing the disk file doesn't evict the hot copy.
+        let _ = fs::remove_dir_all(&dir);
+        let loaded = cache.load(&key).expect("hot layer still hits");
+        assert_eq!(loaded.ok().unwrap().cycles, out.ok().unwrap().cycles);
+        // A disk-only cache (no hot layer) now misses.
+        assert!(Cache::with_hot(&dir, None).load(&key).is_none());
+    }
+
+    #[test]
+    fn disk_load_populates_the_hot_layer() {
+        use crate::hotcache::HotCache;
+        use std::sync::Arc;
+        let dir = tmp_dir("hotfill");
+        let (key, out) = demo_outcome();
+        Cache::with_hot(&dir, None).store(&key, &out);
+        let hot = Arc::new(HotCache::new(1 << 20));
+        let cache = Cache::with_hot(&dir, Some(Arc::clone(&hot)));
+        assert!(cache.hot_entry(&key).is_none(), "hot starts cold");
+        cache.load(&key).expect("disk hit");
+        assert!(cache.hot_entry(&key).is_some(), "disk hit fills hot");
+        let s = hot.stats();
+        // Two misses (the cold probe + the load's own probe), then the
+        // post-load probe hits.
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
         let _ = fs::remove_dir_all(&dir);
     }
 

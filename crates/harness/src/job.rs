@@ -1,6 +1,7 @@
 //! Experiment job specifications and outcomes.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use hfs_core::kernel::KernelPair;
 use hfs_core::{Checker, Machine, MachineConfig, RunResult, SimError};
@@ -52,6 +53,14 @@ pub struct Job {
     /// a [`hfs_trace::MetricsReport`]. Part of the cache key (traced and
     /// untraced results serialize differently).
     pub metrics: bool,
+    // Lazily computed cache key. Populated on the first `key()` call and
+    // reused by every later cache/dedup/shard lookup; the `with_*`
+    // builders reset it because they change keyed content. Cloning
+    // preserves it (a clone has identical content, hence an identical
+    // key). Callers mutating keyed pub fields *after* calling `key()`
+    // must go through the builders — in-crate construction sites use
+    // struct-update over fresh jobs, where the memo is still unset.
+    key_memo: OnceLock<String>,
 }
 
 impl Job {
@@ -65,6 +74,7 @@ impl Job {
             max_cycles: DEFAULT_MAX_CYCLES,
             retries: 0,
             metrics: false,
+            key_memo: OnceLock::new(),
         }
     }
 
@@ -73,6 +83,31 @@ impl Job {
         Job {
             mode: Mode::Single,
             ..Job::pipeline(label, pair, cfg)
+        }
+    }
+
+    /// Rebuilds a job from its raw parts (the spec-codec entry point).
+    /// Keeps the deserializer honest about every keyed field without
+    /// exposing the key memo outside this module.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        label: String,
+        pair: KernelPair,
+        cfg: MachineConfig,
+        mode: Mode,
+        max_cycles: u64,
+        retries: u32,
+        metrics: bool,
+    ) -> Job {
+        Job {
+            label,
+            pair,
+            cfg,
+            mode,
+            max_cycles,
+            retries,
+            metrics,
+            key_memo: OnceLock::new(),
         }
     }
 
@@ -88,6 +123,7 @@ impl Job {
     #[must_use]
     pub fn with_max_cycles(mut self, max_cycles: u64) -> Job {
         self.max_cycles = max_cycles;
+        self.key_memo = OnceLock::new();
         self
     }
 
@@ -95,6 +131,7 @@ impl Job {
     #[must_use]
     pub fn with_retries(mut self, retries: u32) -> Job {
         self.retries = retries;
+        self.key_memo = OnceLock::new();
         self
     }
 
@@ -102,6 +139,7 @@ impl Job {
     #[must_use]
     pub fn with_metrics(mut self, metrics: bool) -> Job {
         self.metrics = metrics;
+        self.key_memo = OnceLock::new();
         self
     }
 
@@ -111,17 +149,29 @@ impl Job {
     /// kernel pair (kernels, queues, iterations), the full machine
     /// configuration (memory hierarchy, core, design point, seed), the
     /// assembly mode, the cycle budget, and [`CACHE_SCHEMA`].
+    ///
+    /// Computed once per job (the Debug-format canonicalization of the
+    /// pair + config dominates the cost) and memoized: cache lookups,
+    /// dedup, and worker sharding all reuse the first computation.
     pub fn key(&self) -> String {
-        let mut canonical = format!(
-            "schema={CACHE_SCHEMA}|mode={:?}|max_cycles={}|pair={:?}|cfg={:?}",
-            self.mode, self.max_cycles, self.pair, self.cfg
-        );
-        // Appended only when set, so pre-existing cache entries for
-        // untraced jobs keep their keys.
-        if self.metrics {
-            canonical.push_str("|metrics=1");
-        }
-        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+        self.key_ref().to_string()
+    }
+
+    /// The memoized cache key as a borrowed string — the allocation-free
+    /// spelling of [`Job::key`] for hot paths that only compare or hash.
+    pub fn key_ref(&self) -> &str {
+        self.key_memo.get_or_init(|| {
+            let mut canonical = format!(
+                "schema={CACHE_SCHEMA}|mode={:?}|max_cycles={}|pair={:?}|cfg={:?}",
+                self.mode, self.max_cycles, self.pair, self.cfg
+            );
+            // Appended only when set, so pre-existing cache entries for
+            // untraced jobs keep their keys.
+            if self.metrics {
+                canonical.push_str("|metrics=1");
+            }
+            format!("{:016x}", fnv1a64(canonical.as_bytes()))
+        })
     }
 }
 
@@ -159,6 +209,11 @@ pub enum JobOutcome {
     /// every client waiting on it disconnected). Never cached and never
     /// retried here — the owner decides whether to re-enqueue.
     Cancelled,
+    /// The worker *process* executing the job died repeatedly (crash,
+    /// kill, or broken pipe) and the dispatcher exhausted its requeue
+    /// budget. The message records what the dispatcher observed. Never
+    /// cached: the next submission gets a fresh worker.
+    WorkerDied(String),
 }
 
 impl JobOutcome {
@@ -176,7 +231,7 @@ impl JobOutcome {
     }
 
     /// Short status tag: `"ok"`, `"sim_error"`, `"check_failed"`,
-    /// `"timeout"`, or `"cancelled"`.
+    /// `"timeout"`, `"cancelled"`, or `"worker_died"`.
     pub fn status(&self) -> &'static str {
         match self {
             JobOutcome::Ok(_) => "ok",
@@ -184,6 +239,7 @@ impl JobOutcome {
             JobOutcome::CheckFailed(_) => "check_failed",
             JobOutcome::Timeout { .. } => "timeout",
             JobOutcome::Cancelled => "cancelled",
+            JobOutcome::WorkerDied(_) => "worker_died",
         }
     }
 }
@@ -198,6 +254,7 @@ impl fmt::Display for JobOutcome {
                 write!(f, "timeout: exceeded {max_cycles} cycles")
             }
             JobOutcome::Cancelled => write!(f, "cancelled"),
+            JobOutcome::WorkerDied(e) => write!(f, "worker died: {e}"),
         }
     }
 }
@@ -375,6 +432,25 @@ mod tests {
         b.label = "something/else".into();
         assert_eq!(a.key(), b.key());
         assert_eq!(a.key().len(), 16);
+    }
+
+    #[test]
+    fn key_memo_survives_clone_and_resets_on_builders() {
+        let job = demo_job(50);
+        let first = job.key();
+        // Memoized: later calls return the identical string without
+        // recomputation (same pointer into the OnceLock).
+        assert_eq!(job.key_ref() as *const str, job.key_ref() as *const str);
+        assert_eq!(job.key(), first);
+        // A clone carries identical content, so carrying the memo over
+        // is sound.
+        assert_eq!(job.clone().key(), first);
+        // Builders change keyed content and must invalidate the memo
+        // even when the source job already computed its key.
+        let rebudgeted = job.clone().with_max_cycles(1234);
+        assert_ne!(rebudgeted.key(), first);
+        let traced = job.clone().with_metrics(true);
+        assert_ne!(traced.key(), first);
     }
 
     #[test]

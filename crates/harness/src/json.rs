@@ -25,6 +25,12 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
+    /// Pre-serialized JSON spliced into the output verbatim. Never
+    /// produced by the parser; constructors promise the text is exactly
+    /// one valid JSON value. Exists so hot paths (the server's cached
+    /// result delivery) can re-emit a stored serialization without
+    /// rebuilding and re-encoding the tree.
+    Raw(std::sync::Arc<str>),
 }
 
 impl Json {
@@ -118,6 +124,10 @@ impl Json {
                 }
                 out.push('}');
             }
+            // Stored pretty text keeps its interior newlines (JSON
+            // whitespace is insignificant); only the trailing newline
+            // is dropped.
+            Json::Raw(s) => out.push_str(s.trim_end()),
         }
     }
 
@@ -492,6 +502,23 @@ mod tests {
         assert_eq!(arr[1].as_str(), Some("two"));
         assert!(arr[2].is_null());
         assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn raw_splices_parse_back_to_the_original_tree() {
+        let inner = Json::obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("cycles", Json::U64(42)),
+        ]);
+        // Stored pretty text (trailing newline and all), spliced both
+        // compactly and prettily inside a larger document.
+        let raw = Json::Raw(inner.to_pretty().into());
+        let doc = Json::obj(vec![("index", Json::U64(7)), ("outcome", raw)]);
+        for text in [doc.to_string(), doc.to_pretty()] {
+            let back = parse(&text).unwrap();
+            assert_eq!(back.get("index").unwrap().as_u64(), Some(7));
+            assert_eq!(back.get("outcome").unwrap(), &inner);
+        }
     }
 
     #[test]

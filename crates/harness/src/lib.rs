@@ -10,7 +10,9 @@
 //!   in parallel while gathering results in submission order, so output
 //!   is byte-identical at any `HFS_JOBS` setting;
 //! - [`Cache`]: an on-disk result cache (`results/cache/<key>.json`)
-//!   with hand-rolled, std-only JSON serialization;
+//!   with hand-rolled, std-only JSON serialization, fronted by a
+//!   bounded in-memory [`HotCache`] (`HFS_HOT_CACHE_MB`) so warm
+//!   lookups skip disk I/O and re-parsing;
 //! - robustness: simulator failures become structured [`JobOutcome`]s
 //!   (never panics mid-batch), with a per-job simulated-cycle watchdog
 //!   and configurable retries;
@@ -28,6 +30,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod hotcache;
 pub mod job;
 pub mod json;
 pub mod ser;
@@ -35,6 +38,7 @@ pub mod spec;
 
 pub use cache::Cache;
 pub use engine::{Batch, Engine, EngineStats, Record};
+pub use hotcache::{HotCache, HotCacheStats, HotEntry};
 pub use job::{
     execute, execute_cancellable, execute_checked, execute_counted, execute_once,
     execute_once_cancellable, execute_once_instrumented, execute_once_with, Job, JobOutcome, Mode,

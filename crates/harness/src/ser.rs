@@ -304,6 +304,10 @@ pub fn outcome_to_json(o: &JobOutcome) -> Json {
             ("max_cycles", Json::U64(*max_cycles)),
         ]),
         JobOutcome::Cancelled => Json::obj(vec![("status", Json::Str("cancelled".into()))]),
+        JobOutcome::WorkerDied(e) => Json::obj(vec![
+            ("status", Json::Str("worker_died".into())),
+            ("error", Json::Str(e.clone())),
+        ]),
     }
 }
 
@@ -334,6 +338,12 @@ pub fn outcome_from_json(v: &Json) -> Result<JobOutcome, DecodeError> {
             max_cycles: field(v, "max_cycles")?,
         }),
         Some("cancelled") => Ok(JobOutcome::Cancelled),
+        Some("worker_died") => Ok(JobOutcome::WorkerDied(
+            v.get("error")
+                .and_then(Json::as_str)
+                .ok_or_else(|| DecodeError("missing `error`".into()))?
+                .to_string(),
+        )),
         other => Err(DecodeError(format!("unknown status {other:?}"))),
     }
 }
@@ -465,6 +475,7 @@ mod tests {
             JobOutcome::CheckFailed("machine-check: [cycle 9] bus.double_grant: x".into()),
             JobOutcome::Timeout { max_cycles: 42 },
             JobOutcome::Cancelled,
+            JobOutcome::WorkerDied("worker 1 exited 3 times running this job".into()),
         ] {
             let text = outcome_to_json(&o).to_string();
             let back = outcome_from_json(&parse(&text).unwrap()).unwrap();
@@ -481,6 +492,7 @@ mod tests {
             r#"{"status":"ok"}"#,
             r#"{"status":"timeout"}"#,
             r#"{"status":"check_failed"}"#,
+            r#"{"status":"worker_died"}"#,
         ] {
             assert!(outcome_from_json(&parse(bad).unwrap()).is_err(), "{bad}");
         }

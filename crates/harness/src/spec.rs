@@ -450,15 +450,15 @@ pub fn job_from_json(v: &Json) -> Result<Job, DecodeError> {
         ),
         other => Err(DecodeError(format!("unknown mode `{other}`")))?,
     };
-    Ok(Job {
-        label: str_field(v, "label")?.to_string(),
-        pair: pair_from_json(obj_field(v, "pair")?)?,
-        cfg: machine_config_from_json(obj_field(v, "cfg")?)?,
+    Ok(Job::from_parts(
+        str_field(v, "label")?.to_string(),
+        pair_from_json(obj_field(v, "pair")?)?,
+        machine_config_from_json(obj_field(v, "cfg")?)?,
         mode,
-        max_cycles: u64_field(v, "max_cycles")?,
-        retries: u32_field(v, "retries")?,
-        metrics: bool_field(v, "metrics")?,
-    })
+        u64_field(v, "max_cycles")?,
+        u32_field(v, "retries")?,
+        bool_field(v, "metrics")?,
+    ))
 }
 
 /// Serializes a named sweep — the `hfs-client submit` payload and the

@@ -1,7 +1,7 @@
 //! The `hfs-client` CLI: submit sweeps to an `hfs-serve` instance.
 //!
 //! ```text
-//! hfs-client submit <spec.json> [--out DIR]   # run a sweep, write artifact
+//! hfs-client submit <spec.json> [--out DIR] [--subscribe LEVEL]
 //! hfs-client ping                             # liveness check
 //! hfs-client stats [--watch SECS]             # counter snapshot (JSON) or live view
 //! hfs-client metrics                          # Prometheus-text exposition dump
@@ -13,12 +13,19 @@
 //! [`hfs_harness::sweep_to_json`]): `{"experiment": ..., "jobs":
 //! [...]}`. The artifact written by `submit` is byte-identical to the
 //! offline runner's `results/<experiment>.json`.
+//!
+//! `--subscribe` picks the result traffic for `submit`: `final` (the
+//! default) uses the pipelined batched path — chunked submissions
+//! (`HFS_SUBMIT_CHUNK`/`HFS_SUBMIT_WINDOW`) with chunked result frames;
+//! `all` uses the legacy path with one `job` frame per job; `none`
+//! primes the server's cache without streaming results back (no
+//! artifact is written).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hfs_harness::{sweep_from_json, Json};
-use hfs_serve::{print_update, Client};
+use hfs_serve::{print_update, Client, Subscribe};
 
 fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
@@ -26,7 +33,7 @@ fn env_flag(name: &str) -> bool {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hfs-client submit <spec.json> [--out DIR]\n\
+        "usage: hfs-client submit <spec.json> [--out DIR] [--subscribe none|final|all]\n\
          \x20      hfs-client ping | stats [--watch SECS] | metrics | shutdown"
     );
     std::process::exit(2);
@@ -39,7 +46,7 @@ fn connect() -> Result<Client, ExitCode> {
     })
 }
 
-fn submit(spec_path: &str, out_dir: Option<PathBuf>) -> ExitCode {
+fn submit(spec_path: &str, out_dir: Option<PathBuf>, subscribe: Subscribe) -> ExitCode {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(t) => t,
         Err(e) => {
@@ -74,17 +81,29 @@ fn submit(spec_path: &str, out_dir: Option<PathBuf>) -> ExitCode {
         Ok(c) => c,
         Err(code) => return code,
     };
-    let batch = match client.submit(&experiment, jobs, |u| {
+    let on_update = |u: &hfs_serve::JobUpdate| {
         if progress {
             print_update(&experiment, u);
         }
-    }) {
+    };
+    // `all` keeps the legacy one-frame-per-job conversation; everything
+    // else rides the pipelined batched path.
+    let result = match subscribe {
+        Subscribe::All => client.submit(&experiment, jobs, on_update),
+        s => client.submit_batched(&experiment, jobs, s, on_update),
+    };
+    let batch = match result {
         Ok(b) => b,
         Err(e) => {
             eprintln!("hfs-client: submit failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if matches!(subscribe, Subscribe::None) {
+        // Cache priming: no results streamed back, nothing to write.
+        println!("primed {experiment}");
+        return ExitCode::SUCCESS;
+    }
 
     let dir = out_dir.unwrap_or_else(|| {
         PathBuf::from(std::env::var("HFS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
@@ -163,6 +182,7 @@ fn main() -> ExitCode {
         Some("submit") => {
             let spec = args.get(1).cloned().unwrap_or_else(|| usage());
             let mut out_dir = None;
+            let mut subscribe = Subscribe::Final;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -172,13 +192,20 @@ fn main() -> ExitCode {
                         ));
                         i += 2;
                     }
+                    "--subscribe" => {
+                        subscribe = args
+                            .get(i + 1)
+                            .and_then(|v| Subscribe::parse(v))
+                            .unwrap_or_else(|| usage());
+                        i += 2;
+                    }
                     other => {
                         eprintln!("hfs-client: unknown argument {other:?}");
                         usage();
                     }
                 }
             }
-            submit(&spec, out_dir)
+            submit(&spec, out_dir, subscribe)
         }
         Some("ping") => match connect() {
             Ok(mut c) => match c.ping() {

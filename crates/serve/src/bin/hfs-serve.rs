@@ -3,23 +3,30 @@
 //! ```text
 //! hfs-serve [--sock PATH | --addr HOST:PORT] [--workers N]
 //!           [--queue-limit N] [--verbose]
+//! hfs-serve --worker
 //! ```
 //!
 //! Without flags the endpoint comes from `HFS_SOCK`/`HFS_ADDR`. The
 //! execution environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
-//! `HFS_RETRIES`, `HFS_SERVE_QUEUE_LIMIT`) matches the offline engine.
+//! `HFS_RETRIES`, `HFS_SERVE_QUEUE_LIMIT`, `HFS_HOT_CACHE_MB`) matches
+//! the offline engine. `--workers N` (env `HFS_SERVE_WORKERS`) runs
+//! simulations on `N` *worker processes*: the server re-execs this
+//! binary with `--worker` per slot and shards jobs across the children
+//! by content key; without it, simulations run on in-process threads
+//! (`HFS_JOBS`). `--worker` is that internal child mode — it speaks
+//! frames on stdin/stdout and is not meant to be invoked by hand.
 //! Operational logging goes through the `hfs-obs` structured logger:
 //! `HFS_LOG=error|warn|info|debug` sets the level (`--verbose` is an
 //! alias for `HFS_LOG=debug` when `HFS_LOG` is unset) and
 //! `HFS_LOG_FILE` redirects it from stderr. The server runs until a
 //! client sends `shutdown` or the process receives SIGTERM/SIGINT,
-//! then drains: accepted work finishes and every pending result is
-//! delivered before exit.
+//! then drains: accepted work finishes, every pending result is
+//! delivered, and every worker process is reaped before exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hfs_serve::{signal, Endpoint, Server, ServerConfig};
+use hfs_serve::{signal, worker_main, Endpoint, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -30,6 +37,12 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
+    // Child mode: pure executor on stdin/stdout, no endpoint, no
+    // listener. Checked before anything else so a worker can never
+    // half-initialize as a server.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        return ExitCode::from(u8::try_from(worker_main()).unwrap_or(1));
+    }
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServerConfig::from_env();
     let mut args = std::env::args().skip(1);
@@ -50,7 +63,7 @@ fn main() -> ExitCode {
             }
             "--addr" => endpoint = Some(Endpoint::Tcp(args.next().unwrap_or_else(|| usage()))),
             "--workers" => {
-                config.workers = args
+                config.process_workers = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| n > 0)
@@ -103,7 +116,14 @@ fn main() -> ExitCode {
         "listening",
         &[
             ("endpoint", server.endpoint().into()),
-            ("workers", config.workers.into()),
+            (
+                "workers",
+                if config.process_workers > 0 {
+                    format!("{} processes", config.process_workers).into()
+                } else {
+                    format!("{} threads", config.workers).into()
+                },
+            ),
             ("queue_limit", config.queue_limit.into()),
             (
                 "cache",

@@ -37,10 +37,16 @@ pub mod net;
 pub mod proto;
 pub mod server;
 pub mod signal;
+pub mod worker;
 
-pub use client::{print_update, Client, ClientError, JobUpdate};
+pub use client::{
+    print_update, Client, ClientError, JobUpdate, DEFAULT_SUBMIT_CHUNK, DEFAULT_SUBMIT_WINDOW,
+    ENV_SUBMIT_CHUNK, ENV_SUBMIT_REFS, ENV_SUBMIT_WINDOW,
+};
 pub use net::{Endpoint, Listener, Stream, ENV_ADDR, ENV_SOCK};
 pub use proto::{
-    read_frame, write_frame, ClientFrame, ProtoError, ServeStats, ServerFrame, MAX_FRAME_BYTES,
+    read_frame, write_frame, ClientFrame, JobRef, JobResult, ProtoError, ServeStats, ServerFrame,
+    Subscribe, MAX_FRAME_BYTES,
 };
-pub use server::{Server, ServerConfig, DEFAULT_QUEUE_LIMIT, ENV_QUEUE_LIMIT};
+pub use server::{Server, ServerConfig, DEFAULT_QUEUE_LIMIT, ENV_QUEUE_LIMIT, ENV_WORKERS};
+pub use worker::worker_main;

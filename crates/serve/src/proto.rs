@@ -13,6 +13,7 @@
 //! version skew fails loudly instead of silently dropping work.
 
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 use hfs_harness::{
     job_from_json, job_to_json, outcome_from_json, outcome_to_json, parse, DecodeError, Job,
@@ -150,6 +151,145 @@ fn bool_field(v: &Json, key: &str) -> Result<bool, ProtoError> {
     }
 }
 
+/// How much per-job traffic a batch submission wants back.
+///
+/// A 10⁵-job sweep under the legacy protocol generates 10⁵ `job` frames
+/// per subscriber; `Final` collapses that to a handful of chunked
+/// [`ServerFrame::BatchResults`] frames, and `None` to just
+/// `accepted`/`done` (cache-priming submissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Subscribe {
+    /// No per-job frames at all: `accepted`, then `done`.
+    None,
+    /// Chunked [`ServerFrame::BatchResults`] frames, then `done`.
+    #[default]
+    Final,
+    /// A [`ServerFrame::Job`] frame per job (the legacy behavior), then
+    /// `done`.
+    All,
+}
+
+impl Subscribe {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subscribe::None => "none",
+            Subscribe::Final => "final",
+            Subscribe::All => "all",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Subscribe> {
+        match s {
+            "none" => Some(Subscribe::None),
+            "final" => Some(Subscribe::Final),
+            "all" => Some(Subscribe::All),
+            _ => None,
+        }
+    }
+}
+
+/// One resolved job inside a [`ServerFrame::BatchResults`] chunk — the
+/// same payload as a [`ServerFrame::Job`] frame, without the per-frame
+/// envelope.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's position in the submitted batch.
+    pub index: u64,
+    /// The job's display label.
+    pub label: String,
+    /// Content-derived cache key.
+    pub key: String,
+    /// Whether the outcome came from the result cache.
+    pub cached: bool,
+    /// The outcome itself.
+    pub outcome: JobOutcome,
+    /// Encode-side fast path: when the sender already holds the
+    /// outcome's cached serialization (a hot-cache hit), the text is
+    /// spliced into the frame verbatim instead of re-encoding
+    /// `outcome`. Must be exactly the serialization of `outcome` when
+    /// set. Decoders always leave this `None`; the wire layout is
+    /// identical either way.
+    pub encoded: Option<Arc<str>>,
+}
+
+impl JobResult {
+    fn to_json(&self) -> Json {
+        let outcome = match &self.encoded {
+            Some(text) => Json::Raw(Arc::clone(text)),
+            None => outcome_to_json(&self.outcome),
+        };
+        Json::obj(vec![
+            ("index", Json::U64(self.index)),
+            ("label", Json::Str(self.label.clone())),
+            ("key", Json::Str(self.key.clone())),
+            ("cached", Json::Bool(self.cached)),
+            ("outcome", outcome),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JobResult, ProtoError> {
+        Ok(JobResult {
+            index: u64_field(v, "index")?,
+            label: str_field(v, "label")?,
+            key: str_field(v, "key")?,
+            cached: bool_field(v, "cached")?,
+            outcome: outcome_from_json(
+                v.get("outcome")
+                    .ok_or_else(|| ProtoError::Malformed("result has no outcome".to_string()))?,
+            )?,
+            encoded: None,
+        })
+    }
+}
+
+/// A batch id echoed on responses, or 0 for the legacy (un-multiplexed)
+/// submit path. Serialized only when nonzero so legacy frames keep
+/// their exact pre-batching byte layout.
+fn opt_id_field(v: &Json) -> u64 {
+    v.get("id").and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn push_id(pairs: &mut Vec<(String, Json)>, id: u64) {
+    if id != 0 {
+        pairs.push(("id".to_string(), Json::U64(id)));
+    }
+}
+
+/// A content-key reference to one job of a `submit_refs` chunk.
+///
+/// The client holds the full spec and sends only the content key
+/// ([`hfs_harness::Job::key`]) plus its display label; the server
+/// resolves the key against its result cache (or attaches to an
+/// in-flight execution of the same key) without parsing or re-hashing
+/// a spec. That makes re-submitting a warm sweep almost free — the
+/// dominant per-job costs of the spec path are exactly the spec
+/// serialize/parse/hash this reference skips.
+#[derive(Debug, Clone)]
+pub struct JobRef {
+    /// Content-derived cache key, as computed by the client.
+    pub key: String,
+    /// Client-chosen display label, used for delivery and artifacts.
+    pub label: String,
+}
+
+impl JobRef {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("key", Json::Str(self.key.clone())),
+            ("label", Json::Str(self.label.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JobRef, ProtoError> {
+        Ok(JobRef {
+            key: str_field(v, "key")?,
+            label: str_field(v, "label")?,
+        })
+    }
+}
+
 /// A message from a client to the server.
 #[derive(Debug, Clone)]
 pub enum ClientFrame {
@@ -159,6 +299,38 @@ pub enum ClientFrame {
         experiment: String,
         /// The jobs, in submission order.
         jobs: Vec<Job>,
+    },
+    /// Submit a named batch with an explicit id and a per-job update
+    /// subscription level — the pipelined bulk path. Responses carrying
+    /// the same `id` (`accepted`/`busy`/`batch_results`/`done`) can
+    /// interleave with those of other in-flight batches on the same
+    /// connection.
+    SubmitBatch {
+        /// Experiment name (artifact file stem on the client side).
+        experiment: String,
+        /// Client-chosen nonzero batch id, echoed on every response.
+        id: u64,
+        /// How much per-job traffic to send back.
+        subscribe: Subscribe,
+        /// The jobs, in submission order.
+        jobs: Vec<Job>,
+    },
+    /// Submit a batch chunk by content key only ([`JobRef`]) — the
+    /// warm-path complement of [`ClientFrame::SubmitBatch`]. The server
+    /// either resolves *every* reference (from its caches or in-flight
+    /// executions) and answers `accepted`, or rejects the whole chunk
+    /// with [`ServerFrame::RefsMiss`], after which the client re-sends
+    /// it with full specs. Nothing is enqueued on a miss, so the
+    /// rejection is free of side effects.
+    SubmitRefs {
+        /// Experiment name (artifact file stem on the client side).
+        experiment: String,
+        /// Client-chosen nonzero batch id, echoed on every response.
+        id: u64,
+        /// How much per-job traffic to send back.
+        subscribe: Subscribe,
+        /// The references, in submission order.
+        refs: Vec<JobRef>,
     },
     /// Liveness probe; answered with [`ServerFrame::Pong`].
     Ping,
@@ -179,6 +351,33 @@ impl ClientFrame {
                 ("type", Json::Str("submit".to_string())),
                 ("experiment", Json::Str(experiment.clone())),
                 ("jobs", Json::Arr(jobs.iter().map(job_to_json).collect())),
+            ]),
+            ClientFrame::SubmitBatch {
+                experiment,
+                id,
+                subscribe,
+                jobs,
+            } => Json::obj(vec![
+                ("type", Json::Str("submit_batch".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("id", Json::U64(*id)),
+                ("subscribe", Json::Str(subscribe.as_str().to_string())),
+                ("jobs", Json::Arr(jobs.iter().map(job_to_json).collect())),
+            ]),
+            ClientFrame::SubmitRefs {
+                experiment,
+                id,
+                subscribe,
+                refs,
+            } => Json::obj(vec![
+                ("type", Json::Str("submit_refs".to_string())),
+                ("experiment", Json::Str(experiment.clone())),
+                ("id", Json::U64(*id)),
+                ("subscribe", Json::Str(subscribe.as_str().to_string())),
+                (
+                    "refs",
+                    Json::Arr(refs.iter().map(JobRef::to_json).collect()),
+                ),
             ]),
             ClientFrame::Ping => Json::obj(vec![("type", Json::Str("ping".to_string()))]),
             ClientFrame::Stats => Json::obj(vec![("type", Json::Str("stats".to_string()))]),
@@ -204,6 +403,60 @@ impl ClientFrame {
                     .map(job_from_json)
                     .collect::<Result<Vec<Job>, DecodeError>>()?;
                 Ok(ClientFrame::Submit { experiment, jobs })
+            }
+            "submit_batch" => {
+                let experiment = str_field(v, "experiment")?;
+                let id = u64_field(v, "id")?;
+                if id == 0 {
+                    return Err(ProtoError::Malformed(
+                        "submit_batch id must be nonzero".to_string(),
+                    ));
+                }
+                let subscribe = Subscribe::parse(&str_field(v, "subscribe")?).ok_or_else(|| {
+                    ProtoError::Malformed("subscribe must be none|final|all".to_string())
+                })?;
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        ProtoError::Malformed("submit_batch has no jobs array".to_string())
+                    })?
+                    .iter()
+                    .map(job_from_json)
+                    .collect::<Result<Vec<Job>, DecodeError>>()?;
+                Ok(ClientFrame::SubmitBatch {
+                    experiment,
+                    id,
+                    subscribe,
+                    jobs,
+                })
+            }
+            "submit_refs" => {
+                let experiment = str_field(v, "experiment")?;
+                let id = u64_field(v, "id")?;
+                if id == 0 {
+                    return Err(ProtoError::Malformed(
+                        "submit_refs id must be nonzero".to_string(),
+                    ));
+                }
+                let subscribe = Subscribe::parse(&str_field(v, "subscribe")?).ok_or_else(|| {
+                    ProtoError::Malformed("subscribe must be none|final|all".to_string())
+                })?;
+                let refs = v
+                    .get("refs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        ProtoError::Malformed("submit_refs has no refs array".to_string())
+                    })?
+                    .iter()
+                    .map(JobRef::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ClientFrame::SubmitRefs {
+                    experiment,
+                    id,
+                    subscribe,
+                    refs,
+                })
             }
             "ping" => Ok(ClientFrame::Ping),
             "stats" => Ok(ClientFrame::Stats),
@@ -319,6 +572,9 @@ pub enum ServerFrame {
         experiment: String,
         /// Number of jobs accepted.
         total: u64,
+        /// Echo of the batch id (0 on the legacy submit path; omitted
+        /// from the wire when 0).
+        id: u64,
     },
     /// The whole batch was rejected: the flight queue is full.
     Busy {
@@ -326,6 +582,9 @@ pub enum ServerFrame {
         queued: u64,
         /// The admission limit.
         limit: u64,
+        /// Echo of the batch id (0 on the legacy submit path; omitted
+        /// from the wire when 0).
+        id: u64,
     },
     /// One job of a batch resolved.
     Job {
@@ -342,12 +601,36 @@ pub enum ServerFrame {
         /// The outcome itself.
         outcome: JobOutcome,
     },
+    /// A chunk of resolved jobs for a `submit_batch` submission with
+    /// `subscribe: final`. Chunks stream as results accumulate; indexes
+    /// within and across chunks arrive in resolution order, not
+    /// submission order.
+    BatchResults {
+        /// The batch they belong to.
+        experiment: String,
+        /// Echo of the batch id.
+        id: u64,
+        /// The resolved jobs in this chunk.
+        results: Vec<JobResult>,
+    },
+    /// A `submit_refs` chunk could not be fully resolved: at least one
+    /// key is neither cached nor in flight. The whole chunk was dropped
+    /// without side effects; the client re-sends it with full specs.
+    RefsMiss {
+        /// Echo of the chunk's batch id.
+        id: u64,
+        /// Chunk-relative indexes of the unresolved references.
+        missing: Vec<u64>,
+    },
     /// Every job of the batch has been delivered.
     Done {
         /// The batch that finished.
         experiment: String,
         /// Whether every job succeeded.
         ok: bool,
+        /// Echo of the batch id (0 on the legacy submit path; omitted
+        /// from the wire when 0).
+        id: u64,
     },
     /// Counter snapshot, answering [`ClientFrame::Stats`].
     Stats(ServeStats),
@@ -372,16 +655,28 @@ impl ServerFrame {
     /// Encodes the frame body.
     pub fn to_json(&self) -> Json {
         match self {
-            ServerFrame::Accepted { experiment, total } => Json::obj(vec![
-                ("type", Json::Str("accepted".to_string())),
-                ("experiment", Json::Str(experiment.clone())),
-                ("total", Json::U64(*total)),
-            ]),
-            ServerFrame::Busy { queued, limit } => Json::obj(vec![
-                ("type", Json::Str("busy".to_string())),
-                ("queued", Json::U64(*queued)),
-                ("limit", Json::U64(*limit)),
-            ]),
+            ServerFrame::Accepted {
+                experiment,
+                total,
+                id,
+            } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::Str("accepted".to_string())),
+                    ("experiment".to_string(), Json::Str(experiment.clone())),
+                    ("total".to_string(), Json::U64(*total)),
+                ];
+                push_id(&mut pairs, *id);
+                Json::Obj(pairs)
+            }
+            ServerFrame::Busy { queued, limit, id } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::Str("busy".to_string())),
+                    ("queued".to_string(), Json::U64(*queued)),
+                    ("limit".to_string(), Json::U64(*limit)),
+                ];
+                push_id(&mut pairs, *id);
+                Json::Obj(pairs)
+            }
             ServerFrame::Job {
                 experiment,
                 index,
@@ -398,11 +693,36 @@ impl ServerFrame {
                 ("cached", Json::Bool(*cached)),
                 ("outcome", outcome_to_json(outcome)),
             ]),
-            ServerFrame::Done { experiment, ok } => Json::obj(vec![
-                ("type", Json::Str("done".to_string())),
+            ServerFrame::BatchResults {
+                experiment,
+                id,
+                results,
+            } => Json::obj(vec![
+                ("type", Json::Str("batch_results".to_string())),
                 ("experiment", Json::Str(experiment.clone())),
-                ("ok", Json::Bool(*ok)),
+                ("id", Json::U64(*id)),
+                (
+                    "results",
+                    Json::Arr(results.iter().map(JobResult::to_json).collect()),
+                ),
             ]),
+            ServerFrame::RefsMiss { id, missing } => Json::obj(vec![
+                ("type", Json::Str("refs_miss".to_string())),
+                ("id", Json::U64(*id)),
+                (
+                    "missing",
+                    Json::Arr(missing.iter().map(|&i| Json::U64(i)).collect()),
+                ),
+            ]),
+            ServerFrame::Done { experiment, ok, id } => {
+                let mut pairs = vec![
+                    ("type".to_string(), Json::Str("done".to_string())),
+                    ("experiment".to_string(), Json::Str(experiment.clone())),
+                    ("ok".to_string(), Json::Bool(*ok)),
+                ];
+                push_id(&mut pairs, *id);
+                Json::Obj(pairs)
+            }
             ServerFrame::Stats(stats) => {
                 let mut body = vec![("type".to_string(), Json::Str("stats".to_string()))];
                 if let Json::Obj(pairs) = stats.to_json() {
@@ -435,10 +755,12 @@ impl ServerFrame {
             "accepted" => Ok(ServerFrame::Accepted {
                 experiment: str_field(v, "experiment")?,
                 total: u64_field(v, "total")?,
+                id: opt_id_field(v),
             }),
             "busy" => Ok(ServerFrame::Busy {
                 queued: u64_field(v, "queued")?,
                 limit: u64_field(v, "limit")?,
+                id: opt_id_field(v),
             }),
             "job" => Ok(ServerFrame::Job {
                 experiment: str_field(v, "experiment")?,
@@ -451,9 +773,39 @@ impl ServerFrame {
                         .ok_or_else(|| ProtoError::Malformed("job has no outcome".to_string()))?,
                 )?,
             }),
+            "batch_results" => Ok(ServerFrame::BatchResults {
+                experiment: str_field(v, "experiment")?,
+                id: u64_field(v, "id")?,
+                results: v
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        ProtoError::Malformed("batch_results has no results array".to_string())
+                    })?
+                    .iter()
+                    .map(JobResult::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "refs_miss" => Ok(ServerFrame::RefsMiss {
+                id: u64_field(v, "id")?,
+                missing: v
+                    .get("missing")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        ProtoError::Malformed("refs_miss has no missing array".to_string())
+                    })?
+                    .iter()
+                    .map(|e| {
+                        e.as_u64().ok_or_else(|| {
+                            ProtoError::Malformed("refs_miss index is not a u64".to_string())
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             "done" => Ok(ServerFrame::Done {
                 experiment: str_field(v, "experiment")?,
                 ok: bool_field(v, "ok")?,
+                id: opt_id_field(v),
             }),
             "stats" => Ok(ServerFrame::Stats(ServeStats::from_json(v)?)),
             "metrics" => Ok(ServerFrame::Metrics {
@@ -524,6 +876,62 @@ mod tests {
     }
 
     #[test]
+    fn submit_refs_round_trips_and_requires_nonzero_id() {
+        let frame = ClientFrame::SubmitRefs {
+            experiment: "sweep".to_string(),
+            id: 7,
+            subscribe: Subscribe::Final,
+            refs: vec![JobRef {
+                key: "00ff00ff00ff00ff".to_string(),
+                label: "sweep/p0".to_string(),
+            }],
+        };
+        match pipe_client(&frame) {
+            ClientFrame::SubmitRefs {
+                experiment,
+                id,
+                subscribe,
+                refs,
+            } => {
+                assert_eq!(experiment, "sweep");
+                assert_eq!(id, 7);
+                assert!(matches!(subscribe, Subscribe::Final));
+                assert_eq!(refs.len(), 1);
+                assert_eq!(refs[0].key, "00ff00ff00ff00ff");
+                assert_eq!(refs[0].label, "sweep/p0");
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        let mut body = frame.to_json();
+        if let Json::Obj(pairs) = &mut body {
+            for (k, v) in pairs.iter_mut() {
+                if k == "id" {
+                    *v = Json::U64(0);
+                }
+            }
+        }
+        assert!(
+            ClientFrame::from_json(&body).is_err(),
+            "id 0 must be rejected"
+        );
+    }
+
+    #[test]
+    fn refs_miss_round_trips() {
+        let frame = ServerFrame::RefsMiss {
+            id: 9,
+            missing: vec![0, 3, 511],
+        };
+        match pipe_server(&frame) {
+            ServerFrame::RefsMiss { id, missing } => {
+                assert_eq!(id, 9);
+                assert_eq!(missing, vec![0, 3, 511]);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
     fn submit_round_trips_with_equivalent_jobs() {
         let job = demo_job();
         let frame = ClientFrame::Submit {
@@ -539,6 +947,148 @@ mod tests {
                 assert_eq!(jobs[0].key(), job.key());
                 assert_eq!(jobs[0].label, job.label);
             }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_batch_round_trips_id_subscribe_and_jobs() {
+        let job = demo_job();
+        for sub in [Subscribe::None, Subscribe::Final, Subscribe::All] {
+            let frame = ClientFrame::SubmitBatch {
+                experiment: "sweep".to_string(),
+                id: 7,
+                subscribe: sub,
+                jobs: vec![job.clone()],
+            };
+            match pipe_client(&frame) {
+                ClientFrame::SubmitBatch {
+                    experiment,
+                    id,
+                    subscribe,
+                    jobs,
+                } => {
+                    assert_eq!(experiment, "sweep");
+                    assert_eq!(id, 7);
+                    assert_eq!(subscribe, sub);
+                    assert_eq!(jobs[0].key(), job.key());
+                }
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_encoded_outcomes_decode_identically_to_plain_ones() {
+        let outcome = execute(&demo_job(), 0);
+        let mk = |encoded| ServerFrame::BatchResults {
+            experiment: "sweep".to_string(),
+            id: 3,
+            results: vec![JobResult {
+                index: 0,
+                label: "sweep/a".to_string(),
+                key: "0123456789abcdef".to_string(),
+                cached: true,
+                outcome: outcome.clone(),
+                encoded,
+            }],
+        };
+        let text: Arc<str> = outcome_to_json(&outcome).to_pretty().into();
+        let (plain, spliced) = (pipe_server(&mk(None)), pipe_server(&mk(Some(text))));
+        match (plain, spliced) {
+            (
+                ServerFrame::BatchResults { results: a, .. },
+                ServerFrame::BatchResults { results: b, .. },
+            ) => {
+                assert_eq!(
+                    outcome_to_json(&a[0].outcome).to_pretty(),
+                    outcome_to_json(&b[0].outcome).to_pretty(),
+                    "spliced text decodes to the same outcome"
+                );
+                assert!(b[0].encoded.is_none(), "decoders never set `encoded`");
+            }
+            other => panic!("wrong frames: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_batch_id_is_rejected() {
+        let frame = ClientFrame::SubmitBatch {
+            experiment: "sweep".to_string(),
+            id: 0,
+            subscribe: Subscribe::Final,
+            jobs: vec![],
+        };
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        assert!(ClientFrame::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn batch_results_round_trip_and_ids_echo() {
+        let outcome = execute(&demo_job(), 0);
+        let cycles = outcome.ok().expect("demo job runs").cycles;
+        let frame = ServerFrame::BatchResults {
+            experiment: "sweep".to_string(),
+            id: 9,
+            results: vec![
+                JobResult {
+                    index: 4,
+                    label: "sweep/a".to_string(),
+                    key: "0123456789abcdef".to_string(),
+                    cached: true,
+                    outcome: outcome.clone(),
+                    encoded: None,
+                },
+                JobResult {
+                    index: 2,
+                    label: "sweep/b".to_string(),
+                    key: "fedcba9876543210".to_string(),
+                    cached: false,
+                    outcome: JobOutcome::WorkerDied("worker 0 died".to_string()),
+                    encoded: None,
+                },
+            ],
+        };
+        match pipe_server(&frame) {
+            ServerFrame::BatchResults { id, results, .. } => {
+                assert_eq!(id, 9);
+                assert_eq!(results.len(), 2);
+                assert_eq!(results[0].index, 4);
+                assert_eq!(results[0].outcome.ok().unwrap().cycles, cycles);
+                assert_eq!(results[1].outcome.status(), "worker_died");
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        match pipe_server(&ServerFrame::Done {
+            experiment: "sweep".to_string(),
+            ok: true,
+            id: 9,
+        }) {
+            ServerFrame::Done { id, .. } => assert_eq!(id, 9),
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_frames_omit_the_id_field() {
+        // The legacy (id = 0) spellings must keep their exact
+        // pre-batching byte layout so old clients and goldens agree.
+        let accepted = ServerFrame::Accepted {
+            experiment: "fig6".to_string(),
+            total: 3,
+            id: 0,
+        };
+        let text = accepted.to_json().to_string();
+        assert!(!text.contains("\"id\""), "{text}");
+        let done = ServerFrame::Done {
+            experiment: "fig6".to_string(),
+            ok: true,
+            id: 0,
+        };
+        assert!(!done.to_json().to_string().contains("\"id\""));
+        match pipe_server(&accepted) {
+            ServerFrame::Accepted { id, .. } => assert_eq!(id, 0),
             other => panic!("wrong frame: {other:?}"),
         }
     }

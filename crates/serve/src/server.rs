@@ -12,39 +12,70 @@
 //! existing flight (single-flight execution), and the one result fans
 //! out to every waiter when the flight resolves.
 //!
-//! Worker threads pop flights, consult the shared on-disk [`Cache`],
-//! and otherwise run [`execute_cancellable`]. When every waiter of a
-//! flight disconnects, its queued entry is discarded (or its running
-//! simulation is cancelled via [`CancelToken`]); a cancelled flight
-//! that gained new waiters before the worker noticed is transparently
-//! re-enqueued with a fresh token.
+//! Workers pop flights, consult the shared result [`Cache`] (hot layer
+//! first, then disk), and otherwise execute. Two worker modes share the
+//! dispatcher: *thread mode* (the default) runs simulations on
+//! in-process threads; *process mode* (`--workers N` /
+//! `HFS_SERVE_WORKERS`) re-execs the server binary as `--worker` child
+//! processes and proxies jobs to them over pipes using the same
+//! length-prefixed JSON frames as the client protocol. In process mode
+//! flights are sharded across workers by [`Job::key`], so the
+//! single-flight guarantee needs no cross-process locking: one key maps
+//! to one worker, and the parent-side dedup map is the only authority.
+//! A crashed worker is restarted and its in-flight job re-dispatched
+//! (bounded times; then the job resolves as
+//! [`JobOutcome::WorkerDied`]).
+//!
+//! When every waiter of a flight disconnects, its queued entry is
+//! discarded (or its running simulation is cancelled via
+//! [`CancelToken`] — forwarded as a `cancel` frame in process mode); a
+//! cancelled flight that gained new waiters before the worker noticed
+//! is transparently re-enqueued with a fresh token.
 //!
 //! Admission control bounds the flight queue: a submission that would
 //! push it past the limit is rejected whole with a `busy` frame —
-//! never partially accepted.
+//! never partially accepted. Submissions whose keys sit in the
+//! in-memory hot cache resolve inline during `submit`, consuming no
+//! queue slot and no worker round-trip.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write as _};
 use std::path::PathBuf;
+use std::process::Child;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use hfs_harness::{execute_counted, Cache, Job, JobOutcome};
+use hfs_harness::{execute_counted, Cache, HotCache, Job, JobOutcome};
 use hfs_obs::{Counter, Gauge, HistogramMetric, Registry};
 use hfs_sim::CancelToken;
 
 use crate::net::{Endpoint, Listener};
-use crate::proto::{ClientFrame, ServeStats, ServerFrame};
+use crate::proto::{ClientFrame, JobRef, JobResult, ServeStats, ServerFrame, Subscribe};
 use crate::signal;
+use crate::worker::{WorkerReply, WorkerRequest};
 
 /// Admission-control queue bound environment variable
 /// (`HFS_SERVE_QUEUE_LIMIT`).
 pub const ENV_QUEUE_LIMIT: &str = "HFS_SERVE_QUEUE_LIMIT";
 
+/// Worker-process count environment variable (`HFS_SERVE_WORKERS`);
+/// `0` (the default) executes on in-process threads instead.
+pub const ENV_WORKERS: &str = "HFS_SERVE_WORKERS";
+
 /// Default bound on queued (not yet running) flights.
 pub const DEFAULT_QUEUE_LIMIT: usize = 1024;
+
+/// How many worker deaths one job survives before it resolves as
+/// [`JobOutcome::WorkerDied`] instead of being re-dispatched. A job
+/// that reliably kills its worker (e.g. by exhausting memory) would
+/// otherwise crash-loop the pool forever.
+const MAX_WORKER_CRASHES: u32 = 2;
+
+/// Results buffered per `subscribe: final` batch before a
+/// [`ServerFrame::BatchResults`] chunk is flushed.
+const BATCH_CHUNK: usize = 256;
 
 fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| v != "0" && !v.is_empty())
@@ -56,12 +87,25 @@ fn env_flag(name: &str) -> bool {
 /// warn/error).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker (simulation) threads.
+    /// Worker (simulation) threads when running in thread mode.
     pub workers: usize,
+    /// Worker *processes* (`--workers` / `HFS_SERVE_WORKERS`): when
+    /// nonzero, the server re-execs its own binary `--worker` this many
+    /// times and shards flights across the children by job key; `0`
+    /// (the default) executes on in-process threads.
+    pub process_workers: usize,
+    /// Binary to re-exec as `--worker` children; `None` uses
+    /// `std::env::current_exe()`. Tests point this at a specific built
+    /// `hfs-serve`.
+    pub worker_bin: Option<PathBuf>,
     /// Maximum queued flights before submissions get `busy`.
     pub queue_limit: usize,
     /// On-disk result cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Hot-cache budget in MiB: `None` honors `HFS_HOT_CACHE_MB`,
+    /// `Some(0)` disables the in-memory layer, `Some(n)` forces `n`
+    /// MiB.
+    pub hot_cache_mb: Option<u64>,
     /// Retries applied to jobs that don't override their own.
     pub default_retries: u32,
 }
@@ -70,8 +114,11 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            process_workers: 0,
+            worker_bin: None,
             queue_limit: DEFAULT_QUEUE_LIMIT,
             cache_dir: None,
+            hot_cache_mb: None,
             default_retries: 0,
         }
     }
@@ -82,13 +129,19 @@ impl ServerConfig {
     /// environment as [`hfs_harness::Engine::from_env`]: `HFS_JOBS`
     /// workers, a cache in `HFS_CACHE_DIR` (default `results/cache`,
     /// disabled by `HFS_NO_CACHE=1`), `HFS_RETRIES` retries (default
-    /// 1), plus `HFS_SERVE_QUEUE_LIMIT` for admission control.
+    /// 1), plus `HFS_SERVE_QUEUE_LIMIT` for admission control and
+    /// `HFS_SERVE_WORKERS` for the worker-process count (the hot-cache
+    /// budget rides on `HFS_HOT_CACHE_MB` inside the harness cache).
     pub fn from_env() -> ServerConfig {
         let workers = std::env::var("HFS_JOBS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let process_workers = std::env::var(ENV_WORKERS)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
         let cache_dir = if env_flag("HFS_NO_CACHE") {
             None
         } else {
@@ -107,8 +160,11 @@ impl ServerConfig {
             .unwrap_or(1);
         ServerConfig {
             workers,
+            process_workers,
+            worker_bin: None,
             queue_limit,
             cache_dir,
+            hot_cache_mb: None,
             default_retries,
         }
     }
@@ -117,9 +173,93 @@ impl ServerConfig {
 /// One batch submission's delivery state, shared by its waiters.
 struct BatchState {
     experiment: String,
+    /// Batch id echoed on every response frame; 0 on the legacy
+    /// `submit` path.
+    id: u64,
+    subscribe: Subscribe,
     remaining: AtomicUsize,
     all_ok: AtomicBool,
+    /// Resolved results awaiting a `batch_results` flush
+    /// (`subscribe: final` only).
+    buffer: Mutex<Vec<JobResult>>,
     tx: Sender<ServerFrame>,
+}
+
+impl BatchState {
+    /// Delivers one resolved job to this batch: counts it, streams it
+    /// per the subscription level, and emits the final chunk plus the
+    /// `done` frame when it is the last one. `encoded`, when present,
+    /// is the outcome's cached serialization and is spliced into
+    /// `batch_results` frames instead of re-encoding.
+    // One call site per resolution path; a params struct would just
+    // restate the field list.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &self,
+        obs: &Telemetry,
+        index: u64,
+        label: String,
+        key: &str,
+        cached: bool,
+        outcome: JobOutcome,
+        encoded: Option<Arc<str>>,
+    ) {
+        obs.delivered.inc();
+        if !outcome.is_ok() {
+            self.all_ok.store(false, Ordering::Relaxed);
+        }
+        match self.subscribe {
+            Subscribe::All => {
+                let _ = self.tx.send(ServerFrame::Job {
+                    experiment: self.experiment.clone(),
+                    index,
+                    label,
+                    key: key.to_string(),
+                    cached,
+                    outcome,
+                });
+            }
+            Subscribe::Final => {
+                let mut buf = self.buffer.lock().unwrap();
+                buf.push(JobResult {
+                    index,
+                    label,
+                    key: key.to_string(),
+                    cached,
+                    outcome,
+                    encoded,
+                });
+                if buf.len() >= BATCH_CHUNK {
+                    let results = std::mem::take(&mut *buf);
+                    // Send while still holding the buffer lock: the
+                    // final flush below also sends under it, so a chunk
+                    // can never be ordered after `done`.
+                    let _ = self.tx.send(ServerFrame::BatchResults {
+                        experiment: self.experiment.clone(),
+                        id: self.id,
+                        results,
+                    });
+                }
+            }
+            Subscribe::None => {}
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut buf = self.buffer.lock().unwrap();
+            let results = std::mem::take(&mut *buf);
+            if !results.is_empty() {
+                let _ = self.tx.send(ServerFrame::BatchResults {
+                    experiment: self.experiment.clone(),
+                    id: self.id,
+                    results,
+                });
+            }
+            let _ = self.tx.send(ServerFrame::Done {
+                experiment: self.experiment.clone(),
+                ok: self.all_ok.load(Ordering::Relaxed),
+                id: self.id,
+            });
+        }
+    }
 }
 
 /// One waiter: a (connection, batch, index) triple expecting a result.
@@ -132,21 +272,37 @@ struct Waiter {
 
 /// One deduplicated unit of execution.
 struct Flight {
-    job: Job,
+    job: Arc<Job>,
     cancel: CancelToken,
     running: bool,
+    /// The worker-process index executing this flight (process mode
+    /// only) — the address `drop_conn` forwards `cancel` frames to.
+    worker: Option<usize>,
     waiters: Vec<Waiter>,
     /// When the flight (re-)entered the queue — the lifecycle "queued"
     /// timestamp from which queue wait is measured at worker pickup.
     enqueued_at: Instant,
 }
 
-#[derive(Default)]
 struct DispatchInner {
-    queue: VecDeque<String>,
+    /// One queue per shard: a single queue in thread mode, one per
+    /// worker process in process mode (shard = key hash % workers), so
+    /// a key always executes on the same worker and single-flight
+    /// dedup needs no cross-process coordination.
+    queues: Vec<VecDeque<String>>,
     flights: HashMap<String, Flight>,
     running: usize,
     draining: bool,
+}
+
+impl DispatchInner {
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn idle(&self) -> bool {
+        self.running == 0 && self.queues.iter().all(VecDeque::is_empty)
+    }
 }
 
 /// Upper bucket (milliseconds) for the dispatcher's latency histograms.
@@ -172,6 +328,7 @@ struct Telemetry {
     delivered: Counter,
     retries: Counter,
     timeouts: Counter,
+    worker_restarts: Counter,
     queue_depth: Gauge,
     in_flight: Gauge,
     open_conns: Gauge,
@@ -194,6 +351,7 @@ impl Default for Telemetry {
             delivered: registry.counter("hfs_jobs_delivered_total"),
             retries: registry.counter("hfs_job_retries_total"),
             timeouts: registry.counter("hfs_job_timeouts_total"),
+            worker_restarts: registry.counter("hfs_worker_restarts_total"),
             queue_depth: registry.gauge("hfs_queue_depth"),
             in_flight: registry.gauge("hfs_jobs_in_flight"),
             open_conns: registry.gauge("hfs_open_connections"),
@@ -211,6 +369,46 @@ enum SubmitRejected {
     Draining,
 }
 
+/// Why a `submit_refs` chunk was refused.
+enum RefsRejected {
+    /// These chunk-relative indexes resolved neither from the cache
+    /// nor from an in-flight execution; the client must re-send the
+    /// chunk with full specs.
+    Miss(Vec<u64>),
+    Draining,
+}
+
+/// The parent side of the worker-process pool: per-worker stdin
+/// handles (shared so `drop_conn` can forward cancels while the
+/// worker's proxy thread is blocked on its stdout) and per-shard
+/// telemetry.
+struct ProcPool {
+    worker_bin: PathBuf,
+    stdins: Vec<Mutex<Option<std::process::ChildStdin>>>,
+    shard_depth: Vec<Gauge>,
+}
+
+/// A spawned `--worker` child owned by its proxy thread.
+struct WorkerChild {
+    child: Child,
+    stdout: std::process::ChildStdout,
+}
+
+fn spawn_worker(bin: &std::path::Path) -> io::Result<(WorkerChild, std::process::ChildStdin)> {
+    let mut child = std::process::Command::new(bin)
+        .arg("--worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        // stderr (and HFS_LOG) is inherited, but the child must not
+        // append to the parent's structured log file: two processes
+        // sharing one file would interleave their seq counters.
+        .env_remove("HFS_LOG_FILE")
+        .spawn()?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let stdout = child.stdout.take().expect("stdout was piped");
+    Ok((WorkerChild { child, stdout }, stdin))
+}
+
 /// The shared execution core behind every connection.
 struct Dispatcher {
     inner: Mutex<DispatchInner>,
@@ -220,18 +418,77 @@ struct Dispatcher {
     cache: Option<Cache>,
     queue_limit: usize,
     default_retries: u32,
+    /// Queue shards: 1 in thread mode, the worker count in process
+    /// mode.
+    nshards: usize,
+    /// Present only in process mode.
+    proc: Option<ProcPool>,
 }
 
 impl Dispatcher {
     fn new(config: &ServerConfig) -> Dispatcher {
+        let obs = Telemetry::default();
+        let hot = match config.hot_cache_mb {
+            None => HotCache::from_env(),
+            Some(0) => None,
+            Some(mb) => Some(Arc::new(HotCache::new(mb << 20))),
+        };
+        let cache = config
+            .cache_dir
+            .as_ref()
+            .map(|dir| Cache::with_hot(dir, hot));
+        if let Some(h) = cache.as_ref().and_then(Cache::hot) {
+            h.install_metrics(&obs.registry);
+        }
+        let nshards = config.process_workers.max(1);
+        let proc = (config.process_workers > 0).then(|| ProcPool {
+            worker_bin: config.worker_bin.clone().unwrap_or_else(|| {
+                std::env::current_exe().unwrap_or_else(|_| PathBuf::from("hfs-serve"))
+            }),
+            stdins: (0..config.process_workers)
+                .map(|_| Mutex::new(None))
+                .collect(),
+            shard_depth: (0..config.process_workers)
+                .map(|i| obs.registry.gauge(&format!("hfs_worker_queue_depth_w{i}")))
+                .collect(),
+        });
         Dispatcher {
-            inner: Mutex::new(DispatchInner::default()),
+            inner: Mutex::new(DispatchInner {
+                queues: (0..nshards).map(|_| VecDeque::new()).collect(),
+                flights: HashMap::new(),
+                running: 0,
+                draining: false,
+            }),
             work_ready: Condvar::new(),
             drained: Condvar::new(),
-            obs: Telemetry::default(),
-            cache: config.cache_dir.as_ref().map(Cache::new),
+            obs,
+            cache,
             queue_limit: config.queue_limit,
             default_retries: config.default_retries,
+            nshards,
+            proc,
+        }
+    }
+
+    /// The shard (queue index / worker process) a key belongs to. Keys
+    /// are 16 lowercase hex digits of an FNV-1a hash, so the leading
+    /// digits are uniformly distributed.
+    fn shard_of(&self, key: &str) -> usize {
+        if self.nshards == 1 {
+            return 0;
+        }
+        let h = u64::from_str_radix(key.get(..8).unwrap_or("0"), 16).unwrap_or(0);
+        (h as usize) % self.nshards
+    }
+
+    /// Refreshes the queue-depth gauges from the queues' state; call
+    /// under the dispatcher lock after any queue mutation.
+    fn note_queue_depth(&self, inner: &DispatchInner) {
+        self.obs.queue_depth.set(inner.queued_total() as i64);
+        if let Some(pool) = &self.proc {
+            for (gauge, queue) in pool.shard_depth.iter().zip(&inner.queues) {
+                gauge.set(queue.len() as i64);
+            }
         }
     }
 
@@ -246,7 +503,7 @@ impl Dispatcher {
             aborted: self.obs.aborted.get(),
             rejected: self.obs.rejected.get(),
             delivered: self.obs.delivered.get(),
-            queued: inner.queue.len() as u64,
+            queued: inner.queued_total() as u64,
             running: inner.running as u64,
             draining: inner.draining,
         }
@@ -262,28 +519,40 @@ impl Dispatcher {
     /// `accepted` frame (and, for empty batches, the `done` frame) is
     /// sent *under the dispatcher lock*, before any worker can pop the
     /// new flights — guaranteeing clients see `accepted` before the
-    /// first `job` frame.
+    /// first result frame.
+    ///
+    /// Jobs whose keys sit in the in-memory hot cache resolve right
+    /// here: they count as cache hits and deliver inline, consume no
+    /// queue slot (so a warm re-sweep never trips admission control),
+    /// and never touch a worker.
     fn submit(
         &self,
         conn_id: u64,
         tx: &Sender<ServerFrame>,
         experiment: &str,
+        id: u64,
+        subscribe: Subscribe,
         jobs: Vec<Job>,
     ) -> Result<u64, SubmitRejected> {
         let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        let hot: Vec<Option<Arc<hfs_harness::HotEntry>>> = match &self.cache {
+            Some(cache) => keys.iter().map(|k| cache.hot_entry(k)).collect(),
+            None => vec![None; keys.len()],
+        };
         let mut inner = self.inner.lock().unwrap();
         if inner.draining {
             return Err(SubmitRejected::Draining);
         }
         let new_keys: HashSet<&str> = keys
             .iter()
-            .map(String::as_str)
-            .filter(|k| !inner.flights.contains_key(*k))
+            .zip(&hot)
+            .filter(|(k, h)| h.is_none() && !inner.flights.contains_key(k.as_str()))
+            .map(|(k, _)| k.as_str())
             .collect();
-        if inner.queue.len() + new_keys.len() > self.queue_limit {
+        if inner.queued_total() + new_keys.len() > self.queue_limit {
             self.obs.rejected.inc();
             return Err(SubmitRejected::Busy {
-                queued: inner.queue.len() as u64,
+                queued: inner.queued_total() as u64,
                 limit: self.queue_limit as u64,
             });
         }
@@ -291,76 +560,199 @@ impl Dispatcher {
         let _ = tx.send(ServerFrame::Accepted {
             experiment: experiment.to_string(),
             total,
+            id,
         });
         if jobs.is_empty() {
             let _ = tx.send(ServerFrame::Done {
                 experiment: experiment.to_string(),
                 ok: true,
+                id,
             });
             return Ok(0);
         }
         let batch = Arc::new(BatchState {
             experiment: experiment.to_string(),
+            id,
+            subscribe,
             remaining: AtomicUsize::new(jobs.len()),
             all_ok: AtomicBool::new(true),
+            buffer: Mutex::new(Vec::new()),
             tx: tx.clone(),
         });
-        for (index, (job, key)) in jobs.into_iter().zip(keys).enumerate() {
+        for (index, (job, (key, hot_entry))) in
+            jobs.into_iter().zip(keys.into_iter().zip(hot)).enumerate()
+        {
+            self.obs.submitted.inc();
+            if let Some(entry) = hot_entry {
+                self.obs.cache_hits.inc();
+                batch.deliver(
+                    &self.obs,
+                    index as u64,
+                    job.label.clone(),
+                    &key,
+                    true,
+                    entry.outcome().clone(),
+                    Some(Arc::clone(entry.json_arc())),
+                );
+                continue;
+            }
             let waiter = Waiter {
                 conn_id,
                 index,
                 label: job.label.clone(),
                 batch: Arc::clone(&batch),
             };
-            self.obs.submitted.inc();
             if let Some(flight) = inner.flights.get_mut(&key) {
                 self.obs.deduped.inc();
                 flight.waiters.push(waiter);
             } else {
+                let shard = self.shard_of(&key);
                 inner.flights.insert(
                     key.clone(),
                     Flight {
-                        job,
+                        job: Arc::new(job),
                         cancel: CancelToken::new(),
                         running: false,
+                        worker: None,
                         waiters: vec![waiter],
                         enqueued_at: Instant::now(),
                     },
                 );
-                inner.queue.push_back(key);
+                inner.queues[shard].push_back(key);
             }
         }
-        self.obs.queue_depth.set(inner.queue.len() as i64);
+        self.note_queue_depth(&inner);
         drop(inner);
         self.work_ready.notify_all();
         Ok(total)
     }
 
+    /// Admits a `submit_refs` chunk: every reference must resolve from
+    /// the result cache (hot or disk) or attach to an in-flight
+    /// execution of its key, else the whole chunk is refused with the
+    /// missing indexes and *nothing* is mutated — no counters, no
+    /// queue slots, no waiters — so the client's full-spec re-send
+    /// starts from a clean slate. Resolved references deliver inline
+    /// as cache hits and consume no queue slot, exactly like the
+    /// hot-path resolution in [`Dispatcher::submit`], so admission
+    /// control never applies to a refs chunk.
+    fn submit_refs(
+        &self,
+        conn_id: u64,
+        tx: &Sender<ServerFrame>,
+        experiment: &str,
+        id: u64,
+        subscribe: Subscribe,
+        refs: Vec<JobRef>,
+    ) -> Result<u64, RefsRejected> {
+        // Cache probes can do IO (a disk read on hot-layer miss), so
+        // they run before the dispatcher lock. Entries carry the
+        // outcome's cached serialization, which delivery splices into
+        // result frames instead of re-encoding per hit.
+        let hits: Vec<Option<Arc<hfs_harness::HotEntry>>> = match &self.cache {
+            Some(cache) => refs.iter().map(|r| cache.load_entry(&r.key)).collect(),
+            None => vec![None; refs.len()],
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if inner.draining {
+            return Err(RefsRejected::Draining);
+        }
+        let missing: Vec<u64> = refs
+            .iter()
+            .zip(&hits)
+            .enumerate()
+            .filter(|(_, (r, hit))| hit.is_none() && !inner.flights.contains_key(r.key.as_str()))
+            .map(|(i, _)| i as u64)
+            .collect();
+        if !missing.is_empty() {
+            return Err(RefsRejected::Miss(missing));
+        }
+        let total = refs.len() as u64;
+        let _ = tx.send(ServerFrame::Accepted {
+            experiment: experiment.to_string(),
+            total,
+            id,
+        });
+        if refs.is_empty() {
+            let _ = tx.send(ServerFrame::Done {
+                experiment: experiment.to_string(),
+                ok: true,
+                id,
+            });
+            return Ok(0);
+        }
+        let batch = Arc::new(BatchState {
+            experiment: experiment.to_string(),
+            id,
+            subscribe,
+            remaining: AtomicUsize::new(refs.len()),
+            all_ok: AtomicBool::new(true),
+            buffer: Mutex::new(Vec::new()),
+            tx: tx.clone(),
+        });
+        for (index, (r, hit)) in refs.into_iter().zip(hits).enumerate() {
+            self.obs.submitted.inc();
+            if let Some(entry) = hit {
+                self.obs.cache_hits.inc();
+                batch.deliver(
+                    &self.obs,
+                    index as u64,
+                    r.label,
+                    &r.key,
+                    true,
+                    entry.outcome().clone(),
+                    Some(Arc::clone(entry.json_arc())),
+                );
+                continue;
+            }
+            let flight = inner
+                .flights
+                .get_mut(r.key.as_str())
+                .expect("unresolved refs were rejected above");
+            self.obs.deduped.inc();
+            flight.waiters.push(Waiter {
+                conn_id,
+                index,
+                label: r.label,
+                batch: Arc::clone(&batch),
+            });
+        }
+        Ok(total)
+    }
+
+    /// Blocks until shard `idx` has work (returning its pickup state)
+    /// or the drain condition holds (returning `None`, at which point
+    /// the caller thread exits).
+    fn next_flight(&self, idx: usize) -> Option<(String, Arc<Job>, CancelToken, u64)> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(key) = inner.queues[idx].pop_front() {
+                let flight = inner
+                    .flights
+                    .get_mut(&key)
+                    .expect("queued key has a flight");
+                flight.running = true;
+                flight.worker = Some(idx);
+                let job = Arc::clone(&flight.job);
+                let cancel = flight.cancel.clone();
+                let queue_wait_ms = flight.enqueued_at.elapsed().as_millis() as u64;
+                inner.running += 1;
+                self.obs.in_flight.set(inner.running as i64);
+                self.note_queue_depth(&inner);
+                return Some((key, job, cancel, queue_wait_ms));
+            }
+            if inner.draining && inner.idle() {
+                return None;
+            }
+            inner = self.work_ready.wait(inner).unwrap();
+        }
+    }
+
     /// One worker thread: pop, resolve (cache or simulate), deliver.
     fn worker_loop(&self) {
         loop {
-            let (key, job, cancel, queue_wait_ms) = {
-                let mut inner = self.inner.lock().unwrap();
-                loop {
-                    if let Some(key) = inner.queue.pop_front() {
-                        self.obs.queue_depth.set(inner.queue.len() as i64);
-                        let flight = inner
-                            .flights
-                            .get_mut(&key)
-                            .expect("queued key has a flight");
-                        flight.running = true;
-                        let job = flight.job.clone();
-                        let cancel = flight.cancel.clone();
-                        let queue_wait_ms = flight.enqueued_at.elapsed().as_millis() as u64;
-                        inner.running += 1;
-                        self.obs.in_flight.set(inner.running as i64);
-                        break (key, job, cancel, queue_wait_ms);
-                    }
-                    if inner.draining && inner.running == 0 {
-                        return;
-                    }
-                    inner = self.work_ready.wait(inner).unwrap();
-                }
+            let Some((key, job, cancel, queue_wait_ms)) = self.next_flight(0) else {
+                return;
             };
 
             let executing_at = Instant::now();
@@ -395,6 +787,198 @@ impl Dispatcher {
         }
     }
 
+    /// One worker-process proxy thread: pop from this worker's shard,
+    /// resolve from the cache, or round-trip the job through the child
+    /// process — restarting it (bounded) if it dies mid-job.
+    fn proc_worker_loop(&self, idx: usize) {
+        let mut child: Option<WorkerChild> = None;
+        loop {
+            let Some((key, job, _cancel, queue_wait_ms)) = self.next_flight(idx) else {
+                self.reap_worker(idx, child.take());
+                return;
+            };
+
+            let executing_at = Instant::now();
+            let (outcome, cached) = match self.cache.as_ref().and_then(|c| c.load(&key)) {
+                Some(hit) => (hit, true),
+                None => {
+                    let (outcome, retries) = self.run_on_child(&mut child, idx, &key, &job);
+                    self.obs.retries.add(u64::from(retries));
+                    if let Some(cache) = &self.cache {
+                        cache.store(&key, &outcome);
+                    }
+                    (outcome, false)
+                }
+            };
+            if cached {
+                self.obs.cache_hits.inc();
+            } else if !matches!(outcome, JobOutcome::Cancelled) {
+                self.obs.executed.inc();
+                self.obs.queue_wait_ms.observe(queue_wait_ms);
+                self.obs
+                    .exec_wall_ms
+                    .observe(executing_at.elapsed().as_millis() as u64);
+            }
+            if matches!(outcome, JobOutcome::Timeout { .. }) {
+                self.obs.timeouts.inc();
+            }
+            self.complete(&key, outcome, cached);
+        }
+    }
+
+    /// Executes one job on worker `idx`'s child process, spawning or
+    /// respawning it as needed. A child that dies mid-job (crash, OOM
+    /// kill, operator `kill -9`) is restarted and the job re-sent, up
+    /// to [`MAX_WORKER_CRASHES`] deaths; after that the job resolves as
+    /// [`JobOutcome::WorkerDied`] so the batch still completes with a
+    /// structured error instead of hanging.
+    fn run_on_child(
+        &self,
+        child: &mut Option<WorkerChild>,
+        idx: usize,
+        key: &str,
+        job: &Job,
+    ) -> (JobOutcome, u32) {
+        let pool = self.proc.as_ref().expect("process mode");
+        let mut crashes: u32 = 0;
+        loop {
+            if crashes > MAX_WORKER_CRASHES {
+                return (
+                    JobOutcome::WorkerDied(format!(
+                        "worker {idx} died {crashes} times running this job"
+                    )),
+                    0,
+                );
+            }
+            if child.is_none() {
+                match spawn_worker(&pool.worker_bin) {
+                    Ok((c, stdin)) => {
+                        hfs_obs::debug(
+                            "serve",
+                            "worker_spawned",
+                            &[
+                                ("worker", u64::from(idx as u32).into()),
+                                ("pid", u64::from(c.child.id()).into()),
+                            ],
+                        );
+                        *pool.stdins[idx].lock().unwrap() = Some(stdin);
+                        *child = Some(c);
+                    }
+                    Err(e) => {
+                        crashes += 1;
+                        self.obs.worker_restarts.inc();
+                        hfs_obs::error(
+                            "serve",
+                            "worker_spawn_failed",
+                            &[
+                                ("worker", u64::from(idx as u32).into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                        std::thread::sleep(Duration::from_millis(100));
+                        continue;
+                    }
+                }
+            }
+            let request = WorkerRequest::Run {
+                key: key.to_string(),
+                retries: self.default_retries,
+                job: job.clone(),
+            };
+            let sent = {
+                let mut stdin = pool.stdins[idx].lock().unwrap();
+                match stdin.as_mut() {
+                    Some(s) => crate::proto::write_frame(s, &request.to_json()).is_ok(),
+                    None => false,
+                }
+            };
+            if !sent {
+                // The child died while idle; count it and respawn.
+                self.note_worker_death(idx, child, &mut crashes, "write failed");
+                continue;
+            }
+            let reply = {
+                let c = child.as_mut().expect("child was just ensured");
+                crate::proto::read_frame(&mut c.stdout)
+                    .ok()
+                    .flatten()
+                    .and_then(|v| WorkerReply::from_json(&v).ok())
+            };
+            match reply {
+                Some(r) if r.key == key => return (r.outcome, r.retries_used),
+                Some(r) => {
+                    // A reply for another key breaks the
+                    // one-outstanding protocol; treat the child as
+                    // wedged.
+                    self.note_worker_death(
+                        idx,
+                        child,
+                        &mut crashes,
+                        &format!("protocol error: reply for {:?}", r.key),
+                    );
+                }
+                None => {
+                    self.note_worker_death(idx, child, &mut crashes, "died mid-job");
+                }
+            }
+        }
+    }
+
+    /// Records one worker-process death: reaps the corpse, clears its
+    /// shared stdin slot, and bumps the restart telemetry.
+    fn note_worker_death(
+        &self,
+        idx: usize,
+        child: &mut Option<WorkerChild>,
+        crashes: &mut u32,
+        why: &str,
+    ) {
+        let pool = self.proc.as_ref().expect("process mode");
+        *pool.stdins[idx].lock().unwrap() = None;
+        if let Some(mut c) = child.take() {
+            let _ = c.child.kill();
+            let _ = c.child.wait();
+        }
+        *crashes += 1;
+        self.obs.worker_restarts.inc();
+        hfs_obs::warn(
+            "serve",
+            "worker_died",
+            &[
+                ("worker", u64::from(idx as u32).into()),
+                ("reason", why.into()),
+            ],
+        );
+    }
+
+    /// Gracefully retires worker `idx`'s child at drain: sends `exit`,
+    /// closes its stdin, and reaps it (with a bounded wait, then a
+    /// kill) so a drained server leaves no orphan processes behind.
+    fn reap_worker(&self, idx: usize, child: Option<WorkerChild>) {
+        let pool = self.proc.as_ref().expect("process mode");
+        let stdin = pool.stdins[idx].lock().unwrap().take();
+        if let Some(mut s) = stdin {
+            let _ = crate::proto::write_frame(&mut s, &WorkerRequest::Exit.to_json());
+            // Dropping the handle closes the pipe: EOF is the backup
+            // exit signal if the frame never arrived.
+        }
+        let Some(mut c) = child else { return };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match c.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => {
+                    let _ = c.child.kill();
+                    let _ = c.child.wait();
+                    return;
+                }
+            }
+        }
+    }
+
     /// Resolves a flight: fan the outcome out to every waiter, or
     /// re-enqueue if it was cancelled but picked up new waiters.
     fn complete(&self, key: &str, outcome: JobOutcome, cached: bool) {
@@ -411,35 +995,39 @@ impl Dispatcher {
             // token nobody has fired.
             flight.cancel = CancelToken::new();
             flight.running = false;
+            flight.worker = None;
             flight.enqueued_at = Instant::now();
+            let shard = self.shard_of(key);
             inner.flights.insert(key.to_string(), flight);
-            inner.queue.push_back(key.to_string());
-            self.obs.queue_depth.set(inner.queue.len() as i64);
+            inner.queues[shard].push_back(key.to_string());
+            self.note_queue_depth(&inner);
             drop(inner);
             self.work_ready.notify_all();
             return;
         }
+        // One serialization shared by every chunk-delivered waiter;
+        // skipped entirely when nobody buffers results (per-job `job`
+        // frames encode the outcome themselves). Failures are rare
+        // enough to encode per-waiter.
+        let wants_encoded = outcome.is_ok()
+            && flight
+                .waiters
+                .iter()
+                .any(|w| matches!(w.batch.subscribe, Subscribe::Final));
+        let encoded: Option<Arc<str>> =
+            wants_encoded.then(|| hfs_harness::outcome_to_json(&outcome).to_pretty().into());
         for w in &flight.waiters {
-            self.obs.delivered.inc();
-            if !outcome.is_ok() {
-                w.batch.all_ok.store(false, Ordering::Relaxed);
-            }
-            let _ = w.batch.tx.send(ServerFrame::Job {
-                experiment: w.batch.experiment.clone(),
-                index: w.index as u64,
-                label: w.label.clone(),
-                key: key.to_string(),
+            w.batch.deliver(
+                &self.obs,
+                w.index as u64,
+                w.label.clone(),
+                key,
                 cached,
-                outcome: outcome.clone(),
-            });
-            if w.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _ = w.batch.tx.send(ServerFrame::Done {
-                    experiment: w.batch.experiment.clone(),
-                    ok: w.batch.all_ok.load(Ordering::Relaxed),
-                });
-            }
+                outcome.clone(),
+                encoded.clone(),
+            );
         }
-        let drained = inner.draining && inner.queue.is_empty() && inner.running == 0;
+        let drained = inner.draining && inner.idle();
         drop(inner);
         // Wake idle workers so they can observe the drain condition,
         // and the drain waiter itself.
@@ -455,12 +1043,18 @@ impl Dispatcher {
     fn drop_conn(&self, conn_id: u64) {
         let mut inner = self.inner.lock().unwrap();
         let mut dead_queued: Vec<String> = Vec::new();
+        let mut cancel_on_worker: Vec<(usize, String)> = Vec::new();
         for (key, flight) in &mut inner.flights {
             flight.waiters.retain(|w| w.conn_id != conn_id);
             if flight.waiters.is_empty() {
                 if flight.running {
                     flight.cancel.cancel();
                     self.obs.cancelled.inc();
+                    if let Some(widx) = flight.worker {
+                        if self.proc.is_some() {
+                            cancel_on_worker.push((widx, key.clone()));
+                        }
+                    }
                 } else {
                     dead_queued.push(key.clone());
                 }
@@ -468,12 +1062,24 @@ impl Dispatcher {
         }
         for key in &dead_queued {
             inner.flights.remove(key);
-            inner.queue.retain(|k| k != key);
+            for queue in &mut inner.queues {
+                queue.retain(|k| k != key);
+            }
             self.obs.aborted.inc();
         }
-        self.obs.queue_depth.set(inner.queue.len() as i64);
-        let drained = inner.draining && inner.queue.is_empty() && inner.running == 0;
+        self.note_queue_depth(&inner);
+        let drained = inner.draining && inner.idle();
         drop(inner);
+        // Forward cancels into the worker processes (best-effort: a
+        // result that already raced back simply wins).
+        if let Some(pool) = &self.proc {
+            for (widx, key) in cancel_on_worker {
+                if let Some(stdin) = pool.stdins[widx].lock().unwrap().as_mut() {
+                    let _ =
+                        crate::proto::write_frame(stdin, &WorkerRequest::Cancel { key }.to_json());
+                }
+            }
+        }
         if drained {
             self.drained.notify_all();
         }
@@ -483,7 +1089,7 @@ impl Dispatcher {
         let mut inner = self.inner.lock().unwrap();
         inner.draining = true;
         self.obs.draining.set(1);
-        let drained = inner.queue.is_empty() && inner.running == 0;
+        let drained = inner.idle();
         drop(inner);
         self.work_ready.notify_all();
         if drained {
@@ -499,7 +1105,7 @@ impl Dispatcher {
     /// has resolved.
     fn wait_drained(&self) {
         let mut inner = self.inner.lock().unwrap();
-        while !(inner.draining && inner.queue.is_empty() && inner.running == 0) {
+        while !(inner.draining && inner.idle()) {
             inner = self.drained.wait(inner).unwrap();
         }
     }
@@ -565,12 +1171,21 @@ impl Server {
             endpoint_desc,
             workers,
         } = self;
-        let worker_handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let d = Arc::clone(&dispatcher);
-                std::thread::spawn(move || d.worker_loop())
-            })
-            .collect();
+        let worker_handles: Vec<_> = if dispatcher.proc.is_some() {
+            (0..dispatcher.nshards)
+                .map(|i| {
+                    let d = Arc::clone(&dispatcher);
+                    std::thread::spawn(move || d.proc_worker_loop(i))
+                })
+                .collect()
+        } else {
+            (0..workers)
+                .map(|_| {
+                    let d = Arc::clone(&dispatcher);
+                    std::thread::spawn(move || d.worker_loop())
+                })
+                .collect()
+        };
 
         listener.set_nonblocking(true)?;
         let live_conns = Arc::new(AtomicUsize::new(0));
@@ -693,16 +1308,48 @@ fn handle_conn(dispatcher: &Dispatcher, stream: crate::net::Stream, conn_id: u64
                 dispatcher.begin_drain();
             }
             Ok(Some(ClientFrame::Submit { experiment, jobs })) => {
-                match dispatcher.submit(conn_id, &tx, &experiment, jobs) {
+                match dispatcher.submit(conn_id, &tx, &experiment, 0, Subscribe::All, jobs) {
                     Ok(_) => {}
                     Err(SubmitRejected::Busy { queued, limit }) => {
-                        let _ = tx.send(ServerFrame::Busy { queued, limit });
+                        let _ = tx.send(ServerFrame::Busy {
+                            queued,
+                            limit,
+                            id: 0,
+                        });
                     }
                     Err(SubmitRejected::Draining) => {
                         let _ = tx.send(ServerFrame::ShuttingDown);
                     }
                 }
             }
+            Ok(Some(ClientFrame::SubmitBatch {
+                experiment,
+                id,
+                subscribe,
+                jobs,
+            })) => match dispatcher.submit(conn_id, &tx, &experiment, id, subscribe, jobs) {
+                Ok(_) => {}
+                Err(SubmitRejected::Busy { queued, limit }) => {
+                    let _ = tx.send(ServerFrame::Busy { queued, limit, id });
+                }
+                Err(SubmitRejected::Draining) => {
+                    let _ = tx.send(ServerFrame::ShuttingDown);
+                }
+            },
+            Ok(Some(ClientFrame::SubmitRefs {
+                experiment,
+                id,
+                subscribe,
+                refs,
+            })) => match dispatcher.submit_refs(conn_id, &tx, &experiment, id, subscribe, refs) {
+                Ok(_) => {}
+                Err(RefsRejected::Miss(missing)) => {
+                    let _ = tx.send(ServerFrame::RefsMiss { id, missing });
+                }
+                Err(RefsRejected::Draining) => {
+                    let _ = tx.send(ServerFrame::ShuttingDown);
+                }
+            },
         }
     }
     dispatcher.drop_conn(conn_id);
@@ -735,6 +1382,7 @@ mod tests {
             queue_limit,
             cache_dir: None,
             default_retries: 0,
+            ..ServerConfig::default()
         }));
         for _ in 0..workers {
             let dd = Arc::clone(&d);
@@ -753,8 +1401,12 @@ mod tests {
         let d = dispatcher(2, 64);
         let (tx, rx) = channel();
         // Two batches of the same job from the same logical client.
-        d.submit(0, &tx, "a", vec![job("a/x", 2, 40)]).ok().unwrap();
-        d.submit(0, &tx, "b", vec![job("b/x", 2, 40)]).ok().unwrap();
+        d.submit(0, &tx, "a", 0, Subscribe::All, vec![job("a/x", 2, 40)])
+            .ok()
+            .unwrap();
+        d.submit(0, &tx, "b", 0, Subscribe::All, vec![job("b/x", 2, 40)])
+            .ok()
+            .unwrap();
         let mut jobs = 0;
         let mut dones = 0;
         while dones < 2 {
@@ -788,12 +1440,21 @@ mod tests {
         // submission after the first (without the blocker, a fast
         // enough simulator finishes x/a before the later submits land
         // and re-executes it).
-        d.submit(9, &tx, "blk", vec![job("blk/hold", 2, 20_000)])
-            .ok()
-            .unwrap();
+        d.submit(
+            9,
+            &tx,
+            "blk",
+            0,
+            Subscribe::All,
+            vec![job("blk/hold", 2, 20_000)],
+        )
+        .ok()
+        .unwrap();
         let jobs = || vec![job("x/a", 2, 200), job("x/b", 3, 200), job("x/c", 4, 200)];
         for conn in 0..4 {
-            d.submit(conn, &tx, "x", jobs()).ok().unwrap();
+            d.submit(conn, &tx, "x", 0, Subscribe::All, jobs())
+                .ok()
+                .unwrap();
         }
         let mut dones = 0;
         while dones < 5 {
@@ -823,6 +1484,8 @@ mod tests {
             0,
             &tx,
             "fill",
+            0,
+            Subscribe::All,
             vec![job("f/1", 2, 2_000), job("f/2", 3, 2_000)],
         )
         .ok()
@@ -837,6 +1500,8 @@ mod tests {
             1,
             &tx,
             "big",
+            0,
+            Subscribe::All,
             vec![job("b/1", 4, 10), job("b/2", 5, 10), job("b/3", 6, 10)],
         );
         match res {
@@ -846,7 +1511,7 @@ mod tests {
         assert_eq!(d.stats().rejected, 1);
         // A duplicate of queued work costs no slot and is admitted even
         // at the bound.
-        d.submit(1, &tx, "dup", vec![job("d/2", 3, 2_000)])
+        d.submit(1, &tx, "dup", 0, Subscribe::All, vec![job("d/2", 3, 2_000)])
             .ok()
             .expect("duplicate admits without a queue slot");
         let mut dones = 0;
@@ -867,6 +1532,8 @@ mod tests {
             7,
             &tx,
             "gone",
+            0,
+            Subscribe::All,
             vec![job("g/head", 2, 2_000_000), job("g/tail", 3, 50)],
         )
         .ok()
@@ -891,7 +1558,7 @@ mod tests {
         drop(rx);
         // The dispatcher stays healthy: new work from a live conn runs.
         let (tx2, rx2) = channel();
-        d.submit(8, &tx2, "after", vec![job("a/1", 2, 40)])
+        d.submit(8, &tx2, "after", 0, Subscribe::All, vec![job("a/1", 2, 40)])
             .ok()
             .unwrap();
         let mut done = false;
@@ -911,7 +1578,7 @@ mod tests {
         d.begin_drain();
         let (tx, _rx) = channel();
         assert!(matches!(
-            d.submit(0, &tx, "late", vec![job("l/1", 2, 10)]),
+            d.submit(0, &tx, "late", 0, Subscribe::All, vec![job("l/1", 2, 10)]),
             Err(SubmitRejected::Draining)
         ));
         d.wait_drained();
@@ -921,7 +1588,9 @@ mod tests {
     fn empty_batch_completes_immediately() {
         let d = dispatcher(1, 64);
         let (tx, rx) = channel();
-        d.submit(0, &tx, "empty", Vec::new()).ok().unwrap();
+        d.submit(0, &tx, "empty", 0, Subscribe::All, Vec::new())
+            .ok()
+            .unwrap();
         assert!(matches!(
             rx.recv_timeout(Duration::from_secs(5)).unwrap(),
             ServerFrame::Accepted { total: 0, .. }

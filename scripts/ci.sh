@@ -158,6 +158,38 @@ for c in a b c; do
         || { echo "client $c artifact differs from offline fig6"; exit 1; }
 done
 
+# Crash recovery: --worker children spawned lazily during the sweep and
+# stay resident. SIGKILL one, then submit a sweep of fresh content keys
+# (max_cycles bumped — same simulated results) so both shards must
+# dispatch: the dead worker's write fails, the server respawns it, and
+# the sweep still completes with results identical to offline modulo
+# the embedded keys.
+WORKER_PID=$(pgrep -P "$SERVE_PID" | head -n1 || true)
+[ -n "$WORKER_PID" ] || { echo "no --worker child spawned"; exit 1; }
+kill -9 "$WORKER_PID"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SERVE_TMP/fig6_jobs.json" "$SERVE_TMP/fig6_jobs_fresh.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for job in doc["jobs"]:
+    job["max_cycles"] -= 1  # fresh keys; caps stay far above real cycle counts
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+    HFS_SOCK="$SOCK" HFS_NO_PROGRESS=1 \
+        target/release/hfs-client submit "$SERVE_TMP/fig6_jobs_fresh.json" \
+        --out "$SERVE_TMP/client_d" >/dev/null \
+        || { echo "post-kill sweep failed"; exit 1; }
+    python3 - "$SERVE_TMP/offline/fig6.json" "$SERVE_TMP/client_d/fig6.json" <<'EOF'
+import json, sys
+def strip(doc):
+    for row in doc["jobs"]:
+        row.pop("key", None)
+    return doc
+a, b = (strip(json.load(open(p))) for p in sys.argv[1:3])
+assert a == b, "post-kill sweep results differ from offline (beyond keys)"
+EOF
+fi
+
 # Single-flight + shared cache: the server must have executed at most
 # one simulation per unique job despite three full submissions, and the
 # stats frame must agree with the Prometheus exposition (one registry).
@@ -168,7 +200,11 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - <<EOF
 import json
 s = json.loads('''$STATS''')
-assert s["submitted"] == 3 * s["executed"], f"expected 3x dedup: {s}"
+# Three identical sweeps of J jobs (one execution per unique key) plus
+# the post-kill sweep of J fresh keys (all executed, none shared).
+J = len(json.load(open("$SERVE_TMP/fig6_jobs.json"))["jobs"])
+assert s["submitted"] == 4 * J, f"expected 4 sweeps of {J}: {s}"
+assert s["executed"] == 2 * J, f"expected one execution per unique key: {s}"
 assert s["submitted"] == s["deduped"] + s["executed"] + s["cache_hits"], \
     f"delivery partition: {s}"
 assert s["delivered"] == s["submitted"], f"every job delivered: {s}"
@@ -188,6 +224,8 @@ assert vals["hfs_job_queue_wait_ms_count"] == s["executed"], \
 assert vals["hfs_job_exec_wall_ms_count"] == s["executed"], \
     f"exec-wall observed once per executed job: {vals}"
 assert vals["hfs_queue_depth"] == 0 and vals["hfs_jobs_in_flight"] == 0, vals
+assert vals.get("hfs_worker_restarts_total", 0) >= 1, \
+    f"the kill -9 before the fresh sweep must register as a restart: {vals}"
 EOF
 else
     echo "$STATS" | grep -q '"deduped": 0' && { echo "no dedup observed"; exit 1; }
@@ -199,6 +237,12 @@ fi
 # structured: every line valid JSON with the expected fields.
 HFS_SOCK="$SOCK" target/release/hfs-client shutdown >/dev/null
 wait "$SERVE_PID" || { echo "hfs-serve exited non-zero"; exit 1; }
+# Drain must reap every child and unlink the socket — no orphans.
+if pgrep -f 'hfs-serve --worker' >/dev/null 2>&1; then
+    pgrep -af 'hfs-serve --worker' || true
+    echo "orphaned --worker processes survived the drain"; exit 1
+fi
+[ ! -S "$SOCK" ] || { echo "socket not unlinked after drain"; exit 1; }
 SERVE_PID=
 [ -s "$SERVE_TMP/serve.log" ] || { echo "server wrote no log lines"; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
@@ -214,6 +258,29 @@ for line in open(sys.argv[1]):
 assert seqs == sorted(seqs) and len(seqs) == len(set(seqs)), "seq not strictly increasing"
 assert {"listening", "connection_accepted", "drained"} <= events, events
 EOF
+fi
+
+echo "==> sweepbench --quick --check (sweep-scale throughput gate vs committed baseline)"
+# Warm batched throughput must stay within 10% of its committed
+# BENCH_sweep.json row (one full-scale re-measure damps noise).
+cargo run --release -p hfs-bench --bin sweepbench -- --quick --check
+SWEEP_JSON=target/BENCH_sweep_quick.json
+[ -s "$SWEEP_JSON" ] || { echo "sweepbench wrote no $SWEEP_JSON"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SWEEP_JSON" <<'EOF'
+import json, sys
+quick = json.load(open(sys.argv[1]))
+assert quick["schema"] == "sweepbench-v1", "malformed quick sweep bench"
+rows = {(p["path"], p["phase"]) for p in quick["points"]}
+assert rows == {(p, f) for p in ("baseline", "batched") for f in ("cold", "warm")}, rows
+for p in quick["points"]:
+    assert p["jobs"] > 0 and p["jobs_per_sec"] > 0, f"degenerate point {p}"
+assert quick["warm_speedup"] >= 3.0, \
+    f"warm batched path must hold >=3x over the legacy protocol: {quick['warm_speedup']}"
+assert quick["host"]["nproc"] >= 1 and quick["host"]["timestamp"], quick["host"]
+EOF
+else
+    grep -q '"schema": "sweepbench-v1"' "$SWEEP_JSON" || { echo "malformed $SWEEP_JSON"; exit 1; }
 fi
 
 echo "==> ci OK"
