@@ -22,7 +22,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use hfs_bench::experiments as ex;
-use hfs_bench::runner::engine;
+use hfs_bench::runner::{engine, protocol_suffixed};
 use hfs_bench::table::TextTable;
 
 struct Sink {
@@ -42,12 +42,16 @@ impl Sink {
         print!("{body}");
         println!();
         if let Some(d) = &self.dir {
+            // Non-MSI sweeps write `<name>__<protocol>.txt`, keeping the
+            // committed MSI goldens untouched.
+            let name = protocol_suffixed(name);
             fs::write(d.join(format!("{name}.txt")), body).expect("write artifact");
         }
     }
 
     fn csv(&self, name: &str, table: &TextTable) {
         if let Some(d) = &self.dir {
+            let name = protocol_suffixed(name);
             fs::write(d.join(format!("{name}.csv")), table.to_csv()).expect("write csv");
         }
     }

@@ -11,6 +11,7 @@ use std::sync::OnceLock;
 
 use hfs_core::{DesignPoint, MachineConfig, RunResult, SimError};
 use hfs_harness::{Batch, Engine, Job};
+use hfs_mem::Protocol;
 use hfs_trace::{chrome_trace_json, Tracer};
 use hfs_workloads::Benchmark;
 
@@ -29,6 +30,43 @@ pub const ENV_TRACE: &str = "HFS_TRACE";
 /// instance (`HFS_VIA_SERVER=1`; endpoint from `HFS_SOCK`/`HFS_ADDR`)
 /// instead of the in-process engine. Artifacts stay byte-identical.
 pub const ENV_VIA_SERVER: &str = "HFS_VIA_SERVER";
+
+/// Selects the coherence protocol every job helper builds machines with
+/// (`HFS_PROTOCOL=msi|mesi|dragon`; default MSI). Non-default protocols
+/// also suffix batch/artifact names (see [`protocol_suffixed`]) so the
+/// committed MSI goldens are never clobbered by a protocol sweep.
+pub const ENV_PROTOCOL: &str = "HFS_PROTOCOL";
+
+/// The coherence protocol selected by `HFS_PROTOCOL` (default MSI).
+///
+/// # Panics
+///
+/// Panics when the variable names an unknown protocol — a silent
+/// fallback would sweep the wrong design axis.
+pub fn protocol() -> Protocol {
+    match std::env::var(ENV_PROTOCOL) {
+        Err(_) => Protocol::Msi,
+        Ok(s) if s.is_empty() => Protocol::Msi,
+        Ok(s) => {
+            Protocol::parse(&s).unwrap_or_else(|| panic!("{ENV_PROTOCOL}: unknown protocol `{s}`"))
+        }
+    }
+}
+
+/// `name` with the suffix non-default protocols carry (`fig6` becomes
+/// `fig6__mesi`); MSI names pass through unchanged, keeping every
+/// committed artifact path stable.
+pub fn protocol_suffixed(name: &str) -> String {
+    match protocol() {
+        Protocol::Msi => name.to_string(),
+        p => format!("{name}__{}", p.label()),
+    }
+}
+
+fn apply_protocol(mut cfg: MachineConfig) -> MachineConfig {
+    cfg.mem.protocol = protocol();
+    cfg
+}
 
 /// The process-wide experiment engine, configured from the `HFS_*`
 /// environment (`HFS_JOBS`, `HFS_CACHE_DIR`, `HFS_NO_CACHE`,
@@ -61,6 +99,9 @@ pub fn via_server() -> bool {
 /// batch — silently falling back to local execution would defeat the
 /// point of routing through the shared cache/dedup service.
 pub fn run_batch(name: &str, jobs: Vec<Job>) -> Batch {
+    // Protocol sweeps land in their own artifact files (`fig6__dragon`);
+    // the default MSI name is untouched.
+    let name = &protocol_suffixed(name);
     if !via_server() {
         return engine().run_batch(name, jobs);
     }
@@ -86,7 +127,10 @@ pub fn run_batch(name: &str, jobs: Vec<Job>) -> Batch {
             hfs_obs::error(
                 "harness",
                 "artifact_write_failed",
-                &[("batch", name.into()), ("error", e.to_string().into())],
+                &[
+                    ("batch", name.as_str().into()),
+                    ("error", e.to_string().into()),
+                ],
             );
         }
     }
@@ -107,7 +151,7 @@ pub fn scaled(bench: &Benchmark) -> Benchmark {
 pub fn pipeline_job(batch: &str, bench: &Benchmark, cfg: MachineConfig) -> Job {
     let b = scaled(bench);
     let label = format!("{batch}/{}/{}", b.name, cfg.design);
-    Job::pipeline(label, b.pair, cfg)
+    Job::pipeline(label, b.pair, apply_protocol(cfg))
 }
 
 /// A pipeline job for `bench` under `design` on the baseline machine.
@@ -121,7 +165,7 @@ pub fn single_job(batch: &str, bench: &Benchmark) -> Job {
     Job::single(
         format!("{batch}/{}/single", b.name),
         b.pair,
-        MachineConfig::itanium2_single(),
+        apply_protocol(MachineConfig::itanium2_single()),
     )
 }
 
@@ -132,7 +176,7 @@ pub fn multi_job(batch: &str, bench: &Benchmark, design: DesignPoint, pairs: u8)
     Job::multi(
         format!("{batch}/{}/{}/x{pairs}", b.name, design.label()),
         b.pair,
-        MachineConfig::itanium2_cmp(design),
+        apply_protocol(MachineConfig::itanium2_cmp(design)),
         pairs,
     )
 }
@@ -145,7 +189,11 @@ pub fn multi_job(batch: &str, bench: &Benchmark, design: DesignPoint, pairs: u8)
 /// Any [`SimError`] from machine construction or the run.
 pub fn try_run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> Result<RunResult, SimError> {
     let b = scaled(bench);
-    hfs_harness::execute_once(&Job::pipeline(b.name, b.pair.clone(), cfg.clone()))
+    hfs_harness::execute_once(&Job::pipeline(
+        b.name,
+        b.pair.clone(),
+        apply_protocol(cfg.clone()),
+    ))
 }
 
 /// Runs the fused single-threaded version of `bench`.
@@ -155,7 +203,7 @@ pub fn try_run_with_config(bench: &Benchmark, cfg: &MachineConfig) -> Result<Run
 /// See [`try_run_with_config`].
 pub fn try_run_single(bench: &Benchmark) -> Result<RunResult, SimError> {
     let b = scaled(bench);
-    let cfg = MachineConfig::itanium2_single();
+    let cfg = apply_protocol(MachineConfig::itanium2_single());
     hfs_harness::execute_once(&Job::single(b.name, b.pair.clone(), cfg))
 }
 
@@ -269,6 +317,17 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["), "chrome envelope");
         let m = r.metrics.expect("traced run carries metrics");
         assert!(m.get_counter("trace.produce").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn default_protocol_keeps_artifact_names() {
+        // HFS_PROTOCOL is unset under `cargo test`, so the helpers must
+        // build MSI machines and leave artifact names untouched.
+        assert_eq!(protocol(), Protocol::Msi);
+        assert_eq!(protocol_suffixed("fig6"), "fig6");
+        let b = benchmark("fir").unwrap().with_iterations(50);
+        let j = design_job("fig6", &b, DesignPoint::existing());
+        assert_eq!(j.cfg.mem.protocol, Protocol::Msi);
     }
 
     #[test]

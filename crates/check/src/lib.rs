@@ -1,6 +1,6 @@
 //! Cycle-level machine checking for the `hfs` simulator.
 //!
-//! The simulator's headline numbers only mean something if the MSI
+//! The simulator's headline numbers only mean something if the snoop
 //! coherence protocol, the split-transaction bus, and the queue backends
 //! are *correct*. This crate is the opt-in referee: a [`Checker`] handle
 //! is threaded through the whole machine in the same carried-handle style
@@ -11,9 +11,14 @@
 //!
 //! Four invariant families are enforced:
 //!
-//! * **MSI coherence** — at most one Modified owner per line across the
-//!   private L2s, no Shared copy coexisting with a Modified one, and a
-//!   snoop-invalidated line never hits again before a refill;
+//! * **coherence** — protocol-specific census and staleness rules
+//!   selected by [`ProtocolKind`] (see [`invariant_table`]): MSI/MESI
+//!   forbid replicated Modified owners and hits on snoop-invalidated
+//!   lines, MESI additionally forbids an Exclusive copy coexisting with
+//!   any other copy, and Dragon — which never invalidates — requires
+//!   every bus-update to reach every sharer
+//!   (`dragon.update_delivered`) and every L2 hit to observe the latest
+//!   broadcast version (`dragon.sharer_stale_word`);
 //! * **bus** — at most one grant per arbitration slot, every accepted
 //!   split-transaction request answered by exactly one response within
 //!   [`REQUEST_AGE_BOUND`] cycles, and bounded round-robin wait
@@ -78,6 +83,123 @@ pub const BUS_WAIT_BOUND: u64 = 4096;
 /// response is attributed to the bus, not reported as a generic deadlock.
 pub const REQUEST_AGE_BOUND: u64 = 20_000;
 
+/// Which coherence protocol's invariant table the checker enforces.
+///
+/// Mirrors the machine model's protocol axis without depending on it
+/// (the memory crate depends on this one). The default is the paper's
+/// MSI baseline; the machine sets the kind when a checker is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolKind {
+    /// 3-state write-invalidate.
+    #[default]
+    Msi,
+    /// 4-state write-invalidate with exclusive-clean fills.
+    Mesi,
+    /// 4-state write-update (no invalidations ever).
+    Dragon,
+}
+
+impl ProtocolKind {
+    /// Every protocol kind, in sweep order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::Msi, ProtocolKind::Mesi, ProtocolKind::Dragon];
+
+    /// Lower-case label matching the config axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Msi => "msi",
+            ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Dragon => "dragon",
+        }
+    }
+}
+
+/// Rule families shared by every protocol: the bus, resource
+/// conservation, and differential-data invariants are
+/// protocol-independent.
+const SHARED_RULES: &[&str] = &[
+    "bus.double_grant",
+    "bus.starvation",
+    "bus.orphan_response",
+    "bus.lost_response",
+    "ozq.overflow",
+    "ozq.conservation",
+    "sa.conservation",
+    "sa.queue_overflow",
+    "sa.dropped_wake",
+    "sc.not_forwarded",
+    "sc.stale_value",
+    "data.load_mismatch",
+];
+
+/// The complete set of rules the checker may emit for one protocol.
+///
+/// The fault-injection suite uses these tables two ways: every seeded
+/// mutation must be caught by a rule *in the armed protocol's table*
+/// (a violation outside the table means the census logic ran the wrong
+/// protocol), and every protocol-specific rule is exercised by at least
+/// one mutation so no table row is vacuous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantTable {
+    /// The protocol this table applies to.
+    pub protocol: ProtocolKind,
+    /// Protocol-specific coherence rules.
+    pub coherence: &'static [&'static str],
+    /// Protocol-independent rules (identical across tables).
+    pub shared: &'static [&'static str],
+}
+
+impl InvariantTable {
+    /// Whether `rule` belongs to this protocol's table.
+    pub fn contains(&self, rule: &str) -> bool {
+        self.coherence.contains(&rule) || self.shared.contains(&rule)
+    }
+}
+
+static MSI_TABLE: InvariantTable = InvariantTable {
+    protocol: ProtocolKind::Msi,
+    coherence: &[
+        "msi.multiple_modified",
+        "msi.shared_with_modified",
+        "msi.hit_after_invalidate",
+        "msi.foreign_state",
+    ],
+    shared: SHARED_RULES,
+};
+
+static MESI_TABLE: InvariantTable = InvariantTable {
+    protocol: ProtocolKind::Mesi,
+    coherence: &[
+        "mesi.multiple_modified",
+        "mesi.shared_with_modified",
+        "mesi.exclusive_with_sharers",
+        "mesi.hit_after_invalidate",
+        "mesi.foreign_state",
+    ],
+    shared: SHARED_RULES,
+};
+
+static DRAGON_TABLE: InvariantTable = InvariantTable {
+    protocol: ProtocolKind::Dragon,
+    coherence: &[
+        "dragon.multiple_owners",
+        "dragon.exclusive_with_sharers",
+        "dragon.update_delivered",
+        "dragon.sharer_stale_word",
+        "dragon.invalidate_in_update_protocol",
+    ],
+    shared: SHARED_RULES,
+};
+
+/// The invariant table the checker enforces for `protocol`.
+pub fn invariant_table(protocol: ProtocolKind) -> &'static InvariantTable {
+    match protocol {
+        ProtocolKind::Msi => &MSI_TABLE,
+        ProtocolKind::Mesi => &MESI_TABLE,
+        ProtocolKind::Dragon => &DRAGON_TABLE,
+    }
+}
+
 /// How much checking the machine performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckLevel {
@@ -138,12 +260,21 @@ pub enum Mutation {
     /// Perform one store with a corrupted value (the architectural
     /// event still reports the original).
     CorruptStoreValue,
+    /// Install one MESI/Dragon read fill as Exclusive even though
+    /// another L2 still holds the line.
+    GrantExclusiveWithSharers,
+    /// Skip applying one Dragon bus-update at a sharer's L2 while still
+    /// counting that sharer — the delivery census comes up short.
+    SkipDragonUpdate,
+    /// Hide one sharer from a Dragon bus-update entirely (neither
+    /// counted nor updated), leaving its copy silently stale.
+    HideDragonSharer,
 }
 
 impl Mutation {
     /// Every mutation, in a fixed order, for exhaustive fault-injection
     /// sweeps.
-    pub const ALL: [Mutation; 10] = [
+    pub const ALL: [Mutation; 13] = [
         Mutation::SkipSnoopInvalidate,
         Mutation::DoubleGrantBus,
         Mutation::StarveBusAgent,
@@ -154,6 +285,9 @@ impl Mutation {
         Mutation::CorruptForwardValue,
         Mutation::CorruptLoadValue,
         Mutation::CorruptStoreValue,
+        Mutation::GrantExclusiveWithSharers,
+        Mutation::SkipDragonUpdate,
+        Mutation::HideDragonSharer,
     ];
 }
 
@@ -178,6 +312,8 @@ impl fmt::Display for Violation {
 #[derive(Debug)]
 struct CheckState {
     level: CheckLevel,
+    /// Which protocol's invariant table applies.
+    protocol: ProtocolKind,
     violations: Vec<Violation>,
     /// Violations recorded past [`MAX_VIOLATIONS`].
     dropped: u64,
@@ -185,6 +321,11 @@ struct CheckState {
     golden: HashMap<u64, u64>,
     /// `(core, line)` pairs snoop-invalidated and not refilled since.
     invalidated: HashSet<(u8, u64)>,
+    /// Dragon: broadcast version per line, bumped on every bus-update.
+    line_version: HashMap<u64, u64>,
+    /// Dragon: last broadcast version each `(core, line)` copy has
+    /// observed, set at fill and at update delivery.
+    holder_version: HashMap<(u8, u64), u64>,
     /// Cycle of the current bus arbitration slot.
     slot_at: u64,
     /// Address grants issued in the current slot.
@@ -208,10 +349,13 @@ impl CheckState {
     fn new(level: CheckLevel) -> Self {
         CheckState {
             level,
+            protocol: ProtocolKind::Msi,
             violations: Vec::new(),
             dropped: 0,
             golden: HashMap::new(),
             invalidated: HashSet::new(),
+            line_version: HashMap::new(),
+            holder_version: HashMap::new(),
             slot_at: u64::MAX,
             slot_grants: 0,
             waiting_slots: [0; MAX_CORES],
@@ -365,56 +509,235 @@ impl Checker {
         }
     }
 
-    // ----- (a) MSI coherence -------------------------------------------
+    // ----- (a) coherence (per-protocol) --------------------------------
+
+    /// Selects which protocol's invariant table this checker enforces.
+    /// Call when attaching the checker to a machine; defaults to MSI.
+    pub fn set_protocol(&self, protocol: ProtocolKind) {
+        if let Some(s) = &self.inner {
+            s.borrow_mut().protocol = protocol;
+        }
+    }
+
+    /// The protocol whose invariant table is being enforced.
+    pub fn protocol(&self) -> ProtocolKind {
+        match &self.inner {
+            Some(s) => s.borrow().protocol,
+            None => ProtocolKind::Msi,
+        }
+    }
 
     /// Reports the cross-L2 state census for `line` after a coherence
-    /// event: `modified`/`shared` are the numbers of private L2s holding
-    /// the line in each state.
-    pub fn coherence_states(&self, at: Cycle, line: u64, modified: u32, shared: u32) {
+    /// event: each argument is the number of private L2s holding the
+    /// line in that state (for Dragon read `modified` as EM, `exclusive`
+    /// as EC, `shared` as SC and `shared_modified` as SM). The rules
+    /// applied come from the active protocol's [`invariant_table`].
+    pub fn coherence_states(
+        &self,
+        at: Cycle,
+        line: u64,
+        modified: u32,
+        exclusive: u32,
+        shared: u32,
+        shared_modified: u32,
+    ) {
         let Some(s) = &self.inner else { return };
         let mut s = s.borrow_mut();
-        if modified > 1 {
-            s.violate(
-                at,
-                "msi.multiple_modified",
-                format!("line {line:#x} has {modified} Modified owners"),
-            );
-        }
-        if modified >= 1 && shared >= 1 {
-            s.violate(
-                at,
-                "msi.shared_with_modified",
-                format!("line {line:#x} is Modified in one L2 and Shared in {shared} other(s)"),
-            );
+        let total = modified + exclusive + shared + shared_modified;
+        match s.protocol {
+            ProtocolKind::Msi => {
+                if modified > 1 {
+                    s.violate(
+                        at,
+                        "msi.multiple_modified",
+                        format!("line {line:#x} has {modified} Modified owners"),
+                    );
+                }
+                if modified >= 1 && shared >= 1 {
+                    s.violate(
+                        at,
+                        "msi.shared_with_modified",
+                        format!(
+                            "line {line:#x} is Modified in one L2 and Shared in {shared} other(s)"
+                        ),
+                    );
+                }
+                if exclusive + shared_modified > 0 {
+                    s.violate(
+                        at,
+                        "msi.foreign_state",
+                        format!(
+                            "line {line:#x} holds MESI/Dragon states under MSI \
+                             ({exclusive} Exclusive, {shared_modified} SharedModified)"
+                        ),
+                    );
+                }
+            }
+            ProtocolKind::Mesi => {
+                if modified > 1 {
+                    s.violate(
+                        at,
+                        "mesi.multiple_modified",
+                        format!("line {line:#x} has {modified} Modified owners"),
+                    );
+                }
+                if modified >= 1 && shared >= 1 {
+                    s.violate(
+                        at,
+                        "mesi.shared_with_modified",
+                        format!(
+                            "line {line:#x} is Modified in one L2 and Shared in {shared} other(s)"
+                        ),
+                    );
+                }
+                if exclusive >= 1 && total > 1 {
+                    s.violate(
+                        at,
+                        "mesi.exclusive_with_sharers",
+                        format!(
+                            "line {line:#x} is Exclusive in one L2 but {} cop(ies) exist",
+                            total
+                        ),
+                    );
+                }
+                if shared_modified > 0 {
+                    s.violate(
+                        at,
+                        "mesi.foreign_state",
+                        format!(
+                            "line {line:#x} holds {shared_modified} SharedModified cop(ies) under MESI"
+                        ),
+                    );
+                }
+            }
+            ProtocolKind::Dragon => {
+                let owners = modified + shared_modified;
+                if owners > 1 {
+                    s.violate(
+                        at,
+                        "dragon.multiple_owners",
+                        format!("line {line:#x} has {owners} dirty owners (EM/SM)"),
+                    );
+                }
+                if (modified >= 1 || exclusive >= 1) && total > 1 {
+                    s.violate(
+                        at,
+                        "dragon.exclusive_with_sharers",
+                        format!(
+                            "line {line:#x} is exclusive (EM/EC) in one L2 but {total} cop(ies) exist"
+                        ),
+                    );
+                }
+            }
         }
     }
 
     /// Records that `core`'s L2 copy of `line` was snoop-invalidated.
-    pub fn on_invalidate(&self, _at: Cycle, core: CoreId, line: u64) {
+    /// Under Dragon this is itself a violation: an update protocol never
+    /// invalidates.
+    pub fn on_invalidate(&self, at: Cycle, core: CoreId, line: u64) {
         if let Some(s) = &self.inner {
-            s.borrow_mut().invalidated.insert((core.0, line));
+            let mut s = s.borrow_mut();
+            if s.protocol == ProtocolKind::Dragon {
+                s.violate(
+                    at,
+                    "dragon.invalidate_in_update_protocol",
+                    format!(
+                        "core {} had line {line:#x} snoop-invalidated under Dragon",
+                        core.0
+                    ),
+                );
+            }
+            s.invalidated.insert((core.0, line));
         }
     }
 
-    /// Records that `core`'s L2 (re)gained a valid copy of `line`.
+    /// Records that `core`'s L2 (re)gained a valid copy of `line`. A
+    /// fresh fill carries the line's current data, so it also observes
+    /// the latest Dragon broadcast version.
     pub fn on_line_filled(&self, core: CoreId, line: u64) {
         if let Some(s) = &self.inner {
-            s.borrow_mut().invalidated.remove(&(core.0, line));
+            let mut s = s.borrow_mut();
+            s.invalidated.remove(&(core.0, line));
+            let v = s.line_version.get(&line).copied().unwrap_or(0);
+            s.holder_version.insert((core.0, line), v);
         }
     }
 
-    /// Reports an L2 access that hit in `core`'s array; a hit on a line
-    /// the checker saw invalidated (and never refilled) is a stale-data
-    /// bug.
+    /// Registers one granted Dragon bus-update for `line` issued by
+    /// `from`: `holders` other L2s held the line and `updated` of them
+    /// applied the new word. Bumps the line's broadcast version; the
+    /// writer itself is current by construction.
+    pub fn on_bus_update(&self, at: Cycle, from: CoreId, line: u64, holders: u32, updated: u32) {
+        let Some(s) = &self.inner else { return };
+        let mut s = s.borrow_mut();
+        let v = s.line_version.entry(line).or_insert(0);
+        *v += 1;
+        let v = *v;
+        s.holder_version.insert((from.0, line), v);
+        if updated < holders {
+            s.violate(
+                at,
+                "dragon.update_delivered",
+                format!(
+                    "bus-update of line {line:#x} by core {} reached {updated} of {holders} sharer(s)",
+                    from.0
+                ),
+            );
+        }
+    }
+
+    /// Records that `core`'s copy of `line` applied the current
+    /// bus-update broadcast.
+    pub fn on_update_applied(&self, core: CoreId, line: u64) {
+        if let Some(s) = &self.inner {
+            let mut s = s.borrow_mut();
+            let v = s.line_version.get(&line).copied().unwrap_or(0);
+            s.holder_version.insert((core.0, line), v);
+        }
+    }
+
+    /// Reports an L2 access that hit in `core`'s array. Under MSI/MESI a
+    /// hit on a line the checker saw invalidated (and never refilled) is
+    /// a stale-data bug; under Dragon a hit on a copy that missed a
+    /// bus-update broadcast is one.
     pub fn on_l2_hit(&self, at: Cycle, core: CoreId, line: u64) {
         let Some(s) = &self.inner else { return };
         let mut s = s.borrow_mut();
-        if s.invalidated.contains(&(core.0, line)) {
-            s.violate(
-                at,
-                "msi.hit_after_invalidate",
-                format!("core {} hit line {line:#x} after snoop-invalidate", core.0),
-            );
+        match s.protocol {
+            ProtocolKind::Dragon => {
+                let current = s.line_version.get(&line).copied().unwrap_or(0);
+                let seen = s
+                    .holder_version
+                    .get(&(core.0, line))
+                    .copied()
+                    .unwrap_or(current);
+                if seen < current {
+                    s.violate(
+                        at,
+                        "dragon.sharer_stale_word",
+                        format!(
+                            "core {} hit line {line:#x} at broadcast version {seen}, bus is at {current}",
+                            core.0
+                        ),
+                    );
+                    // Report each missed broadcast once, not per hit.
+                    s.holder_version.insert((core.0, line), current);
+                }
+            }
+            p => {
+                if s.invalidated.contains(&(core.0, line)) {
+                    let rule = match p {
+                        ProtocolKind::Mesi => "mesi.hit_after_invalidate",
+                        _ => "msi.hit_after_invalidate",
+                    };
+                    s.violate(
+                        at,
+                        rule,
+                        format!("core {} hit line {line:#x} after snoop-invalidate", core.0),
+                    );
+                }
+            }
         }
     }
 
@@ -772,14 +1095,119 @@ mod tests {
     #[test]
     fn msi_census_rules() {
         let c = Checker::with_level(CheckLevel::Basic);
-        c.coherence_states(at(5), 0x100, 1, 0);
-        c.coherence_states(at(5), 0x100, 0, 3);
+        c.coherence_states(at(5), 0x100, 1, 0, 0, 0);
+        c.coherence_states(at(5), 0x100, 0, 0, 3, 0);
         assert_eq!(c.violation_count(), 0);
-        c.coherence_states(at(6), 0x100, 2, 0);
-        c.coherence_states(at(7), 0x100, 1, 1);
+        c.coherence_states(at(6), 0x100, 2, 0, 0, 0);
+        c.coherence_states(at(7), 0x100, 1, 0, 1, 0);
+        c.coherence_states(at(8), 0x100, 0, 1, 0, 0);
         let v = c.violations();
         assert_eq!(v[0].rule, "msi.multiple_modified");
         assert_eq!(v[1].rule, "msi.shared_with_modified");
+        assert_eq!(v[2].rule, "msi.foreign_state");
+    }
+
+    #[test]
+    fn mesi_census_rules() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.set_protocol(ProtocolKind::Mesi);
+        assert_eq!(c.protocol(), ProtocolKind::Mesi);
+        c.coherence_states(at(5), 0x100, 0, 1, 0, 0); // lone Exclusive: fine
+        c.coherence_states(at(5), 0x100, 1, 0, 0, 0);
+        c.coherence_states(at(5), 0x100, 0, 0, 2, 0);
+        assert_eq!(c.violation_count(), 0);
+        c.coherence_states(at(6), 0x100, 0, 1, 1, 0);
+        assert_eq!(c.violations()[0].rule, "mesi.exclusive_with_sharers");
+        c.coherence_states(at(7), 0x100, 2, 0, 0, 0);
+        c.coherence_states(at(8), 0x100, 1, 0, 1, 0);
+        c.coherence_states(at(9), 0x100, 0, 0, 0, 1);
+        let rules: Vec<&str> = c.violations().iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"mesi.multiple_modified"));
+        assert!(rules.contains(&"mesi.shared_with_modified"));
+        assert!(rules.contains(&"mesi.foreign_state"));
+    }
+
+    #[test]
+    fn dragon_census_rules() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.set_protocol(ProtocolKind::Dragon);
+        c.coherence_states(at(5), 0x100, 0, 0, 2, 1); // SM owner + SC sharers
+        c.coherence_states(at(5), 0x100, 1, 0, 0, 0); // lone EM
+        c.coherence_states(at(5), 0x100, 0, 1, 0, 0); // lone EC
+        assert_eq!(c.violation_count(), 0);
+        c.coherence_states(at(6), 0x100, 1, 0, 0, 1); // EM + SM: two owners
+        assert_eq!(c.violations()[0].rule, "dragon.multiple_owners");
+        c.coherence_states(at(7), 0x100, 0, 1, 1, 0); // EC + SC
+        let rules: Vec<&str> = c.violations().iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"dragon.exclusive_with_sharers"));
+    }
+
+    #[test]
+    fn dragon_forbids_invalidate() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.set_protocol(ProtocolKind::Dragon);
+        c.on_invalidate(at(10), CoreId(1), 0x40);
+        assert_eq!(
+            c.violations()[0].rule,
+            "dragon.invalidate_in_update_protocol"
+        );
+    }
+
+    #[test]
+    fn dragon_update_delivery_census() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.set_protocol(ProtocolKind::Dragon);
+        c.on_bus_update(at(10), CoreId(0), 0x40, 2, 2);
+        assert_eq!(c.violation_count(), 0);
+        c.on_bus_update(at(20), CoreId(0), 0x40, 2, 1);
+        assert_eq!(c.violations()[0].rule, "dragon.update_delivered");
+    }
+
+    #[test]
+    fn dragon_stale_sharer_word() {
+        let c = Checker::with_level(CheckLevel::Basic);
+        c.set_protocol(ProtocolKind::Dragon);
+        c.on_line_filled(CoreId(1), 0x40);
+        c.on_l2_hit(at(5), CoreId(1), 0x40);
+        assert_eq!(c.violation_count(), 0);
+        // Core 0 broadcasts an update; core 1 applies it: still clean.
+        c.on_bus_update(at(10), CoreId(0), 0x40, 1, 1);
+        c.on_update_applied(CoreId(1), 0x40);
+        c.on_l2_hit(at(11), CoreId(1), 0x40);
+        assert_eq!(c.violation_count(), 0);
+        // A second broadcast silently misses core 1 (counts made to
+        // agree, as a hidden-sharer bug would): the next hit is stale.
+        c.on_bus_update(at(20), CoreId(0), 0x40, 0, 0);
+        c.on_l2_hit(at(21), CoreId(1), 0x40);
+        assert_eq!(c.violations()[0].rule, "dragon.sharer_stale_word");
+        // Reported once, and a refill clears the staleness.
+        c.on_l2_hit(at(22), CoreId(1), 0x40);
+        assert_eq!(c.violation_count(), 1);
+        c.on_bus_update(at(30), CoreId(0), 0x40, 0, 0);
+        c.on_line_filled(CoreId(1), 0x40);
+        c.on_l2_hit(at(31), CoreId(1), 0x40);
+        assert_eq!(c.violation_count(), 1);
+    }
+
+    #[test]
+    fn invariant_tables_are_consistent() {
+        for p in ProtocolKind::ALL {
+            let t = invariant_table(p);
+            assert_eq!(t.protocol, p);
+            assert!(t.contains("bus.double_grant"));
+            assert!(t.contains("data.load_mismatch"));
+            assert!(!t.contains("nonsense.rule"));
+            for rule in t.coherence {
+                assert!(
+                    rule.starts_with(p.label()),
+                    "{rule} not namespaced under {}",
+                    p.label()
+                );
+            }
+        }
+        assert!(invariant_table(ProtocolKind::Dragon).contains("dragon.update_delivered"));
+        assert!(!invariant_table(ProtocolKind::Dragon).contains("msi.hit_after_invalidate"));
+        assert!(!invariant_table(ProtocolKind::Msi).contains("mesi.exclusive_with_sharers"));
     }
 
     #[test]

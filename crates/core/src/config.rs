@@ -1,7 +1,7 @@
 //! Whole-machine configuration (Table 2 plus a design point).
 
 use hfs_cpu::CoreConfig;
-use hfs_mem::MemConfig;
+use hfs_mem::{MemConfig, Protocol};
 use hfs_sim::ConfigError;
 
 use crate::design::DesignPoint;
@@ -79,6 +79,13 @@ impl MachineConfig {
         let m = &self.mem;
         let c = &self.core;
         let b = &m.bus;
+        // The MSI string is byte-frozen: it appears verbatim in the
+        // committed `results/table2.txt` golden.
+        let coherence = match m.protocol {
+            Protocol::Msi => "snoop-based, write-invalidate (MSI)",
+            Protocol::Mesi => "snoop-based, write-invalidate (MESI)",
+            Protocol::Dragon => "snoop-based, write-update (Dragon)",
+        };
         format!(
             "Core            : {}-issue in-order, {} ALU, {} Memory, {} FP, {} Branch\n\
              L1D Cache       : {} cycle, {} KB, {}-way, {} B lines, write-through\n\
@@ -86,7 +93,7 @@ impl MachineConfig {
              Max Outstanding : {}\n\
              Shared L3 Cache : {} cycles, {} KB, {}-way, {} B lines, write-back\n\
              Main Memory     : {} cycles\n\
-             Coherence       : snoop-based, write-invalidate (MSI)\n\
+             Coherence       : {coherence}\n\
              L3 Bus          : {}-byte, {}-cycle, {}-stage pipelined, split-transaction,\n\
              \x20                round-robin arbitration\n\
              Design point    : {}",
@@ -129,6 +136,16 @@ mod tests {
             .validate()
             .is_ok());
         assert!(MachineConfig::itanium2_single().validate().is_ok());
+    }
+
+    #[test]
+    fn describe_names_the_protocol() {
+        let mut c = MachineConfig::itanium2_cmp(DesignPoint::existing());
+        assert!(c.describe().contains("write-invalidate (MSI)"));
+        c.mem.protocol = Protocol::Mesi;
+        assert!(c.describe().contains("write-invalidate (MESI)"));
+        c.mem.protocol = Protocol::Dragon;
+        assert!(c.describe().contains("write-update (Dragon)"));
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn mem_to_json(m: &MemStats) -> Json {
         ("l2_port_conflicts", Json::U64(m.l2_port_conflicts)),
         ("dram_accesses", Json::U64(m.dram_accesses)),
         ("forwards", Json::U64(m.forwards)),
+        ("updates", Json::U64(m.updates)),
         (
             "bus",
             Json::obj(vec![
@@ -104,6 +105,8 @@ fn mem_from_json(v: &Json) -> Result<MemStats, DecodeError> {
         l2_port_conflicts: field(v, "l2_port_conflicts")?,
         dram_accesses: field(v, "dram_accesses")?,
         forwards: field(v, "forwards")?,
+        // Absent in blobs cached before the protocol axis existed.
+        updates: v.get("updates").and_then(Json::as_u64).unwrap_or(0),
         bus: BusStats {
             addr_phases: field(bus, "addr_phases")?,
             data_transfers: field(bus, "data_transfers")?,
@@ -384,6 +387,7 @@ mod tests {
                     ctl_delivered: 6,
                 },
                 forwards: 0,
+                updates: 0,
             },
             stream_cache: Some((11, 2, 1)),
             metrics: None,

@@ -22,7 +22,7 @@ use hfs_core::{
 };
 use hfs_cpu::CoreConfig;
 use hfs_isa::QueueId;
-use hfs_mem::{BusConfig, CacheGeometry, MemConfig};
+use hfs_mem::{BusConfig, CacheGeometry, MemConfig, Protocol};
 
 use crate::job::{Job, Mode};
 use crate::json::Json;
@@ -326,6 +326,7 @@ fn mem_to_json(m: &MemConfig) -> Json {
                 ("favor_app_traffic", Json::Bool(m.bus.favor_app_traffic)),
             ]),
         ),
+        ("protocol", Json::Str(m.protocol.label().into())),
     ])
 }
 
@@ -349,6 +350,13 @@ fn mem_from_json(v: &Json) -> Result<MemConfig, DecodeError> {
             clock_divider: u64_field(bus, "clock_divider")?,
             pipeline_stages: u64_field(bus, "pipeline_stages")?,
             favor_app_traffic: bool_field(bus, "favor_app_traffic")?,
+        },
+        // Specs written before the protocol axis existed default to MSI.
+        protocol: match v.get("protocol").and_then(Json::as_str) {
+            None => Protocol::Msi,
+            Some(s) => {
+                Protocol::parse(s).ok_or_else(|| DecodeError(format!("unknown protocol `{s}`")))?
+            }
         },
     })
 }

@@ -16,6 +16,7 @@ use hfs_sim::stats::Counter;
 use hfs_sim::{Cycle, TimedQueue};
 use hfs_trace::{TraceEvent, Tracer};
 
+use crate::cache::LineState;
 use crate::config::BusConfig;
 use crate::msg::CtlPayload;
 
@@ -51,6 +52,15 @@ pub(crate) enum AddrTxn {
         requester: CoreId,
         streaming: bool,
     },
+    /// Dragon bus-update: broadcast a written word to every sharer of
+    /// the line (update-based protocols only). Like an upgrade it is a
+    /// pure address/snoop-phase transaction — the word payload rides the
+    /// snoop response, so no data-channel transfer follows.
+    Upd {
+        line: u64,
+        requester: CoreId,
+        streaming: bool,
+    },
     /// Streaming control message (occupancy update / bulk ACK).
     Ctl {
         from: CoreId,
@@ -66,8 +76,10 @@ pub(crate) enum DataTxn {
     FillL2 {
         line: u64,
         dest: CoreId,
-        /// Install in Modified (ownership) rather than Shared.
-        make_modified: bool,
+        /// Coherence state the line installs in at the destination
+        /// (Modified for ownership fills, Exclusive for MESI/Dragon
+        /// exclusive-clean fills, Shared otherwise).
+        state: LineState,
     },
     /// A dirty-line writeback into the L3.
     WbL3 { line: u64, from: CoreId },
@@ -228,6 +240,9 @@ impl Bus {
                         streaming: true,
                         ..
                     } | AddrTxn::Upgr {
+                        streaming: true,
+                        ..
+                    } | AddrTxn::Upd {
                         streaming: true,
                         ..
                     } | AddrTxn::Ctl { .. }
@@ -441,7 +456,7 @@ mod tests {
             DataTxn::FillL2 {
                 line: 1,
                 dest: CoreId(0),
-                make_modified: false,
+                state: LineState::Shared,
             },
         );
         let (_, d) = run(&mut b, 0, 20);

@@ -1,4 +1,5 @@
-//! Set-associative cache arrays with LRU replacement and MSI line states.
+//! Set-associative cache arrays with LRU replacement and coherence line
+//! states shared by every protocol (MSI, MESI, Dragon).
 
 use hfs_sim::stats::Counter;
 use hfs_sim::ConfigError;
@@ -62,13 +63,31 @@ impl CacheGeometry {
     }
 }
 
-/// MSI coherence state of a cached line.
+/// Coherence state of a cached line.
+///
+/// One unified state space covers all three protocols: MSI uses only
+/// `Modified`/`Shared`, MESI adds `Exclusive`, and Dragon maps its four
+/// states as EM→`Modified`, EC→`Exclusive`, SC→`Shared`,
+/// SM→`SharedModified`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineState {
-    /// Modified: this cache owns the only, dirty copy.
+    /// Modified (Dragon EM): this cache owns the only, dirty copy.
     Modified,
-    /// Shared: clean, possibly replicated.
+    /// Exclusive (Dragon EC): the only copy, still clean. MESI/Dragon
+    /// only; a store upgrades it to Modified with no bus transaction.
+    Exclusive,
+    /// Shared (Dragon SC): clean, possibly replicated.
     Shared,
+    /// Shared-Modified (Dragon SM): dirty but replicated; this cache is
+    /// the owner responsible for writeback and for supplying readers.
+    SharedModified,
+}
+
+impl LineState {
+    /// Whether eviction of a line in this state requires a writeback.
+    pub fn dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::SharedModified)
+    }
 }
 
 /// One resident line.
@@ -86,7 +105,7 @@ struct Way {
 pub struct Victim {
     /// The evicted line number.
     pub line: u64,
-    /// Its state at eviction (Modified victims require writeback).
+    /// Its state at eviction (dirty victims require writeback).
     pub state: LineState,
 }
 

@@ -15,6 +15,7 @@ use hfs_sim::{ConfigError, Cycle, FnvMap};
 use hfs_trace::{TraceEvent, Tracer};
 
 use crate::cache::{CacheArray, CacheGeometry, LineState};
+use crate::config::Protocol;
 use crate::msg::OpLocation;
 
 /// Sentinel wake time for "no timed work pending".
@@ -144,6 +145,9 @@ pub(crate) struct L2Ctl {
     core: CoreId,
     array: CacheArray,
     line_bytes: u64,
+    /// Coherence protocol: decides how stores to Shared/Exclusive lines
+    /// resolve and which states snoops leave behind.
+    protocol: Protocol,
     latency_min: u64,
     ports: u32,
     capacity: u32,
@@ -179,6 +183,7 @@ impl L2Ctl {
             core,
             line_bytes: geom.line_bytes,
             array: CacheArray::new(geom)?,
+            protocol: Protocol::Msi,
             latency_min,
             ports,
             capacity,
@@ -201,6 +206,10 @@ impl L2Ctl {
 
     pub(crate) fn set_checker(&mut self, checker: Checker) {
         self.checker = checker;
+    }
+
+    pub(crate) fn set_protocol(&mut self, protocol: Protocol) {
+        self.protocol = protocol;
     }
 
     pub(crate) fn line_of(&self, addr: Addr) -> u64 {
@@ -331,7 +340,9 @@ impl L2Ctl {
                 let present = self.array.access(line);
                 match kind {
                     EntryKind::Forward { to } => match present {
-                        Some(LineState::Modified) => {
+                        // A forward needs a dirty copy to push (Modified,
+                        // or the Dragon SM owner).
+                        Some(s) if s.dirty() => {
                             self.entries[i].state = EntryState::ForwardInFlight;
                             out.push(L2Outcome::ForwardReady { id, line, to });
                         }
@@ -364,7 +375,22 @@ impl L2Ctl {
                                 background,
                             });
                         }
-                        Some(LineState::Shared) => {
+                        Some(LineState::Exclusive) => {
+                            // MESI silent E→M (Dragon EC→EM): the only
+                            // copy upgrades with no bus transaction.
+                            self.array.set_state(line, LineState::Modified);
+                            self.entries[i].state = EntryState::Done;
+                            out.push(L2Outcome::StorePerform {
+                                id,
+                                addr,
+                                value,
+                                background,
+                            });
+                        }
+                        Some(LineState::Shared) | Some(LineState::SharedModified) => {
+                            // MSI/MESI: request an ownership upgrade.
+                            // Dragon: request a bus-update broadcast (the
+                            // system maps exclusive+have_shared to Upd).
                             self.entries[i].state = EntryState::WaitLine { line };
                             self.want_line(line, true, true, now, out);
                         }
@@ -433,7 +459,10 @@ impl L2Ctl {
         }
         reissue.sort_unstable_by_key(|&(line, _)| line);
         for &(line, exclusive) in &reissue {
-            let have_shared = self.array.probe(line) == Some(LineState::Shared);
+            let have_shared = matches!(
+                self.array.probe(line),
+                Some(LineState::Shared) | Some(LineState::SharedModified)
+            );
             self.pending_lines.insert(line, LineStage::OnBus);
             out.push(L2Outcome::NeedLine {
                 line,
@@ -552,16 +581,25 @@ impl L2Ctl {
         self.pending_lines.remove(line);
         self.array.install(line, state).map(|v| L2Victim {
             line: v.line,
-            dirty: v.state == LineState::Modified,
+            dirty: v.state.dirty(),
         })
     }
 
-    /// Resolves entries waiting on `line` after a fill or upgrade grant:
-    /// loads always complete; stores complete only when the line is held
-    /// Modified (otherwise they re-arbitrate to request an upgrade).
-    /// Returns the resolved operations in OzQ (program) order.
+    /// Resolves entries waiting on `line` after a fill or upgrade/update
+    /// grant: loads always complete; stores complete only when the line
+    /// is writable under the active protocol — Modified everywhere,
+    /// plus Exclusive under MESI/Dragon (silent upgrade on resolution)
+    /// and SharedModified under Dragon (a granted bus-update). Otherwise
+    /// they re-arbitrate to request ownership (or an update). Returns
+    /// the resolved operations in OzQ (program) order.
     pub(crate) fn drain_line_waiters(&mut self, line: u64, now: Cycle) -> Vec<ResolvedWaiter> {
-        let modified = self.array.probe(line) == Some(LineState::Modified);
+        let writable = match self.array.probe(line) {
+            Some(LineState::Modified) => true,
+            Some(LineState::Exclusive) => self.protocol != Protocol::Msi,
+            Some(LineState::SharedModified) => self.protocol == Protocol::Dragon,
+            _ => false,
+        };
+        let mut upgrade_exclusive = false;
         let mut wake = NEVER;
         let mut out = Vec::new();
         for e in &mut self.entries {
@@ -570,7 +608,10 @@ impl L2Ctl {
             }
             let resolve = match e.kind {
                 EntryKind::Load => true,
-                EntryKind::Store { .. } => modified,
+                EntryKind::Store { .. } => {
+                    upgrade_exclusive |= writable;
+                    writable
+                }
                 EntryKind::Forward { .. } => false,
             };
             if resolve {
@@ -588,6 +629,11 @@ impl L2Ctl {
                 wake = wake.min(now);
             }
         }
+        if upgrade_exclusive && self.array.probe(line) == Some(LineState::Exclusive) {
+            // A store resolved against an Exclusive fill: the silent
+            // upgrade happens at resolution (MESI E→M, Dragon EC→EM).
+            self.array.set_state(line, LineState::Modified);
+        }
         self.wake_at = self.wake_at.min(wake);
         let before = self.entries.len();
         self.entries.retain(|e| e.state != EntryState::Done);
@@ -595,25 +641,50 @@ impl L2Ctl {
         out
     }
 
-    /// Snoop for a read: if we own the line Modified we must supply it and
-    /// downgrade to Shared. Returns true when we supply.
+    /// Snoop for a read: a dirty owner must supply the line. Under
+    /// MSI/MESI it downgrades to Shared; under Dragon the owner keeps
+    /// ownership as SharedModified. A MESI/Dragon Exclusive-clean copy
+    /// downgrades to Shared without supplying (the L3 shadow serves).
+    /// Returns true when we supply.
     pub(crate) fn snoop_rd(&mut self, line: u64) -> bool {
         match self.array.probe(line) {
             Some(LineState::Modified) => {
-                self.array.set_state(line, LineState::Shared);
+                let next = if self.protocol == Protocol::Dragon {
+                    LineState::SharedModified
+                } else {
+                    LineState::Shared
+                };
+                self.array.set_state(line, next);
                 true
+            }
+            Some(LineState::SharedModified) => true,
+            Some(LineState::Exclusive) => {
+                self.array.set_state(line, LineState::Shared);
+                false
             }
             _ => false,
         }
     }
 
     /// Snoop for an exclusive read / upgrade: invalidate our copy.
-    /// Returns `(had_line, had_modified)`.
+    /// Returns `(had_line, had_dirty)`. Never called under Dragon.
     pub(crate) fn snoop_inv(&mut self, line: u64) -> (bool, bool) {
         match self.array.invalidate(line) {
-            Some(LineState::Modified) => (true, true),
-            Some(LineState::Shared) => (true, false),
+            Some(s) => (true, s.dirty()),
             None => (false, false),
+        }
+    }
+
+    /// Dragon: a bus-update broadcast for `line` reached this L2. Our
+    /// copy absorbs the new word and continues as a clean sharer (a
+    /// previous SM owner hands ownership to the updater). Returns true
+    /// when we held the line.
+    pub(crate) fn snoop_upd(&mut self, line: u64) -> bool {
+        if self.array.probe(line).is_some() {
+            self.array.set_state(line, LineState::Shared);
+            true
+        } else {
+            false
         }
     }
 
@@ -646,6 +717,20 @@ impl L2Ctl {
     pub(crate) fn grant_upgrade(&mut self, line: u64, _now: Cycle) {
         self.pending_lines.remove(line);
         self.array.set_state(line, LineState::Modified);
+    }
+
+    /// Dragon: our bus-update for `line` was granted and delivered. With
+    /// sharers left we continue as the SM owner; with none the line is
+    /// now exclusively ours (EM). Call [`L2Ctl::drain_line_waiters`]
+    /// afterwards to resolve the waiting stores atomically.
+    pub(crate) fn grant_update(&mut self, line: u64, any_sharer: bool, _now: Cycle) {
+        self.pending_lines.remove(line);
+        let next = if any_sharer {
+            LineState::SharedModified
+        } else {
+            LineState::Modified
+        };
+        self.array.set_state(line, next);
     }
 
     /// Whether a line request is pending (issued or awaiting reissue).

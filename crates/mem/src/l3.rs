@@ -13,8 +13,11 @@ pub(crate) struct L3Req {
     pub line: u64,
     /// Requesting core.
     pub requester: CoreId,
-    /// Whether the requester wants ownership (RdX).
-    pub exclusive: bool,
+    /// Coherence state the fill will install in at the requester,
+    /// decided by the system at request time (Modified for RdX,
+    /// Exclusive for MESI/Dragon fills with no other holder, Shared
+    /// otherwise). Passed through untouched.
+    pub fill: LineState,
 }
 
 /// A serviced request ready to be put on the bus data channel.
@@ -190,7 +193,7 @@ mod tests {
         L3Req {
             line,
             requester: CoreId(0),
-            exclusive: false,
+            fill: LineState::Shared,
         }
     }
 

@@ -41,7 +41,7 @@ mod system;
 
 pub use bus::BusStats;
 pub use cache::{CacheArray, CacheGeometry, LineState};
-pub use config::{BusConfig, MemConfig};
+pub use config::{BusConfig, MemConfig, Protocol};
 pub use func::FuncMem;
 pub use msg::{Completion, CtlPayload, MemEvent, MemToken, OpLocation, RejectReason};
 pub use system::{MemOp, MemStats, MemSystem, Submit};

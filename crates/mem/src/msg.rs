@@ -141,6 +141,17 @@ pub enum MemEvent {
         /// Whether the line was dirty (writeback issued).
         dirty: bool,
     },
+    /// A Dragon bus-update broadcast completed: every sharer's copy of
+    /// the line absorbed the written word in place (update-based
+    /// protocols only).
+    UpdateDelivered {
+        /// The writing core.
+        from: CoreId,
+        /// Base address of the updated line.
+        line_addr: Addr,
+        /// How many other L2s applied the update.
+        sharers: u8,
+    },
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use hfs_trace::{CacheLevel, TraceEvent, Tracer};
 
 use crate::bus::{AddrTxn, Agent, Bus, BusStats, DataTxn};
 use crate::cache::LineState;
-use crate::config::MemConfig;
+use crate::config::{MemConfig, Protocol};
 use crate::func::FuncMem;
 use crate::l1::L1d;
 use crate::l2::{EntryKind, L2Ctl, L2Outcome, LineStage, ResolvedWaiter};
@@ -126,6 +126,8 @@ pub struct MemStats {
     pub bus: BusStats,
     /// Write-forward pushes completed.
     pub forwards: u64,
+    /// Dragon bus-update broadcasts delivered (update protocols only).
+    pub updates: u64,
 }
 
 /// The complete memory hierarchy of the simulated CMP.
@@ -150,6 +152,8 @@ pub struct MemSystem {
     /// In-flight forward pushes: (line, producer core, OzQ entry id).
     forward_track: Vec<(u64, CoreId, u64)>,
     forwards_done: u64,
+    /// Dragon bus-update broadcasts delivered.
+    updates_done: u64,
     /// Byte range of the streaming (queue) backing store, used to tag
     /// bus requests for the §4.2 application-traffic-priority arbiter.
     streaming_range: Option<(u64, u64)>,
@@ -176,14 +180,16 @@ impl MemSystem {
         let mut l2s = Vec::with_capacity(cores);
         for c in 0..cores {
             l1s.push(L1d::new(cfg.l1d)?);
-            l2s.push(L2Ctl::new(
+            let mut l2 = L2Ctl::new(
                 CoreId(c as u8),
                 cfg.l2,
                 cfg.l2_latency_min,
                 cfg.l2_ports,
                 cfg.ozq_entries,
                 cfg.recirc_interval,
-            )?);
+            )?;
+            l2.set_protocol(cfg.protocol);
+            l2s.push(l2);
         }
         Ok(MemSystem {
             bus: Bus::new(cfg.bus, cores),
@@ -201,6 +207,7 @@ impl MemSystem {
             l2_scratch: Vec::new(),
             forward_track: Vec::new(),
             forwards_done: 0,
+            updates_done: 0,
             streaming_range: None,
             tracer: Tracer::disabled(),
             checker: Checker::disabled(),
@@ -226,6 +233,7 @@ impl MemSystem {
         if checker.is_full() {
             checker.seed_golden(self.func.iter_words());
         }
+        checker.set_protocol(self.cfg.protocol.kind());
         self.bus.set_checker(checker.clone());
         for l2 in &mut self.l2s {
             l2.set_checker(checker.clone());
@@ -450,6 +458,7 @@ impl MemSystem {
             dram_accesses: self.l3.dram_accesses(),
             bus: self.bus.stats(),
             forwards: self.forwards_done,
+            updates: self.updates_done,
         }
     }
 
@@ -545,7 +554,7 @@ impl MemSystem {
                 DataTxn::FillL2 {
                     line: ready.req.line,
                     dest: ready.req.requester,
-                    make_modified: ready.req.exclusive,
+                    state: ready.req.fill,
                 },
             );
         }
@@ -699,16 +708,37 @@ impl MemSystem {
             } => {
                 let streaming = self.line_is_streaming(line);
                 let txn = if exclusive && have_shared {
-                    AddrTxn::Upgr {
-                        line,
-                        requester: core,
-                        streaming,
+                    // Dragon never invalidates: a store to a shared line
+                    // broadcasts a bus-update instead of upgrading.
+                    if self.cfg.protocol == Protocol::Dragon {
+                        AddrTxn::Upd {
+                            line,
+                            requester: core,
+                            streaming,
+                        }
+                    } else {
+                        AddrTxn::Upgr {
+                            line,
+                            requester: core,
+                            streaming,
+                        }
                     }
                 } else if exclusive {
-                    AddrTxn::RdX {
-                        line,
-                        requester: core,
-                        streaming,
+                    // Dragon write misses fetch with a plain read; the
+                    // store then updates (or upgrades silently from EC)
+                    // once the fill lands.
+                    if self.cfg.protocol == Protocol::Dragon {
+                        AddrTxn::Rd {
+                            line,
+                            requester: core,
+                            streaming,
+                        }
+                    } else {
+                        AddrTxn::RdX {
+                            line,
+                            requester: core,
+                            streaming,
+                        }
                     }
                 } else {
                     AddrTxn::Rd {
@@ -771,11 +801,15 @@ impl MemSystem {
                 self.busy_lines.insert(line);
                 self.checker.on_addr_request(now, requester, line);
                 let mut supplied = false;
+                let mut other_holder = false;
                 for c in 0..self.l2s.len() {
                     if c == requester.index() {
                         continue;
                     }
-                    if self.l2s[c].snoop_rd(line) {
+                    if self.l2s[c].probe(line).is_some() {
+                        other_holder = true;
+                    }
+                    if !supplied && self.l2s[c].snoop_rd(line) {
                         supplied = true;
                         // Cache-to-cache transfer; L3 shadows a clean copy.
                         self.l3.install_clean(line);
@@ -786,19 +820,34 @@ impl MemSystem {
                             DataTxn::FillL2 {
                                 line,
                                 dest: requester,
-                                make_modified: false,
+                                state: LineState::Shared,
                             },
                         );
-                        break;
                     }
                 }
                 if !supplied {
+                    // MESI/Dragon: a fill no other L2 holds installs
+                    // Exclusive (E / EC), enabling the silent first-write
+                    // upgrade. MSI always fills Shared.
+                    let mut fill = if self.cfg.protocol != Protocol::Msi && !other_holder {
+                        LineState::Exclusive
+                    } else {
+                        LineState::Shared
+                    };
+                    // Fault injection: claim exclusivity despite a
+                    // surviving sharer; the install census must object.
+                    if self.cfg.protocol != Protocol::Msi
+                        && other_holder
+                        && self.checker.fire_once(Mutation::GrantExclusiveWithSharers)
+                    {
+                        fill = LineState::Exclusive;
+                    }
                     self.l2s[requester.index()].line_stage(line, LineStage::InL3);
                     self.l3.request(
                         crate::l3::L3Req {
                             line,
                             requester,
-                            exclusive: false,
+                            fill,
                         },
                         now,
                     );
@@ -846,7 +895,7 @@ impl MemSystem {
                             DataTxn::FillL2 {
                                 line,
                                 dest: requester,
-                                make_modified: true,
+                                state: LineState::Modified,
                             },
                         );
                     }
@@ -857,7 +906,7 @@ impl MemSystem {
                         crate::l3::L3Req {
                             line,
                             requester,
-                            exclusive: true,
+                            fill: LineState::Modified,
                         },
                         now,
                     );
@@ -902,18 +951,80 @@ impl MemSystem {
                     self.l2s[r].nack_line(line, now, true);
                 }
             }
+            AddrTxn::Upd {
+                line, requester, ..
+            } => {
+                // Dragon bus-update: a single address/snoop-phase
+                // broadcast. Every sharer patches its copy in place; the
+                // writer becomes the SM owner (EM with no sharers left).
+                // No data-channel transfer and no split-transaction
+                // response follow.
+                if self.busy_lines.contains(&line) {
+                    self.l2s[requester.index()].nack_line(line, now + backoff, true);
+                    return;
+                }
+                let r = requester.index();
+                if !matches!(
+                    self.l2s[r].probe(line),
+                    Some(LineState::Shared) | Some(LineState::SharedModified)
+                ) {
+                    // Our copy vanished while the update was in flight:
+                    // refetch (the reissue sees have_shared = false and
+                    // maps back to a plain read under Dragon).
+                    self.l2s[r].nack_line(line, now, true);
+                    return;
+                }
+                let mut holders = 0u32;
+                let mut updated_cores: Vec<usize> = Vec::new();
+                for c in 0..self.l2s.len() {
+                    if c == r || self.l2s[c].probe(line).is_none() {
+                        continue;
+                    }
+                    // Fault injection: hide one sharer from the
+                    // broadcast entirely — counts agree, but its copy
+                    // goes silently stale.
+                    if self.checker.fire_once(Mutation::HideDragonSharer) {
+                        continue;
+                    }
+                    holders += 1;
+                    // Fault injection: count the sharer but skip the
+                    // delivery — the update census comes up short.
+                    if self.checker.fire_once(Mutation::SkipDragonUpdate) {
+                        continue;
+                    }
+                    self.l2s[c].snoop_upd(line);
+                    // The sharer's L1 span is stale at word granularity;
+                    // invalidate it so later loads refetch through L2.
+                    let line_addr = Addr::new(line * self.cfg.l2.line_bytes);
+                    self.l1s[c].invalidate_span(line_addr, self.cfg.l2.line_bytes);
+                    updated_cores.push(c);
+                }
+                let updated = updated_cores.len() as u32;
+                // Bump the broadcast version first, then mark each
+                // reached sharer current at the *new* version.
+                self.checker
+                    .on_bus_update(now, requester, line, holders, updated);
+                for &c in &updated_cores {
+                    self.checker.on_update_applied(CoreId(c as u8), line);
+                }
+                self.updates_done += 1;
+                self.events.push(MemEvent::UpdateDelivered {
+                    from: requester,
+                    line_addr: Addr::new(line * self.cfg.l2.line_bytes),
+                    sharers: updated as u8,
+                });
+                self.l2s[r].grant_update(line, holders > 0, now);
+                self.audit_line_states(line, now);
+                self.resolve_waiters(requester, line, now);
+            }
         }
     }
 
     fn handle_data(&mut self, txn: DataTxn, now: Cycle) {
         match txn {
-            DataTxn::FillL2 {
-                line,
-                dest,
-                make_modified,
-            } => {
+            DataTxn::FillL2 { line, dest, state } => {
                 self.busy_lines.remove(&line);
-                self.install_fill(dest, line, make_modified, false, now);
+                self.install_fill(dest, line, state, false, now);
             }
             DataTxn::WbL3 { line, .. } => {
                 self.l3.writeback(line);
@@ -932,7 +1043,7 @@ impl MemSystem {
                 }
                 let line_addr = Addr::new(line * self.cfg.l2.line_bytes);
                 self.l1s[from.index()].invalidate_span(line_addr, self.cfg.l2.line_bytes);
-                self.install_fill(to, line, true, true, now);
+                self.install_fill(to, line, LineState::Modified, true, now);
                 self.forwards_done += 1;
                 self.tracer.emit(|| TraceEvent::Forward {
                     at: now.as_u64(),
@@ -951,16 +1062,11 @@ impl MemSystem {
         &mut self,
         dest: CoreId,
         line: u64,
-        modified: bool,
+        state: LineState,
         forwarded: bool,
         now: Cycle,
     ) {
         let d = dest.index();
-        let state = if modified {
-            LineState::Modified
-        } else {
-            LineState::Shared
-        };
         let victim = self.l2s[d].fill(line, state, now);
         if let Some(v) = victim {
             let victim_addr = Addr::new(v.line * self.cfg.l2.line_bytes);
@@ -996,20 +1102,25 @@ impl MemSystem {
         self.resolve_waiters(dest, line, now);
     }
 
-    /// Cross-L2 MSI census for `line`, reported to the machine checker.
+    /// Cross-L2 coherence census for `line`, reported to the machine
+    /// checker, which applies the active protocol's invariant table.
     fn audit_line_states(&self, line: u64, now: Cycle) {
         if !self.checker.is_enabled() {
             return;
         }
-        let (mut modified, mut shared) = (0u32, 0u32);
+        let (mut modified, mut exclusive, mut shared, mut shared_modified) =
+            (0u32, 0u32, 0u32, 0u32);
         for l2 in &self.l2s {
             match l2.probe(line) {
                 Some(LineState::Modified) => modified += 1,
+                Some(LineState::Exclusive) => exclusive += 1,
                 Some(LineState::Shared) => shared += 1,
+                Some(LineState::SharedModified) => shared_modified += 1,
                 None => {}
             }
         }
-        self.checker.coherence_states(now, line, modified, shared);
+        self.checker
+            .coherence_states(now, line, modified, exclusive, shared, shared_modified);
     }
 
     /// Satisfies operations that were waiting on `line` at fill/upgrade

@@ -1012,6 +1012,76 @@ mod tests {
     }
 
     #[test]
+    fn raw_splice_survives_hostile_outcome_text_byte_identically() {
+        // Outcome text carrying quotes, backslashes, control characters
+        // and multi-byte UTF-8: the hot-cache splice (`Json::Raw`) must
+        // deliver exactly the bytes the parsed path would re-encode.
+        let nasty = "q\"uote \\back\\slash\\ \nπ🚀é \t\u{1} end";
+        let mut ok = execute(&demo_job(), 0);
+        if let JobOutcome::Ok(r) = &mut ok {
+            r.design = nasty.to_string();
+        }
+        for outcome in [ok, JobOutcome::WorkerDied(nasty.to_string())] {
+            let text: Arc<str> = outcome_to_json(&outcome).to_pretty().into();
+            let mk = |encoded| ServerFrame::BatchResults {
+                experiment: "sweep".to_string(),
+                id: 5,
+                results: vec![JobResult {
+                    index: 0,
+                    label: nasty.to_string(),
+                    key: "0123456789abcdef".to_string(),
+                    cached: true,
+                    outcome: outcome.clone(),
+                    encoded,
+                }],
+            };
+            let (plain, spliced) = (
+                pipe_server(&mk(None)),
+                pipe_server(&mk(Some(Arc::clone(&text)))),
+            );
+            match (plain, spliced) {
+                (
+                    ServerFrame::BatchResults { results: a, .. },
+                    ServerFrame::BatchResults { results: b, .. },
+                ) => {
+                    assert_eq!(
+                        outcome_to_json(&a[0].outcome).to_pretty(),
+                        text.as_ref(),
+                        "parsed path must reproduce the source bytes"
+                    );
+                    assert_eq!(
+                        outcome_to_json(&b[0].outcome).to_pretty(),
+                        text.as_ref(),
+                        "spliced path must reproduce the source bytes"
+                    );
+                    assert_eq!(a[0].label, nasty);
+                    assert_eq!(b[0].label, nasty);
+                }
+                other => panic!("wrong frames: {other:?}"),
+            }
+            // The per-job `job` frame (streaming subscribe path) carries
+            // the same text through the always-parsed encoder.
+            let jf = ServerFrame::Job {
+                experiment: "sweep".to_string(),
+                index: 1,
+                label: nasty.to_string(),
+                key: "fedcba9876543210".to_string(),
+                cached: false,
+                outcome: outcome.clone(),
+            };
+            match pipe_server(&jf) {
+                ServerFrame::Job {
+                    outcome: o, label, ..
+                } => {
+                    assert_eq!(outcome_to_json(&o).to_pretty(), text.as_ref());
+                    assert_eq!(label, nasty);
+                }
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn zero_batch_id_is_rejected() {
         let frame = ClientFrame::SubmitBatch {
             experiment: "sweep".to_string(),

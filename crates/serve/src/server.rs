@@ -840,9 +840,15 @@ impl Dispatcher {
         job: &Job,
     ) -> (JobOutcome, u32) {
         let pool = self.proc.as_ref().expect("process mode");
+        // A worker death is a transient harness failure like a watchdog
+        // timeout, so the operator's `HFS_RETRIES` extends the default
+        // crash budget exactly as it extends in-process retries. Every
+        // respawn re-sends the job from scratch, so each attempt gets a
+        // fresh progress (cycle-budget) deadline.
+        let budget = MAX_WORKER_CRASHES.max(self.default_retries);
         let mut crashes: u32 = 0;
         loop {
-            if crashes > MAX_WORKER_CRASHES {
+            if crashes > budget {
                 return (
                     JobOutcome::WorkerDied(format!(
                         "worker {idx} died {crashes} times running this job"
@@ -851,6 +857,18 @@ impl Dispatcher {
                 );
             }
             if child.is_none() {
+                // Once drain begins, a dead child is reaped but never
+                // respawned: the in-flight job resolves with a
+                // structured outcome instead of spinning up a process
+                // the shutdown path would immediately have to kill.
+                if crashes > 0 && self.inner.lock().unwrap().draining {
+                    return (
+                        JobOutcome::WorkerDied(format!(
+                            "worker {idx} died during drain; not respawned"
+                        )),
+                        0,
+                    );
+                }
                 match spawn_worker(&pool.worker_bin) {
                     Ok((c, stdin)) => {
                         hfs_obs::debug(

@@ -48,6 +48,22 @@ impl TestServer {
     /// Binds a fresh-cache server with `workers` re-exec'd `--worker`
     /// children (the actual built `hfs-serve` binary).
     fn start(tag: &str, workers: usize) -> TestServer {
+        Self::start_with(
+            tag,
+            workers,
+            PathBuf::from(env!("CARGO_BIN_EXE_hfs-serve")),
+            0,
+        )
+    }
+
+    /// Like [`TestServer::start`], with an explicit worker binary (for
+    /// crash injection) and retry budget.
+    fn start_with(
+        tag: &str,
+        workers: usize,
+        worker_bin: PathBuf,
+        default_retries: u32,
+    ) -> TestServer {
         let base = std::env::temp_dir().join(format!("hfs-workers-{}-{tag}", std::process::id()));
         let sock = base.with_extension("sock");
         let cache = base.with_extension("cache");
@@ -56,10 +72,10 @@ impl TestServer {
         std::fs::create_dir_all(&cache).expect("create cache dir");
         let config = ServerConfig {
             process_workers: workers,
-            worker_bin: Some(PathBuf::from(env!("CARGO_BIN_EXE_hfs-serve"))),
+            worker_bin: Some(worker_bin),
             cache_dir: Some(cache.clone()),
             hot_cache_mb: None,
-            default_retries: 0,
+            default_retries,
             ..ServerConfig::default()
         };
         let endpoint = Endpoint::Unix(sock.clone());
@@ -127,6 +143,37 @@ fn worker_pids() -> Vec<u32> {
         }
     }
     pids
+}
+
+/// The `hfs_worker_restarts_total` counter from a live server.
+fn restarts_metric(client: &mut Client) -> u64 {
+    client
+        .metrics()
+        .expect("metrics")
+        .lines()
+        .find_map(|l| l.strip_prefix("hfs_worker_restarts_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("restart counter exposed")
+}
+
+/// Number of regular files anywhere under `dir`.
+fn cache_files(dir: &std::path::Path) -> usize {
+    let mut count = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                count += 1;
+            }
+        }
+    }
+    count
 }
 
 #[test]
@@ -214,13 +261,149 @@ fn killed_worker_restarts_and_batch_completes_byte_identically() {
         );
     }
 
-    let metrics = client.metrics().expect("metrics");
-    let restarts: u64 = metrics
-        .lines()
-        .find_map(|l| l.strip_prefix("hfs_worker_restarts_total "))
-        .and_then(|v| v.trim().parse().ok())
-        .expect("restart counter exposed");
+    let restarts = restarts_metric(&mut client);
     assert!(restarts >= 1, "the kill must register as a restart");
     drop(client);
     server.shutdown();
+}
+
+/// A worker binary that dies instantly (`/bin/false`): every attempt
+/// registers as a crash, the job resolves as a *structured*
+/// `worker_died` outcome after the budget is spent, and the failure is
+/// never written to the result cache — a later identical submit
+/// re-executes instead of being served the stale corpse.
+#[test]
+fn crashing_worker_yields_structured_outcome_never_cached() {
+    let server = TestServer::start_with("false", 1, PathBuf::from("/bin/false"), 0);
+    let js = jobs("false", 1, 40);
+    let mut client = server.client();
+
+    let first = client
+        .submit_batched("workers-false", js.clone(), Subscribe::Final, |_| {})
+        .expect("batch completes despite a dead worker binary");
+    assert_eq!(first.records.len(), 1);
+    assert_eq!(first.records[0].outcome.status(), "worker_died");
+    assert!(!first.records[0].cached);
+    // Default crash budget with no retries: MAX_WORKER_CRASHES (2)
+    // means three attempts, each counted as a death.
+    assert_eq!(restarts_metric(&mut client), 3);
+    assert_eq!(
+        cache_files(&server.cache),
+        0,
+        "worker_died must never land in the disk cache"
+    );
+
+    // An identical submit re-executes (and fails again) instead of
+    // being served the failure as if it were a terminal result.
+    let second = client
+        .submit_batched("workers-false", js, Subscribe::Final, |_| {})
+        .expect("second batch");
+    assert_eq!(second.records[0].outcome.status(), "worker_died");
+    assert!(!second.records[0].cached, "failures are not served back");
+    assert_eq!(restarts_metric(&mut client), 6, "the job ran again");
+    drop(client);
+    server.shutdown();
+}
+
+/// `HFS_RETRIES` extends the crash budget the same way it extends
+/// in-process retries: with 4 retries the job is attempted five times
+/// before resolving as `worker_died`.
+#[test]
+fn retry_budget_extends_crash_budget() {
+    let server = TestServer::start_with("false-retries", 1, PathBuf::from("/bin/false"), 4);
+    let mut client = server.client();
+    let batch = client
+        .submit_batched(
+            "workers-false-retries",
+            jobs("false-retries", 1, 40),
+            Subscribe::Final,
+            |_| {},
+        )
+        .expect("batch completes");
+    assert_eq!(batch.records[0].outcome.status(), "worker_died");
+    assert_eq!(
+        restarts_metric(&mut client),
+        5,
+        "budget = max(2, retries=4) + 1 attempts"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+/// A child SIGKILLed *after graceful drain begins* is reaped without a
+/// respawn, and its in-flight job still resolves with a structured
+/// outcome so the batch (and the drain) complete.
+#[test]
+fn kill_during_drain_reaps_without_respawn() {
+    let mut server = TestServer::start("drain-kill", 1);
+    // Job 0 is fast; job 1 is slow enough to still be mid-flight when
+    // the drain begins and the kill lands.
+    let mut js = jobs("drain-kill", 1, 40);
+    js.push(Job::pipeline(
+        "workers/drain-kill/slow".to_string(),
+        KernelPair::simple("drain-kill-slow", 2, 6_000_000),
+        MachineConfig::itanium2_cmp(DesignPoint::heavywt()),
+    ));
+
+    let (first_tx, first_rx) = mpsc::channel();
+    let submitter = {
+        let js = js.clone();
+        let mut client = server.client();
+        std::thread::spawn(move || {
+            client.submit("workers-drain-kill", js, move |_| {
+                let _ = first_tx.send(());
+            })
+        })
+    };
+    first_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("fast job resolves; slow job now in flight");
+    let pids = worker_pids();
+    assert_eq!(pids.len(), 1, "the single --worker child should be live");
+
+    // Begin the drain, give the flag a moment to latch, then SIGKILL
+    // the child mid-job.
+    let drainer = {
+        let mut client = server.client();
+        std::thread::spawn(move || client.shutdown_server())
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pids[0].to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -9 must land");
+
+    let batch = submitter
+        .join()
+        .expect("submitter thread")
+        .expect("batch completes despite kill during drain");
+    drainer
+        .join()
+        .expect("drainer thread")
+        .expect("shutdown ack");
+    assert_eq!(batch.records.len(), 2);
+    assert_eq!(batch.records[0].outcome.status(), "ok");
+    let slow = &batch.records[1];
+    assert_eq!(slow.outcome.status(), "worker_died");
+    assert!(
+        format!("{}", slow.outcome).contains("during drain; not respawned"),
+        "the outcome must name the no-respawn drain path: {}",
+        slow.outcome
+    );
+
+    // The drain must complete with the corpse reaped and no respawn.
+    server
+        .handle
+        .take()
+        .unwrap()
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    assert!(
+        worker_pids().is_empty(),
+        "no respawned --worker child may survive the drain"
+    );
+    let _ = std::fs::remove_dir_all(&server.cache);
+    let _ = std::fs::remove_file(&server.sock);
 }

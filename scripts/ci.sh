@@ -38,8 +38,14 @@ HFS_SCHED=poll cargo test --release -q --test sched_equivalence --test fastforwa
 echo "==> trace smoke under HFS_SCHED=poll (same goldens as the event scheduler)"
 HFS_SCHED=poll cargo run --release -p hfs-bench --bin trace_smoke
 
-echo "==> machine check: fault injection (checker must catch every seeded bug)"
-cargo test --release -q --test check_faults
+echo "==> machine check: fault injection, once per protocol (every seeded bug caught)"
+# Each sweep arms every mutation applicable under that protocol and
+# requires the fired rule to live in that protocol's invariant table —
+# zero silent survivors.
+cargo test --release -q --test check_faults every_seeded_mutation_is_detected_msi
+cargo test --release -q --test check_faults every_seeded_mutation_is_detected_mesi
+cargo test --release -q --test check_faults every_seeded_mutation_is_detected_dragon
+cargo test --release -q --test check_faults disarmed_machine_is_unperturbed
 
 echo "==> machine check: trace smoke under HFS_CHECK=1 (checked run, same goldens)"
 HFS_CHECK=1 cargo run --release -p hfs-bench --bin trace_smoke
@@ -53,6 +59,20 @@ HFS_CHECK=1 HFS_QUICK=1 HFS_NO_CACHE=1 HFS_NO_PROGRESS=1 \
 if grep -q '"status": *"check_failed"' target/check_results/*.json 2>/dev/null; then
     echo "machine check reported violations in fig6 artifacts"; exit 1
 fi
+
+echo "==> protocol axis: quick MESI + Dragon fig6 artifact smoke"
+# Non-default protocols suffix their artifact names, so the committed
+# MSI goldens are untouched; each sweep must complete checker-clean.
+for proto in mesi dragon; do
+    HFS_PROTOCOL=$proto HFS_CHECK=1 HFS_QUICK=1 HFS_NO_CACHE=1 HFS_NO_PROGRESS=1 \
+        HFS_RESULTS_DIR=target/check_results \
+        cargo run --release -p hfs-bench --bin fig6
+    [ -s "target/check_results/fig6__$proto.json" ] \
+        || { echo "fig6 sweep under HFS_PROTOCOL=$proto wrote no suffixed artifact"; exit 1; }
+    if grep -q '"status": *"check_failed"' "target/check_results/fig6__$proto.json"; then
+        echo "machine check reported violations in fig6__$proto artifacts"; exit 1
+    fi
+done
 
 echo "==> simbench --quick --check (hot-loop throughput gate vs committed baseline)"
 # --check fails the run when a point regresses >10% vs its committed
